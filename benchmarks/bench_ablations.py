@@ -1,0 +1,170 @@
+"""E12 — Ablations over the design choices DESIGN.md calls out.
+
+Not a paper table; these benches justify the reproduction's own design
+decisions and quantify the paper's qualitative remarks:
+
+* search-strategy ablation (Section 3.4): error-bounded binary vs
+  biased binary vs biased quaternary vs bound-free exponential search,
+  in comparisons per lookup;
+* second-stage size sweep: error window vs leaf count (the Figure 4
+  size/accuracy dial);
+* stage-count ablation: 2-stage vs 3-stage RMI;
+* misprediction fix-up rate: how often the Section 3.4 widening path
+  fires for absent keys (the monotonicity discussion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import Table, measure_lookups
+from repro.core import RecursiveModelIndex
+from repro.models import LinearModel
+
+from conftest import console, query_mix, show_table
+
+STRATEGIES = ("binary", "biased_binary", "biased_quaternary", "exponential")
+
+
+def test_ablation_search_strategies(fig4_datasets, query_rng, benchmark):
+    keys = fig4_datasets["weblogs"]
+    leaves = max(keys.size // 2_000, 8)
+    queries = query_mix(keys, query_rng, count=1_500)
+    table = Table(
+        "Ablation: last-mile search strategy (weblogs)",
+        ["strategy", "lookup ns", "comparisons/lookup"],
+    )
+    comparisons = {}
+    indexes = {}
+    for strategy in STRATEGIES:
+        index = RecursiveModelIndex(
+            keys, stage_sizes=(1, leaves), search_strategy=strategy
+        )
+        indexes[strategy] = index
+        result = measure_lookups(index.lookup, queries, repeats=2)
+        index.stats.reset()
+        for q in queries:
+            index.lookup(q)
+        per_lookup = index.stats.comparisons / index.stats.lookups
+        comparisons[strategy] = per_lookup
+        table.add_row(strategy, f"{result.mean_ns:.0f}", f"{per_lookup:.1f}")
+    show_table(table)
+
+    # Bounded strategies beat unbounded exponential in comparisons;
+    # biasing the first probe cannot hurt the bounded search much.
+    assert comparisons["binary"] <= comparisons["exponential"] * 1.2
+    assert comparisons["biased_binary"] <= comparisons["binary"] + 1.5
+    console(
+        "[ablation search] comparisons/lookup: "
+        + ", ".join(f"{s}={c:.1f}" for s, c in comparisons.items())
+    )
+
+    index = indexes["binary"]
+    state = {"i": 0}
+
+    def one_lookup():
+        q = queries[state["i"] % len(queries)]
+        state["i"] += 1
+        return index.lookup(q)
+
+    benchmark(one_lookup)
+
+
+def test_ablation_leaf_count_sweep(fig4_datasets, benchmark):
+    keys = fig4_datasets["lognormal"]
+    table = Table(
+        "Ablation: second-stage size vs error window (lognormal)",
+        ["leaves", "mean window", "max window", "size bytes"],
+    )
+    windows = []
+    for leaves in (16, 64, 256, 1024, 4096):
+        index = RecursiveModelIndex(keys, stage_sizes=(1, leaves))
+        windows.append(index.mean_error_window)
+        table.add_row(
+            str(leaves),
+            f"{index.mean_error_window:.1f}",
+            str(index.max_error_window),
+            str(index.size_bytes()),
+        )
+    show_table(table)
+    # More experts -> monotonically smaller mean windows (Section 3.2).
+    assert all(a >= b * 0.9 for a, b in zip(windows, windows[1:]))
+    assert windows[-1] < windows[0] / 4
+    console(f"[ablation leaves] windows: {['%.0f' % w for w in windows]}")
+
+    benchmark(lambda: RecursiveModelIndex(keys[:20_000], stage_sizes=(1, 64)))
+
+
+def test_ablation_stage_count(fig4_datasets, query_rng, benchmark):
+    keys = fig4_datasets["weblogs"]
+    queries = query_mix(keys, query_rng, count=1_000)
+    leaves = max(keys.size // 2_000, 8)
+    two_stage = RecursiveModelIndex(keys, stage_sizes=(1, leaves))
+    three_stage = RecursiveModelIndex(
+        keys,
+        stage_sizes=(1, 32, leaves),
+        model_factories=[LinearModel, LinearModel, LinearModel],
+    )
+    two_ns = measure_lookups(two_stage.lookup, queries, repeats=2)
+    three_ns = measure_lookups(three_stage.lookup, queries, repeats=2)
+    table = Table(
+        "Ablation: number of RMI stages (weblogs)",
+        ["stages", "lookup ns", "mean window", "size bytes"],
+    )
+    table.add_row(
+        "2", f"{two_ns.mean_ns:.0f}", f"{two_stage.mean_error_window:.1f}",
+        str(two_stage.size_bytes()),
+    )
+    table.add_row(
+        "3", f"{three_ns.mean_ns:.0f}", f"{three_stage.mean_error_window:.1f}",
+        str(three_stage.size_bytes()),
+    )
+    show_table(table)
+    # An intermediate routing stage can sharpen leaf assignment on hard
+    # data; it must at least stay correct and comparable.
+    for q in queries[:200]:
+        assert two_stage.lookup(q) == three_stage.lookup(q)
+    console(
+        f"[ablation stages] 2-stage window={two_stage.mean_error_window:.0f} "
+        f"3-stage window={three_stage.mean_error_window:.0f}"
+    )
+
+    state = {"i": 0}
+
+    def one_lookup():
+        q = queries[state["i"] % len(queries)]
+        state["i"] += 1
+        return three_stage.lookup(q)
+
+    benchmark(one_lookup)
+
+
+def test_ablation_fixup_rate(fig4_datasets, query_rng, benchmark):
+    """How often the Section 3.4 widening fix-up fires for absent keys."""
+    table = Table(
+        "Ablation: misprediction fix-up rate (absent-key lookups)",
+        ["dataset", "fixups / 10k absent lookups"],
+    )
+    rates = {}
+    for name, keys in fig4_datasets.items():
+        index = RecursiveModelIndex(
+            keys, stage_sizes=(1, max(keys.size // 2_000, 8))
+        )
+        absent = [
+            float(q)
+            for q in query_rng.integers(keys.min(), keys.max(), size=10_000)
+        ]
+        index.stats.reset()
+        for q in absent:
+            index.lookup(q)
+        rates[name] = index.stats.fixups
+        table.add_row(name, str(index.stats.fixups))
+    show_table(table)
+    # Fix-ups must be rare — the bounded search handles the bulk.
+    for name, fixups in rates.items():
+        assert fixups < 1_000, name
+    console(f"[ablation fixups] {rates}")
+
+    keys = fig4_datasets["maps"]
+    index = RecursiveModelIndex(keys, stage_sizes=(1, 64))
+    benchmark(lambda: index.lookup(float(keys[0]) + 0.5))

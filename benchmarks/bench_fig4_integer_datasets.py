@@ -1,0 +1,167 @@
+"""E1 — Figure 4: Learned Index vs B-Tree on Maps / Weblogs / Lognormal.
+
+Regenerates the paper's main table: for each dataset, B-Trees at page
+sizes 32..512 and 2-stage RMIs at four second-stage sizes, reporting
+size (with factor vs the page-128 B-Tree), total lookup time (with
+speedup factor) and model execution time (with share of total).
+
+Paper shape to reproduce: the learned index is faster than the best
+B-Tree while being one to two orders of magnitude smaller, and larger
+second stages trade size for accuracy.  Absolute ns are Python-scale;
+the Section 2.1 cost model's ns (also printed) are paper-scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    DEFAULT_COST_MODEL,
+    Table,
+    factor,
+    format_bytes,
+    measure_lookups,
+    percentage,
+)
+from repro.btree import BTreeIndex
+from repro.core import RecursiveModelIndex
+
+from conftest import console, query_mix, show_table
+
+PAGE_SIZES = (32, 64, 128, 256, 512)
+REFERENCE_PAGE = 128
+#: Second-stage sizes as keys-per-leaf ratios; the paper's 10k..200k
+#: over 200M keys is 20000..1000 keys per leaf.
+KEYS_PER_LEAF = (20_000, 4_000, 2_000, 1_000)
+
+
+def _measure_btree(keys, queries, page_size):
+    tree = BTreeIndex(keys, page_size=page_size)
+    total = measure_lookups(tree.lookup, queries, repeats=2)
+    model = measure_lookups(tree.find_page, queries, repeats=2)
+    cost = DEFAULT_COST_MODEL.btree_lookup(
+        tree.height, page_size, tree.size_bytes()
+    )
+    return tree, total.mean_ns, model.mean_ns, cost
+
+
+def _measure_rmi(keys, queries, leaves):
+    index = RecursiveModelIndex(keys, stage_sizes=(1, leaves))
+    total = measure_lookups(index.lookup, queries, repeats=2)
+    model = measure_lookups(
+        lambda q: index._predict_window(q), queries, repeats=2
+    )
+    index.stats.reset()
+    for q in queries:
+        index.lookup(q)
+    cost = DEFAULT_COST_MODEL.learned_lookup(
+        index.model_op_count(), index.stats.mean_window, index.size_bytes()
+    )
+    return index, total.mean_ns, model.mean_ns, cost
+
+
+def test_figure4_tables(fig4_datasets, query_rng, benchmark):
+    reference = {}
+    for name, keys in fig4_datasets.items():
+        queries = query_mix(keys, query_rng)
+        table = Table(
+            f"Figure 4 [{name}]: Learned Index vs B-Tree "
+            f"(n={keys.size:,}, measured Python ns + modeled paper ns)",
+            [
+                "config",
+                "size",
+                "size vs ref",
+                "lookup ns",
+                "speedup",
+                "model ns",
+                "model share",
+                "paper-model ns",
+            ],
+        )
+        btree_rows = {}
+        for page in PAGE_SIZES:
+            tree, total_ns, model_ns, cost = _measure_btree(
+                keys, queries, page
+            )
+            btree_rows[page] = (tree.size_bytes(), total_ns, model_ns, cost)
+        ref_size, ref_ns, _, _ = btree_rows[REFERENCE_PAGE]
+        reference[name] = (ref_size, ref_ns)
+        for page in PAGE_SIZES:
+            size, total_ns, model_ns, cost = btree_rows[page]
+            table.add_row(
+                f"btree page={page}",
+                format_bytes(size),
+                factor(size, ref_size),
+                f"{total_ns:.0f}",
+                factor(ref_ns, total_ns),
+                f"{model_ns:.0f}",
+                percentage(model_ns, total_ns),
+                f"{cost.total_ns:.0f}",
+            )
+        for keys_per_leaf in KEYS_PER_LEAF:
+            leaves = max(keys.size // keys_per_leaf, 4)
+            index, total_ns, model_ns, cost = _measure_rmi(
+                keys, queries, leaves
+            )
+            table.add_row(
+                f"learned 2nd-stage={leaves}",
+                format_bytes(index.size_bytes()),
+                factor(index.size_bytes(), ref_size),
+                f"{total_ns:.0f}",
+                factor(ref_ns, total_ns),
+                f"{model_ns:.0f}",
+                percentage(model_ns, total_ns),
+                f"{cost.total_ns:.0f}",
+            )
+        show_table(table)
+
+    # Shape assertions (the paper's qualitative claims).
+    for name, keys in fig4_datasets.items():
+        queries = query_mix(keys, query_rng, count=1_000)
+        ref_size, ref_ns = reference[name]
+        leaves = max(keys.size // 2_000, 4)
+        index = RecursiveModelIndex(keys, stage_sizes=(1, leaves))
+        learned = measure_lookups(index.lookup, queries, repeats=2)
+        assert index.size_bytes() < ref_size, name
+        assert learned.mean_ns < ref_ns * 1.3, name
+        console(
+            f"[fig4 shape] {name}: learned {learned.mean_ns:.0f}ns vs "
+            f"btree-128 {ref_ns:.0f}ns "
+            f"({ref_ns / learned.mean_ns:.2f}x), size "
+            f"{format_bytes(index.size_bytes())} vs {format_bytes(ref_size)} "
+            f"({ref_size / index.size_bytes():.1f}x smaller)"
+        )
+
+    # pytest-benchmark record: the headline learned-index lookup.
+    keys = fig4_datasets["maps"]
+    index = RecursiveModelIndex(
+        keys, stage_sizes=(1, max(keys.size // 2_000, 4))
+    )
+    queries = query_mix(keys, query_rng, count=256)
+    state = {"i": 0}
+
+    def one_lookup():
+        q = queries[state["i"] & 255]
+        state["i"] += 1
+        return index.lookup(q)
+
+    benchmark(one_lookup)
+
+
+@pytest.mark.parametrize("page_size", [128])
+def test_figure4_btree_reference_lookup(
+    fig4_datasets, query_rng, benchmark, page_size
+):
+    """pytest-benchmark record for the reference B-Tree."""
+    keys = fig4_datasets["maps"]
+    tree = BTreeIndex(keys, page_size=page_size)
+    queries = query_mix(keys, query_rng, count=256)
+    state = {"i": 0}
+
+    def one_lookup():
+        q = queries[state["i"] & 255]
+        state["i"] += 1
+        return tree.lookup(q)
+
+    benchmark(one_lookup)

@@ -1,0 +1,181 @@
+"""E3 — Figure 6: String document-id dataset.
+
+Paper rows: B-Trees (pages 32..256), learned indexes with 1-2 hidden
+layers, hybrids at error thresholds 128 and 64, and "Learned QS" (the
+1-hidden-layer model with biased quaternary search).
+
+Shapes to reproduce: string speedups are much smaller than integer ones
+because model execution is a large share of total time; hybrid B-Tree
+fallback helps the NN models; quaternary search beats the same model
+with plain biased-binary search.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.bench import (
+    CostModel,
+    Table,
+    factor,
+    format_bytes,
+    measure_lookups,
+    percentage,
+)
+from repro.btree import GenericBTreeIndex
+from repro.core import StringRMI
+from repro.data import string_dataset
+
+from conftest import console, scaled, show_table
+
+PAGE_SIZES = (32, 64, 128, 256)
+REFERENCE_PAGE = 128
+
+#: String comparisons cost several int-compares (the paper: "searching
+#: over strings is much more expensive"); page search costs scale the
+#: same way.
+STRING_COST = CostModel(
+    cycles_per_comparison=16.0, cycles_per_page_search=200.0
+)
+
+
+def _string_queries(keys, rng, count=1_500):
+    picks = rng.integers(0, len(keys), size=count)
+    return [keys[i] for i in picks]
+
+
+def test_figure6_string_dataset(query_rng, benchmark):
+    keys = string_dataset(scaled(60_000), seed=42)
+    queries = _string_queries(keys, query_rng)
+    leaves = max(len(keys) // 60, 16)
+
+    table = Table(
+        f"Figure 6: String data, Learned Index vs B-Tree (n={len(keys):,})",
+        [
+            "config",
+            "size",
+            "size vs ref",
+            "lookup ns",
+            "speedup",
+            "model ns",
+            "model share",
+            "paper-scale ns",
+        ],
+    )
+
+    rows = {}
+
+    def add(name, index, model_probe):
+        total = measure_lookups(index.lookup, queries, repeats=2)
+        model = measure_lookups(model_probe, queries, repeats=2)
+        if isinstance(index, GenericBTreeIndex):
+            modeled = STRING_COST.btree_lookup(
+                index.height, index.page_size, index.size_bytes()
+            )
+        else:
+            index.stats.reset()
+            for q in queries[:400]:
+                index.lookup(q)
+            window = index.stats.window_total / max(index.stats.lookups, 1)
+            modeled = STRING_COST.learned_lookup(
+                index.model_op_count(), max(window, 1.0), index.size_bytes()
+            )
+        rows[name] = (
+            index.size_bytes(),
+            total.mean_ns,
+            model.mean_ns,
+            modeled.total_ns,
+        )
+
+    for page in PAGE_SIZES:
+        tree = GenericBTreeIndex(keys, page_size=page)
+        add(f"btree page={page}", tree, tree.find_page)
+
+    epochs = 80
+    one_layer = StringRMI(
+        keys, num_leaves=leaves, hidden=(16,), epochs=epochs, seed=0
+    )
+    add("learned 1 hidden layer", one_layer, one_layer._route)
+    two_layer = StringRMI(
+        keys, num_leaves=leaves, hidden=(16, 16), epochs=epochs, seed=0
+    )
+    add("learned 2 hidden layers", two_layer, two_layer._route)
+
+    for threshold in (128, 64):
+        hybrid = StringRMI(
+            keys,
+            num_leaves=leaves,
+            hidden=(16,),
+            epochs=epochs,
+            seed=0,
+            hybrid_threshold=threshold,
+        )
+        add(
+            f"hybrid t={threshold}, 1 hidden layer",
+            hybrid,
+            hybrid._route,
+        )
+
+    learned_qs = StringRMI(
+        keys,
+        num_leaves=leaves,
+        hidden=(16,),
+        epochs=epochs,
+        seed=0,
+        search_strategy="biased_quaternary",
+    )
+    add("Learned QS (quaternary)", learned_qs, learned_qs._route)
+
+    ref_size, ref_ns, _, ref_modeled = rows[f"btree page={REFERENCE_PAGE}"]
+    for name, (size, total_ns, model_ns, modeled_ns) in rows.items():
+        table.add_row(
+            name,
+            format_bytes(size),
+            factor(size, ref_size),
+            f"{total_ns:.0f}",
+            factor(ref_ns, total_ns),
+            f"{model_ns:.0f}",
+            percentage(model_ns, total_ns),
+            f"{modeled_ns:.0f}",
+        )
+    show_table(table)
+
+    # Shape assertions.  The paper's absolute string numbers (model
+    # ~500ns inside a ~1300ns lookup) need compiled inference; in the
+    # interpreter the numpy per-op overhead inflates model cost, so the
+    # measured column shows the *qualitative* shape (model dominates,
+    # sizes shrink, QS helps) and the cost-model column carries the
+    # paper-scale comparison.
+    one_size, one_ns, one_model_ns, one_modeled = rows["learned 1 hidden layer"]
+    qs_size, qs_ns, _, _ = rows["Learned QS (quaternary)"]
+    hybrid_size, hybrid_ns, _, _ = rows["hybrid t=64, 1 hidden layer"]
+    # model execution is a big share of string lookups (paper: 31-52%)
+    assert one_model_ns / one_ns > 0.2
+    # learned index is drastically smaller than a fine-grained B-Tree
+    assert one_size < rows["btree page=32"][0]
+    # quaternary search does not lose to biased binary with same model
+    assert qs_ns <= one_ns * 1.15
+    # paper-scale: the learned index is in the same band as the B-Tree
+    # (Figure 6 speedups 0.78x-1.12x), not the integer-style 2-3x win
+    assert 0.4 * ref_modeled < one_modeled < 1.6 * ref_modeled
+    # correctness spot-check across variants
+    for index in (one_layer, learned_qs):
+        for probe in queries[:100]:
+            assert index.lookup(probe) == bisect.bisect_left(keys, probe)
+    console(
+        f"[fig6 shape] model share={one_model_ns / one_ns:.0%}, "
+        f"QS vs biased-binary {one_ns / qs_ns:.2f}x, hybrid(t=64) "
+        f"{hybrid_ns:.0f}ns @ {format_bytes(hybrid_size)}, "
+        f"paper-scale learned/btree = {one_modeled / ref_modeled:.2f}x"
+    )
+
+    state = {"i": 0}
+
+    def one_lookup():
+        q = queries[state["i"] % len(queries)]
+        state["i"] += 1
+        return learned_qs.lookup(q)
+
+    benchmark(one_lookup)

@@ -1,0 +1,81 @@
+"""E11 — Section 3.6: training (build) cost of learned indexes.
+
+Paper: "for 200M records training a simple RMI index does not take
+much longer than a few seconds" because linear leaves have closed-form
+fits and the top model converges on a sample.
+
+This benchmark measures build time per key for the RMI (linear root and
+NN root), the hybrid index, and the B-Tree baseline, plus the effect of
+the Section 3.6 sampling trick on root training.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench import Table
+from repro.btree import BTreeIndex
+from repro.core import HybridIndex, RecursiveModelIndex
+from repro.models import LinearModel, NeuralRegressionModel
+
+from conftest import console, show_table
+
+
+def _timed(builder):
+    start = time.perf_counter()
+    built = builder()
+    return built, time.perf_counter() - start
+
+
+def test_training_time(fig4_datasets, benchmark):
+    keys = fig4_datasets["lognormal"]
+    leaves = max(keys.size // 2_000, 8)
+    table = Table(
+        f"Section 3.6: build cost (lognormal, n={keys.size:,})",
+        ["structure", "build seconds", "ns per key"],
+    )
+    rows = {}
+    builders = [
+        ("btree page=128", lambda: BTreeIndex(keys, page_size=128)),
+        (
+            "RMI linear root",
+            lambda: RecursiveModelIndex(keys, stage_sizes=(1, leaves)),
+        ),
+        (
+            "RMI NN root (sampled training)",
+            lambda: RecursiveModelIndex(
+                keys,
+                stage_sizes=(1, leaves),
+                model_factories=[
+                    lambda: NeuralRegressionModel(
+                        hidden=(16,), epochs=5, max_train_samples=20_000
+                    ),
+                    LinearModel,
+                ],
+            ),
+        ),
+        (
+            "hybrid threshold=128",
+            lambda: HybridIndex(keys, stage_sizes=(1, leaves), threshold=128),
+        ),
+    ]
+    for name, builder in builders:
+        _built, seconds = _timed(builder)
+        rows[name] = seconds
+        table.add_row(
+            name, f"{seconds:.2f}", f"{seconds / keys.size * 1e9:.0f}"
+        )
+    show_table(table)
+
+    # Shape: RMI builds are "not much longer than a few seconds" even in
+    # Python at bench scale, and closed-form training is the fast path.
+    assert rows["RMI linear root"] < 30.0
+    assert rows["RMI linear root"] < rows["RMI NN root (sampled training)"]
+    console(
+        f"[training shape] linear-root RMI builds at "
+        f"{rows['RMI linear root'] / keys.size * 1e9:.0f}ns/key"
+    )
+
+    benchmark(lambda: RecursiveModelIndex(keys[:20_000], stage_sizes=(1, 16)))

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel``
+package, so PEP 660 editable installs (which build an editable wheel)
+cannot run.  This shim lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` fall back to the classic ``setup.py develop`` path,
+which only needs setuptools.
+"""
+
+from setuptools import setup
+
+setup()

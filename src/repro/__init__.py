@@ -1,0 +1,90 @@
+"""repro — a from-scratch reproduction of *The Case for Learned Index
+Structures* (Kraska, Beutel, Chi, Dean, Polyzotis; SIGMOD 2018).
+
+The package implements the paper's three learned index families and
+every substrate its evaluation depends on:
+
+* **Range indexes** — :class:`RecursiveModelIndex` (the RMI),
+  :class:`HybridIndex` (Algorithm 1 with B-Tree fallback),
+  :class:`StringRMI`, and the LIF synthesis loop (:func:`synthesize`);
+  baselines: :class:`BTreeIndex`, :class:`FASTTree`,
+  :class:`FixedSizeBTree`, :class:`HierarchicalLookupTable`.
+* **Point indexes** — :class:`LearnedHashFunction` (CDF-scaled hashing)
+  pluggable into :class:`ChainingHashMap`,
+  :class:`BucketizedCuckooHashMap`, :class:`GenericCuckooHashMap`, and
+  :class:`InPlaceChainedHashMap`.
+* **Existence indexes** — :class:`LearnedBloomFilter` (classifier +
+  overflow filter) and :class:`ModelHashBloomFilter` (Appendix E) over
+  :class:`BloomFilter`, with the paper's character-level
+  :class:`GRUClassifier`.
+
+Quickstart::
+
+    import numpy as np
+    from repro import RecursiveModelIndex
+
+    keys = np.sort(np.random.default_rng(0).integers(0, 10**9, 10**6))
+    index = RecursiveModelIndex(keys, stage_sizes=(1, 10_000))
+    position = index.lookup(keys[1234])        # lower-bound semantics
+    hits = index.range_query(10**8, 2 * 10**8)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured results of every reproduced table and figure.
+"""
+
+from .bloom import BloomFilter
+from .btree import (
+    BTreeIndex,
+    FASTTree,
+    FixedSizeBTree,
+    GenericBTreeIndex,
+    HierarchicalLookupTable,
+)
+from .core import (
+    HybridIndex,
+    LearnedBloomFilter,
+    LearnedHashFunction,
+    ModelHashBloomFilter,
+    RecursiveModelIndex,
+    RMIConfig,
+    StringRMI,
+    conflict_stats,
+    synthesize,
+)
+from .hashmap import (
+    BucketizedCuckooHashMap,
+    ChainingHashMap,
+    GenericCuckooHashMap,
+    InPlaceChainedHashMap,
+    RandomHashFunction,
+)
+from .models import MLP, GRUClassifier, LinearModel, MultivariateLinearModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BTreeIndex",
+    "BloomFilter",
+    "BucketizedCuckooHashMap",
+    "ChainingHashMap",
+    "FASTTree",
+    "FixedSizeBTree",
+    "GRUClassifier",
+    "GenericBTreeIndex",
+    "GenericCuckooHashMap",
+    "HierarchicalLookupTable",
+    "HybridIndex",
+    "InPlaceChainedHashMap",
+    "LearnedBloomFilter",
+    "LearnedHashFunction",
+    "LinearModel",
+    "MLP",
+    "ModelHashBloomFilter",
+    "MultivariateLinearModel",
+    "RMIConfig",
+    "RandomHashFunction",
+    "RecursiveModelIndex",
+    "StringRMI",
+    "conflict_stats",
+    "synthesize",
+]

@@ -1,0 +1,18 @@
+"""Measurement substrate: cost model, timing harness, table rendering."""
+
+from .cost import DEFAULT_COST_MODEL, CostEstimate, CostModel
+from .tables import Table, factor, format_bytes, percentage
+from .timing import LatencyResult, measure_callable, measure_lookups
+
+__all__ = [
+    "DEFAULT_COST_MODEL",
+    "CostEstimate",
+    "CostModel",
+    "LatencyResult",
+    "Table",
+    "factor",
+    "format_bytes",
+    "measure_callable",
+    "measure_lookups",
+    "percentage",
+]

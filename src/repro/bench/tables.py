@@ -1,0 +1,75 @@
+"""Paper-style table rendering for benchmark output.
+
+Every benchmark prints rows in the layout of the figure it reproduces
+(size with factor-vs-reference, lookup ns with speedup, model ns with
+share of total), so the console output can be read directly against
+the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_bytes", "factor", "percentage"]
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable size, MB-first like the paper's tables."""
+    mb = num_bytes / (1024.0 * 1024.0)
+    if mb >= 0.01:
+        return f"{mb:.2f} MB"
+    kb = num_bytes / 1024.0
+    if kb >= 0.1:
+        return f"{kb:.1f} KB"
+    return f"{num_bytes:.0f} B"
+
+
+def factor(value: float, reference: float) -> str:
+    """"(4.00x)"-style factor against a reference row."""
+    if reference == 0:
+        return "(n/a)"
+    return f"({value / reference:.2f}x)"
+
+
+def percentage(part: float, whole: float) -> str:
+    if whole == 0:
+        return "(n/a)"
+    return f"({part / whole * 100.0:.1f}%)"
+
+
+@dataclass
+class Table:
+    """Fixed-width console table with a title and column alignment."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(
+            c.ljust(widths[i]) for i, c in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+        print()

@@ -1,0 +1,96 @@
+"""Wall-clock measurement harness for per-lookup latency.
+
+Python cannot reproduce the paper's absolute nanoseconds, but the
+*ratios* between structures are governed by the same operation counts,
+so every benchmark reports measured ns/lookup from this harness next to
+the Section 2.1 cost model's figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["LatencyResult", "measure_lookups", "measure_callable"]
+
+
+@dataclass(frozen=True)
+class LatencyResult:
+    """Per-operation latency summary in nanoseconds."""
+
+    mean_ns: float
+    p50_ns: float
+    p99_ns: float
+    operations: int
+    repeats: int
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyResult(mean={self.mean_ns:.0f}ns, "
+            f"p50={self.p50_ns:.0f}ns, p99={self.p99_ns:.0f}ns, "
+            f"n={self.operations}x{self.repeats})"
+        )
+
+
+def measure_callable(
+    fn: Callable[[], None],
+    *,
+    repeats: int = 5,
+    inner: int = 1,
+) -> float:
+    """Best-of-``repeats`` wall-clock ns for ``fn`` (amortized by inner)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        elapsed = (time.perf_counter() - start) / inner
+        best = min(best, elapsed)
+    return best * 1e9
+
+
+def measure_lookups(
+    lookup: Callable,
+    queries: Sequence,
+    *,
+    repeats: int = 3,
+    warmup: int = 64,
+    chunk: int = 256,
+) -> LatencyResult:
+    """Measure ``lookup(q)`` latency over ``queries``.
+
+    The queries are timed in chunks to keep the timer overhead per
+    operation negligible; p50/p99 are over the chunk means, which is
+    the right granularity for comparing index structures (per-call
+    timing in Python is dominated by timer noise).
+    """
+    queries = list(queries)
+    if not queries:
+        raise ValueError("need at least one query")
+    for q in queries[:warmup]:
+        lookup(q)
+    chunk_means: list[float] = []
+    best_total = float("inf")
+    for _ in range(repeats):
+        start_all = time.perf_counter()
+        for start in range(0, len(queries), chunk):
+            piece = queries[start:start + chunk]
+            t0 = time.perf_counter()
+            for q in piece:
+                lookup(q)
+            t1 = time.perf_counter()
+            chunk_means.append((t1 - t0) / len(piece) * 1e9)
+        best_total = min(
+            best_total, (time.perf_counter() - start_all) / len(queries) * 1e9
+        )
+    means = np.asarray(chunk_means)
+    return LatencyResult(
+        mean_ns=float(best_total),
+        p50_ns=float(np.percentile(means, 50)),
+        p99_ns=float(np.percentile(means, 99)),
+        operations=len(queries),
+        repeats=repeats,
+    )

@@ -1,0 +1,5 @@
+"""Existence-index substrate: the standard Bloom filter baseline."""
+
+from .standard import BloomFilter, optimal_bits, optimal_hash_count
+
+__all__ = ["BloomFilter", "optimal_bits", "optimal_hash_count"]

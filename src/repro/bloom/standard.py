@@ -1,0 +1,127 @@
+"""Standard Bloom filter (Section 5 baseline).
+
+"Internally, Bloom filters use a bit array of size m and k hash
+functions, which each map a key to one of the m array positions."
+
+Implements the classic filter with double hashing (h1 + i*h2, the
+Kirsch-Mitzenmacher construction, which preserves the asymptotic FPR of
+k independent hashes), optimal parameter selection from (n, target
+FPR), and measured-FPR evaluation — Figure 10's baseline curve comes
+from :meth:`BloomFilter.size_bytes` at each target FPR.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..hashmap.hashing import murmur3_string, murmur_fmix64
+
+__all__ = ["BloomFilter", "optimal_bits", "optimal_hash_count"]
+
+
+def optimal_bits(n: int, fpr: float) -> int:
+    """m = -n ln(p) / (ln 2)^2, the classic optimum."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not 0.0 < fpr < 1.0:
+        raise ValueError("fpr must be in (0, 1)")
+    if n == 0:
+        return 8
+    return max(8, int(math.ceil(-n * math.log(fpr) / (math.log(2) ** 2))))
+
+
+def optimal_hash_count(m: int, n: int) -> int:
+    """k = (m/n) ln 2, at least 1."""
+    if n <= 0:
+        return 1
+    return max(1, int(round(m / n * math.log(2))))
+
+
+class BloomFilter:
+    """Bit-array Bloom filter over string or integer keys."""
+
+    def __init__(self, num_bits: int, num_hashes: int):
+        if num_bits < 1:
+            raise ValueError("num_bits must be >= 1")
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be >= 1")
+        self.num_bits = int(num_bits)
+        self.num_hashes = int(num_hashes)
+        self._bits = np.zeros((self.num_bits + 7) // 8, dtype=np.uint8)
+        self.count = 0
+
+    @classmethod
+    def for_capacity(cls, n: int, fpr: float) -> "BloomFilter":
+        """Optimally sized filter for ``n`` keys at the target FPR."""
+        m = optimal_bits(n, fpr)
+        k = optimal_hash_count(m, max(n, 1))
+        return cls(m, k)
+
+    # -- hashing --------------------------------------------------------------
+
+    def _hash_pair(self, key) -> tuple[int, int]:
+        if isinstance(key, str):
+            h1 = murmur3_string(key, seed=0x9747B28C)
+            h2 = murmur3_string(key, seed=0x1B873593)
+        else:
+            h = murmur_fmix64(int(key), seed=1)
+            h1, h2 = h & 0xFFFFFFFF, (h >> 32) & 0xFFFFFFFF
+        # Double hashing degenerates if h2 == 0 mod m.
+        if h2 % self.num_bits == 0:
+            h2 += 1
+        return h1, h2
+
+    def _positions(self, key) -> list[int]:
+        h1, h2 = self._hash_pair(key)
+        m = self.num_bits
+        return [(h1 + i * h2) % m for i in range(self.num_hashes)]
+
+    # -- operations ------------------------------------------------------------
+
+    def add(self, key) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self.count += 1
+
+    def add_batch(self, keys) -> None:
+        for key in keys:
+            self.add(key)
+
+    def __contains__(self, key) -> bool:
+        bits = self._bits
+        for pos in self._positions(key):
+            if not (bits[pos >> 3] >> (pos & 7)) & 1:
+                return False
+        return True
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def measured_fpr(self, non_keys) -> float:
+        """Empirical FPR over a held-out non-key sample."""
+        if not len(non_keys):
+            return 0.0
+        hits = sum(1 for key in non_keys if key in self)
+        return hits / len(non_keys)
+
+    def expected_fpr(self) -> float:
+        """(1 - e^{-kn/m})^k with the current occupancy."""
+        if self.count == 0:
+            return 0.0
+        k, n, m = self.num_hashes, self.count, self.num_bits
+        return (1.0 - math.exp(-k * n / m)) ** k
+
+    def fill_ratio(self) -> float:
+        """Fraction of set bits (diagnostics)."""
+        set_bits = int(np.unpackbits(self._bits).sum())
+        return set_bits / (len(self._bits) * 8)
+
+    def size_bytes(self) -> int:
+        return len(self._bits)
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(bits={self.num_bits}, k={self.num_hashes}, "
+            f"n={self.count}, size={self.size_bytes()}B)"
+        )

@@ -1,0 +1,65 @@
+"""The paper's contribution: learned range, point and existence indexes."""
+
+from .config import ROOT_MODEL_KINDS, RMIConfig, root_factory
+from .hybrid import HybridIndex
+from .learned_bloom import (
+    LearnedBloomFilter,
+    ModelHashBloomFilter,
+    ThresholdTuning,
+)
+from .learned_hash import (
+    ConflictStats,
+    LearnedHashFunction,
+    conflict_stats,
+    make_linear_cdf_hash,
+)
+from .learned_sort import (
+    LearnedSortStats,
+    learned_sort,
+    train_cdf_model_on_sample,
+)
+from .lif import CandidateResult, default_grid, evaluate_config, synthesize
+from .paged import PagedLearnedIndex, PageStore
+from .rmi import DEFAULT_LEAF_ERROR, RecursiveModelIndex, RMIStats
+from .writable import WritableLearnedIndex
+from .search import (
+    SEARCH_STRATEGIES,
+    biased_binary_search,
+    biased_quaternary_search,
+    bounded_search,
+    verify_lower_bound,
+)
+from .string_index import StringRMI
+
+__all__ = [
+    "DEFAULT_LEAF_ERROR",
+    "ROOT_MODEL_KINDS",
+    "SEARCH_STRATEGIES",
+    "CandidateResult",
+    "ConflictStats",
+    "HybridIndex",
+    "LearnedBloomFilter",
+    "LearnedHashFunction",
+    "ModelHashBloomFilter",
+    "RMIConfig",
+    "RMIStats",
+    "LearnedSortStats",
+    "PageStore",
+    "PagedLearnedIndex",
+    "RecursiveModelIndex",
+    "StringRMI",
+    "ThresholdTuning",
+    "WritableLearnedIndex",
+    "learned_sort",
+    "train_cdf_model_on_sample",
+    "biased_binary_search",
+    "biased_quaternary_search",
+    "bounded_search",
+    "conflict_stats",
+    "default_grid",
+    "evaluate_config",
+    "make_linear_cdf_hash",
+    "root_factory",
+    "synthesize",
+    "verify_lower_bound",
+]

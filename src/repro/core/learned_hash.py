@@ -1,0 +1,170 @@
+"""Learned hash functions — the Hash-Model Index (Section 4.1).
+
+"we can scale the CDF by the targeted size M of the Hash-map and use
+h(K) = F(K) * M, with key K as our hash-function.  If the model F
+perfectly learned the empirical CDF of the keys, no conflicts would
+exist.  Furthermore, the hash-function is orthogonal to the actual
+Hash-map architecture."
+
+:class:`LearnedHashFunction` wraps any CDF model — by default the same
+2-stage RMI used for range indexes (Section 4.2 uses "the 2-stage RMI
+models ... with 100k models on the 2nd stage and without any hidden
+layers") — and exposes the plain ``hash(key) -> slot`` interface every
+hash map in :mod:`repro.hashmap` accepts, making the orthogonality
+claim directly testable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..models.base import Model
+from ..models.linear import LinearModel
+from .rmi import RecursiveModelIndex
+
+__all__ = [
+    "LearnedHashFunction",
+    "conflict_stats",
+    "ConflictStats",
+    "make_linear_cdf_hash",
+]
+
+
+class LearnedHashFunction:
+    """CDF-scaled hash: ``slot = clamp(F(key) * num_slots)``."""
+
+    def __init__(
+        self,
+        train_keys: np.ndarray,
+        num_slots: int,
+        *,
+        stage_sizes: Sequence[int] = (1, 1000),
+        model_factories: Sequence[Callable[[], Model]] | None = None,
+    ):
+        if num_slots < 1:
+            raise ValueError("num_slots must be >= 1")
+        keys = np.sort(np.asarray(train_keys))
+        self.num_slots = int(num_slots)
+        self._n = int(keys.size)
+        # The RMI already predicts positions in [0, n); rescaling by
+        # M/n turns position predictions into slot predictions.
+        self._rmi = RecursiveModelIndex(
+            keys,
+            stage_sizes=stage_sizes,
+            model_factories=model_factories,
+        )
+        self._scale = self.num_slots / max(self._n, 1)
+
+    def __call__(self, key: float) -> int:
+        leaf, raw = self._rmi._leaf_for(key)
+        slot = int(raw * self._scale)
+        if slot < 0:
+            return 0
+        if slot >= self.num_slots:
+            return self.num_slots - 1
+        return slot
+
+    def hash_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized slot computation (used by conflict accounting)."""
+        keys = np.asarray(keys, dtype=np.float64)
+        rmi = self._rmi
+        n = self._n
+        if rmi._fast and n:
+            # Linear leaves: route and predict fully vectorized.
+            m = rmi.stage_sizes[1]
+            root_pred = np.asarray(
+                rmi._stages[0][0].predict_batch(keys), dtype=np.float64
+            )
+            j = np.clip((root_pred * m / n).astype(np.int64), 0, m - 1)
+            slopes = np.asarray(rmi._leaf_slopes)
+            intercepts = np.asarray(rmi._leaf_intercepts)
+            raw = slopes[j] * keys + intercepts[j]
+            slots = (raw * self._scale).astype(np.int64)
+            return np.clip(slots, 0, self.num_slots - 1)
+        out = np.empty(keys.size, dtype=np.int64)
+        for i, key in enumerate(keys):
+            out[i] = self(float(key))
+        return out
+
+    def size_bytes(self) -> int:
+        return self._rmi.size_bytes()
+
+    def model_op_count(self) -> int:
+        return self._rmi.model_op_count() + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"LearnedHashFunction(slots={self.num_slots}, "
+            f"stages={self._rmi.stage_sizes})"
+        )
+
+
+class ConflictStats:
+    """Slot-occupancy summary for a hash function over a key set."""
+
+    def __init__(self, slot_counts: np.ndarray, num_keys: int, num_slots: int):
+        occupied = int((slot_counts > 0).sum())
+        self.num_keys = int(num_keys)
+        self.num_slots = int(num_slots)
+        self.occupied_slots = occupied
+        self.empty_slots = num_slots - occupied
+        # A key "conflicts" if it lands in a slot some earlier key took:
+        # total keys minus one per occupied slot.
+        self.conflicting_keys = int(num_keys - occupied)
+        self.max_chain = int(slot_counts.max()) if slot_counts.size else 0
+
+    @property
+    def conflict_rate(self) -> float:
+        """Fraction of keys that collided — Figure 8's "% Conflicts"."""
+        if self.num_keys == 0:
+            return 0.0
+        return self.conflicting_keys / self.num_keys
+
+    @property
+    def empty_fraction(self) -> float:
+        if self.num_slots == 0:
+            return 0.0
+        return self.empty_slots / self.num_slots
+
+    def __repr__(self) -> str:
+        return (
+            f"ConflictStats(keys={self.num_keys}, slots={self.num_slots}, "
+            f"conflicts={self.conflict_rate:.1%}, empty={self.empty_fraction:.1%})"
+        )
+
+
+def conflict_stats(
+    hash_fn: Callable[[float], int],
+    keys: np.ndarray,
+    num_slots: int,
+) -> ConflictStats:
+    """Evaluate a hash function's conflicts over ``keys`` (Figure 8).
+
+    Accepts any callable, so learned and traditional hash functions are
+    measured identically.
+    """
+    keys = np.asarray(keys)
+    if hasattr(hash_fn, "hash_batch"):
+        slots = hash_fn.hash_batch(keys)
+    else:
+        slots = np.fromiter(
+            (hash_fn(float(k)) for k in keys), dtype=np.int64, count=keys.size
+        )
+    if slots.size and (slots.min() < 0 or slots.max() >= num_slots):
+        raise ValueError("hash function produced out-of-range slots")
+    counts = np.bincount(slots, minlength=num_slots)
+    return ConflictStats(counts, keys.size, num_slots)
+
+
+def make_linear_cdf_hash(
+    train_keys: np.ndarray, num_slots: int
+) -> LearnedHashFunction:
+    """Single-linear-model CDF hash (the Section 4.1 minimal variant)."""
+    return LearnedHashFunction(
+        train_keys,
+        num_slots,
+        stage_sizes=(1, 1),
+        model_factories=[LinearModel, LinearModel],
+    )

@@ -1,0 +1,111 @@
+"""Learned sorting — the Section 7 "Beyond Indexing" sketch.
+
+"the basic idea to speed-up sorting is to use an existing CDF model F
+to put the records roughly in sorted order and then correct the nearly
+perfectly sorted data, for example, with insertion sort."
+
+:func:`learned_sort` implements that two-phase algorithm:
+
+1. **model partition** — each element is placed into the output slot
+   ``floor(F(x) * n)`` (counting-sort style, with per-slot overflow
+   chains for collisions), which leaves the array *nearly* sorted when
+   the model is good;
+2. **correction** — a single adjacent-pass insertion sort fixes the
+   local inversions; its cost is O(n + total displacement), so the
+   better the CDF model, the closer the whole sort is to O(n).
+
+The CDF model can be anything exposing ``predict_batch`` over keys and
+trained on a *sample* of the data (a model trained on the full input
+would be circular — it would already know the answer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.linear import LinearModel, SplineSegmentModel
+
+__all__ = ["learned_sort", "LearnedSortStats", "train_cdf_model_on_sample"]
+
+
+@dataclass(frozen=True)
+class LearnedSortStats:
+    """Diagnostics of one learned-sort run."""
+
+    n: int
+    inversions_after_partition: int
+    insertion_shifts: int
+
+    @property
+    def displacement_per_key(self) -> float:
+        return self.insertion_shifts / self.n if self.n else 0.0
+
+
+def train_cdf_model_on_sample(
+    values: np.ndarray, sample_size: int = 1_024, seed: int = 0, knots: int = 64
+):
+    """Fit a monotone spline CDF model on a uniform random sample."""
+    values = np.asarray(values, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    if values.size == 0:
+        return LinearModel()
+    size = min(sample_size, values.size)
+    sample = np.sort(rng.choice(values, size=size, replace=False))
+    positions = np.linspace(0.0, 1.0, size)
+    if np.unique(sample).size < 2:
+        return LinearModel().fit(sample, positions)
+    model = SplineSegmentModel(knots=min(knots, size))
+    return model.fit(sample, positions)
+
+
+def learned_sort(
+    values: np.ndarray,
+    model=None,
+    *,
+    return_stats: bool = False,
+):
+    """Sort ``values`` using a learned CDF partition + insertion repair.
+
+    Parameters
+    ----------
+    values:
+        Unsorted numeric array (not modified).
+    model:
+        A CDF model mapping values to [0, 1] via ``predict_batch``;
+        trained on a sample by default.
+    return_stats:
+        Also return :class:`LearnedSortStats`.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.size
+    if n <= 1:
+        out = values.copy()
+        return (out, LearnedSortStats(n, 0, 0)) if return_stats else out
+    if model is None:
+        model = train_cdf_model_on_sample(values)
+
+    # Phase 1: model partition (counting-sort into predicted slots).
+    predictions = np.asarray(model.predict_batch(values), dtype=np.float64)
+    slots = np.clip((predictions * n).astype(np.int64), 0, n - 1)
+    order = np.argsort(slots, kind="stable")
+    nearly_sorted = values[order]
+
+    inversions = int(np.sum(nearly_sorted[1:] < nearly_sorted[:-1]))
+
+    # Phase 2: insertion-sort repair (cheap when nearly sorted).
+    out = nearly_sorted.copy()
+    shifts = 0
+    for i in range(1, n):
+        current = out[i]
+        j = i - 1
+        while j >= 0 and out[j] > current:
+            out[j + 1] = out[j]
+            j -= 1
+            shifts += 1
+        out[j + 1] = current
+
+    if return_stats:
+        return out, LearnedSortStats(n, inversions, shifts)
+    return out

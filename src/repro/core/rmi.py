@@ -1,0 +1,484 @@
+"""The Recursive Model Index (Section 3.2) — the paper's core system.
+
+An RMI is a hierarchy of models: "at each stage the model takes the key
+as an input and based on it picks another model, until the final stage
+predicts the position".  Stage ℓ holds M_ℓ models; model selection is
+``floor(M_ℓ * f_{ℓ-1}(x) / N)`` and each stage is trained on exactly
+the keys the trained stages above route to it (stage-wise training,
+Algorithm 1 lines 4-10).
+
+Key properties reproduced here:
+
+* **not a tree** — "it is possible that different models of one stage
+  pick the same models at the stage below", and leaf models cover
+  varying numbers of keys;
+* **error bounds** — "we store the standard and min- and max-error for
+  every model on the last stage", so each lookup searches only
+  ``[pred - max_err, pred - min_err]`` (Section 3.4);
+* **guaranteed correctness** — for stored keys the bounds are exact by
+  construction; for absent keys under a non-monotonic model the bounded
+  window can miss, in which case we "automatically adjust the search
+  area" (Section 3.4) with an exponential-search fix-up — counted in
+  :attr:`RecursiveModelIndex.stats` so benchmarks can report how rare
+  it is;
+* **scalar fast path** — leaf models are plain-float linear models by
+  default; a lookup is a handful of Python float operations plus a
+  bounded search, mirroring LIF's code-generated inference.
+
+The public API is ``lookup`` / ``upper_bound`` / ``range_query`` /
+``contains`` with lower-bound semantics identical to every baseline in
+:mod:`repro.btree`, plus ``predict`` exposing (estimate, window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..btree.search_baselines import exponential_search
+from ..models.base import ConstantModel, Model
+from ..models.cdf import ErrorStats, error_stats, positions_for_keys
+from ..models.linear import LinearModel
+from ..util import scalar_view
+from .search import Counter, bounded_search, verify_lower_bound
+
+__all__ = ["RecursiveModelIndex", "RMIStats", "DEFAULT_LEAF_ERROR"]
+
+#: Error assigned to untrained (empty) leaves: one page worth of slack.
+DEFAULT_LEAF_ERROR = 128
+
+
+@dataclass
+class RMIStats:
+    """Lookup instrumentation for benchmarks and the cost model."""
+
+    lookups: int = 0
+    comparisons: int = 0
+    fixups: int = 0
+    window_total: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self.lookups = 0
+        self.comparisons = 0
+        self.fixups = 0
+        self.window_total = 0
+        self.extra.clear()
+
+    @property
+    def mean_window(self) -> float:
+        return self.window_total / self.lookups if self.lookups else 0.0
+
+
+class RecursiveModelIndex:
+    """A staged learned range index over a sorted key array.
+
+    Parameters
+    ----------
+    keys:
+        Sorted numpy array of keys (the data; not copied).
+    stage_sizes:
+        Models per stage, e.g. ``(1, 10_000)`` for the paper's standard
+        two-stage RMI.  The first entry must be 1 (a single root).
+    model_factories:
+        One zero-argument :class:`repro.models.base.Model` factory per
+        stage.  Defaults to linear regression everywhere — the paper's
+        best second-stage choice and a solid root for smooth data; pass
+        e.g. ``NeuralRegressionModel`` factories for the root to
+        reproduce the grid-searched configurations.
+    search_strategy:
+        One of :data:`repro.core.search.SEARCH_STRATEGIES`.
+    min_leaf_error:
+        Lower clamp on the stored per-leaf error window; widening it
+        trades comparisons for robustness on absent keys.
+    """
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        stage_sizes: Sequence[int] = (1, 100),
+        model_factories: Sequence[Callable[[], Model]] | None = None,
+        search_strategy: str = "binary",
+        min_leaf_error: int = 0,
+    ):
+        keys = np.asarray(keys)
+        if keys.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        if keys.size and np.any(np.diff(keys) < 0):
+            raise ValueError("keys must be sorted ascending")
+        stage_sizes = tuple(int(m) for m in stage_sizes)
+        if len(stage_sizes) < 1 or stage_sizes[0] != 1:
+            raise ValueError("stage_sizes must start with a single root model")
+        if any(m < 1 for m in stage_sizes):
+            raise ValueError("every stage needs at least one model")
+        if model_factories is None:
+            model_factories = [LinearModel for _ in stage_sizes]
+        if len(model_factories) != len(stage_sizes):
+            raise ValueError("need one model factory per stage")
+        self.keys = keys
+        self._keys_view = scalar_view(keys)
+        self.stage_sizes = stage_sizes
+        self.search_strategy = str(search_strategy)
+        self.min_leaf_error = int(min_leaf_error)
+        self.stats = RMIStats()
+        self._model_factories = list(model_factories)
+        self._build()
+
+    # -- training (Algorithm 1, lines 1-10) ----------------------------------
+
+    def _build(self) -> None:
+        n = self.keys.size
+        keys_f = self.keys.astype(np.float64)
+        positions = positions_for_keys(n)
+        stages: list[list[Model]] = []
+        # Which leaf-stage model each stored key routes to; needed for
+        # both training subsets and error bookkeeping.
+        assignment = np.zeros(n, dtype=np.int64)
+        predictions = np.zeros(n, dtype=np.float64)
+
+        for level, m_l in enumerate(self.stage_sizes):
+            factory = self._model_factories[level]
+            models: list[Model] = []
+            if level == 0:
+                root = factory().fit(keys_f, positions)
+                models.append(root)
+                predictions = np.asarray(
+                    root.predict_batch(keys_f), dtype=np.float64
+                )
+                assignment[:] = 0
+            else:
+                # Route every key by the stage above:
+                # j = floor(M_l * f_prev(x) / N), clamped.
+                if n:
+                    raw = np.floor(predictions * m_l / max(n, 1))
+                    assignment = np.clip(raw, 0, m_l - 1).astype(np.int64)
+                order = np.argsort(assignment, kind="stable")
+                sorted_assign = assignment[order]
+                boundaries = np.searchsorted(
+                    sorted_assign, np.arange(m_l + 1), side="left"
+                )
+                new_predictions = np.zeros(n, dtype=np.float64)
+                for j in range(m_l):
+                    members = order[boundaries[j]:boundaries[j + 1]]
+                    if members.size:
+                        model = factory().fit(
+                            keys_f[members], positions[members]
+                        )
+                    else:
+                        model = self._empty_leaf_model(j, m_l, n)
+                    models.append(model)
+                    if members.size:
+                        new_predictions[members] = np.asarray(
+                            model.predict_batch(keys_f[members]),
+                            dtype=np.float64,
+                        )
+                predictions = new_predictions
+            stages.append(models)
+
+        self._stages = stages
+        self._leaf_assignment = assignment
+        self._compute_leaf_errors(predictions, positions)
+        self._compile()
+
+    def _empty_leaf_model(self, j: int, m_l: int, n: int) -> Model:
+        """Model for a leaf that received no keys.
+
+        Routing must stay total for absent keys, so empty leaves predict
+        the position their slot would cover if the data were spread
+        evenly — the neighbourhood interpolation keeps mispredictions
+        within one slot of the truth.
+        """
+        if n == 0:
+            return ConstantModel(0.0)
+        return ConstantModel((j + 0.5) * n / m_l)
+
+    def _compute_leaf_errors(
+        self, predictions: np.ndarray, positions: np.ndarray
+    ) -> None:
+        """Per-leaf signed min/max error over assigned keys (Section 3.4)."""
+        leaves = self.stage_sizes[-1]
+        self.leaf_errors: list[ErrorStats] = []
+        n = self.keys.size
+        default = ErrorStats(
+            -min(DEFAULT_LEAF_ERROR, max(n, 1)),
+            min(DEFAULT_LEAF_ERROR, max(n, 1)),
+            0.0,
+            0.0,
+            0,
+        )
+        if n == 0:
+            self.leaf_errors = [default] * leaves
+            return
+        order = np.argsort(self._leaf_assignment, kind="stable")
+        sorted_assign = self._leaf_assignment[order]
+        boundaries = np.searchsorted(
+            sorted_assign, np.arange(leaves + 1), side="left"
+        )
+        for j in range(leaves):
+            members = order[boundaries[j]:boundaries[j + 1]]
+            if members.size == 0:
+                self.leaf_errors.append(default)
+                continue
+            stats = error_stats(predictions[members], positions[members])
+            if self.min_leaf_error:
+                stats = ErrorStats(
+                    min(stats.min_error, -self.min_leaf_error),
+                    max(stats.max_error, self.min_leaf_error),
+                    stats.mean_absolute,
+                    stats.std,
+                    stats.count,
+                )
+            self.leaf_errors.append(stats)
+
+    def _compile(self) -> None:
+        """Extract linear-leaf parameters into flat Python lists.
+
+        The LIF analogue (Section 3.1): "given a trained Tensorflow
+        model, LIF automatically extracts all weights from the model and
+        generates efficient index structures".  With two stages and
+        linear leaves the entire lookup becomes a handful of float
+        operations over these lists, with no per-model dispatch.
+        """
+        self._fast = False
+        if len(self.stage_sizes) != 2:
+            return
+        slopes: list[float] = []
+        intercepts: list[float] = []
+        lo_offsets: list[float] = []
+        hi_offsets: list[float] = []
+        for model, err in zip(self._stages[1], self.leaf_errors):
+            if isinstance(model, LinearModel):
+                slopes.append(model.slope)
+                intercepts.append(model.intercept)
+            elif isinstance(model, ConstantModel):
+                slopes.append(0.0)
+                intercepts.append(model.value)
+            else:
+                return
+            lo_offsets.append(float(err.max_error))
+            hi_offsets.append(float(err.min_error))
+        self._leaf_slopes = slopes
+        self._leaf_intercepts = intercepts
+        self._leaf_lo_offsets = lo_offsets
+        self._leaf_hi_offsets = hi_offsets
+        self._root_predict = self._stages[0][0].predict
+        self._fast = True
+
+    # -- inference -------------------------------------------------------------
+
+    def _leaf_for(self, key: float) -> tuple[int, float]:
+        """Run all stages; return (leaf index, leaf prediction)."""
+        n = self.keys.size
+        prediction = self._stages[0][0].predict(key)
+        leaf = 0
+        for level in range(1, len(self.stage_sizes)):
+            m_l = self.stage_sizes[level]
+            j = int(prediction * m_l / n) if n else 0
+            if j < 0:
+                j = 0
+            elif j >= m_l:
+                j = m_l - 1
+            prediction = self._stages[level][j].predict(key)
+            leaf = j
+        return leaf, prediction
+
+    def predict(self, key: float) -> tuple[int, int, int]:
+        """(position estimate, window lo, window hi) for ``key``.
+
+        The true lower bound of a *stored* key always lies inside
+        ``[lo, hi)``; hi is exclusive.
+        """
+        _leaf, est, lo, hi = self._predict_window(key)
+        return est, lo, hi
+
+    def _predict_window(self, key: float) -> tuple[int, int, int, int]:
+        """(leaf, estimate, window lo, window hi) — the full hot path."""
+        n = self.keys.size
+        if n == 0:
+            return 0, 0, 0, 0
+        leaf, raw = self._leaf_for(key)
+        est = int(raw)
+        if est < 0:
+            est = 0
+        elif est >= n:
+            est = n - 1
+        stats = self.leaf_errors[leaf]
+        # int() truncation + the conservative -1/+2 slack implements
+        # floor/ceil for either sign without numpy scalar overhead.
+        lo = int(raw - stats.max_error) - 1
+        hi = int(raw - stats.min_error) + 2
+        if lo < 0:
+            lo = 0
+        elif lo > n:
+            lo = n
+        if hi > n:
+            hi = n
+        if hi <= lo:
+            lo = min(lo, max(hi - 1, 0))
+            hi = min(lo + 1, n)
+        return leaf, est, lo, hi
+
+    def lookup(self, key: float) -> int:
+        """Position of the first stored key >= ``key`` (lower bound)."""
+        n = self.keys.size
+        if n == 0:
+            return 0
+        if self._fast and self.search_strategy in ("binary", "biased_binary"):
+            return self._lookup_fast(key, n)
+        self.stats.lookups += 1
+        leaf, est, lo, hi = self._predict_window(key)
+        self.stats.window_total += hi - lo
+        counter = Counter()
+        sigma = None
+        if self.search_strategy == "biased_quaternary":
+            # Paper: seed the three probes at pos +- sigma of the model.
+            sigma = max(int(self.leaf_errors[leaf].std) or 1, 1)
+        # hi is exclusive for the window, but the lower bound itself can
+        # be == hi when every key in the window is < key.
+        keys_view = self._keys_view
+        pos = bounded_search(
+            keys_view,
+            key,
+            lo,
+            min(hi + 1, n),
+            est,
+            strategy=self.search_strategy,
+            sigma=sigma,
+            counter=counter,
+        )
+        self.stats.comparisons += counter.comparisons
+        if not verify_lower_bound(keys_view, key, pos):
+            # Section 3.4 fix-up for absent keys under non-monotonic
+            # models: widen via exponential search from the bad position.
+            self.stats.fixups += 1
+            counter.reset()
+            pos = exponential_search(keys_view, key, pos, counter)
+            self.stats.comparisons += counter.comparisons
+        return pos
+
+    def _lookup_fast(self, key: float, n: int) -> int:
+        """Compiled two-stage lookup: pure float math + bounded search."""
+        stats = self.stats
+        stats.lookups += 1
+        m = self.stage_sizes[1]
+        j = int(self._root_predict(key) * m / n)
+        if j < 0:
+            j = 0
+        elif j >= m:
+            j = m - 1
+        raw = self._leaf_slopes[j] * key + self._leaf_intercepts[j]
+        lo = int(raw - self._leaf_lo_offsets[j]) - 1
+        hi = int(raw - self._leaf_hi_offsets[j]) + 2
+        if lo < 0:
+            lo = 0
+        elif lo > n:
+            lo = n
+        if hi > n:
+            hi = n
+        if hi <= lo:
+            lo = min(lo, max(hi - 1, 0))
+            hi = lo + 1 if lo < n else n
+        stats.window_total += hi - lo
+        keys = self._keys_view
+        comparisons = 0
+        if self.search_strategy == "biased_binary":
+            # First probe at the prediction instead of the window middle.
+            est = int(raw)
+            if est < lo:
+                est = lo
+            elif est >= hi:
+                est = hi - 1
+            comparisons += 1
+            if keys[est] < key:
+                lo = est + 1
+            else:
+                hi = est
+        left, right = lo, hi
+        while left < right:
+            mid = (left + right) >> 1
+            comparisons += 1
+            if keys[mid] < key:
+                left = mid + 1
+            else:
+                right = mid
+        stats.comparisons += comparisons
+        # Misprediction check (Section 3.4): widen if the window missed.
+        if left < n and keys[left] < key:
+            stats.fixups += 1
+            return exponential_search(keys, key, left)
+        if left > 0 and keys[left - 1] >= key:
+            stats.fixups += 1
+            return exponential_search(keys, key, left - 1)
+        return left
+
+    # -- range-index interface ---------------------------------------------------
+
+    def upper_bound(self, key: float) -> int:
+        """Position one past the last stored key <= ``key``."""
+        pos = self.lookup(key)
+        n = self.keys.size
+        while pos < n and self.keys[pos] == key:
+            pos += 1
+        return pos
+
+    def contains(self, key: float) -> bool:
+        pos = self.lookup(key)
+        return pos < self.keys.size and self.keys[pos] == key
+
+    def range_query(self, low: float, high: float) -> np.ndarray:
+        """All stored keys in ``[low, high]``."""
+        if high < low:
+            return self.keys[0:0]
+        start = self.lookup(low)
+        end = self.lookup(high)
+        n = self.keys.size
+        while end < n and self.keys[end] <= high:
+            end += 1
+        return self.keys[start:end]
+
+    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Loop over :meth:`lookup` (kept scalar to mirror per-query cost)."""
+        return np.array([self.lookup(float(q)) for q in np.asarray(queries)])
+
+    # -- accounting ----------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Model parameters plus per-leaf error bounds (2 x int32)."""
+        total = 0
+        for stage in self._stages:
+            for model in stage:
+                total += model.size_bytes()
+        total += len(self.leaf_errors) * 8  # min/max error as 2x int32
+        return total
+
+    def model_op_count(self) -> int:
+        """Multiply-adds for one full staged prediction (cost model)."""
+        ops = self._stages[0][0].op_count()
+        for level in range(1, len(self.stage_sizes)):
+            # stage selection: one multiply + clamp, then the leaf model
+            ops += 2 + self._stages[level][0].op_count()
+        return ops
+
+    @property
+    def max_error_window(self) -> int:
+        return max((s.window for s in self.leaf_errors), default=0)
+
+    @property
+    def mean_error_window(self) -> float:
+        occupied = [s for s in self.leaf_errors if s.count]
+        if not occupied:
+            return 0.0
+        return float(np.mean([s.window for s in occupied]))
+
+    def leaf_model(self, j: int) -> Model:
+        return self._stages[-1][j]
+
+    def __repr__(self) -> str:
+        return (
+            f"RecursiveModelIndex(n={self.keys.size}, "
+            f"stages={self.stage_sizes}, search={self.search_strategy!r}, "
+            f"size={self.size_bytes()}B, "
+            f"mean_window={self.mean_error_window:.1f})"
+        )

@@ -1,0 +1,176 @@
+"""Last-mile search strategies (Section 3.4).
+
+A learned range index predicts a *position*, not just a page, so the
+final search can start from that prediction instead of the middle of a
+window.  The paper evaluates:
+
+* **Model Biased Search** — "only varies from traditional binary search
+  in that the first middle point is set to the value predicted by the
+  model";
+* **Biased Quaternary Search** — "the initial three middle points of
+  quaternary search as pos - sigma, pos, pos + sigma", continuing with
+  traditional quaternary search so the hardware can prefetch all split
+  points at once;
+* plain binary search within the error bounds (the Figure 4 default);
+* exponential search from the prediction, needing no stored bounds.
+
+All strategies return lower-bound positions (first index whose key is
+>= the lookup key) and optionally count comparisons for the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..btree.search_baselines import (
+    Counter,
+    binary_search,
+    exponential_search,
+)
+
+__all__ = [
+    "biased_binary_search",
+    "biased_quaternary_search",
+    "bounded_search",
+    "SEARCH_STRATEGIES",
+    "Counter",
+]
+
+
+def biased_binary_search(
+    keys,
+    key: float,
+    lo: int,
+    hi: int,
+    guess: int,
+    counter: Counter | None = None,
+) -> int:
+    """Binary search whose first probe is the model's prediction."""
+    n = len(keys)
+    lo = max(0, min(lo, n))
+    hi = max(lo, min(hi, n))
+    first = True
+    while lo < hi:
+        if first:
+            mid = max(lo, min(guess, hi - 1))
+            first = False
+        else:
+            mid = (lo + hi) >> 1
+        if counter is not None:
+            counter.comparisons += 1
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def biased_quaternary_search(
+    keys,
+    key: float,
+    lo: int,
+    hi: int,
+    guess: int,
+    sigma: int = 1,
+    counter: Counter | None = None,
+) -> int:
+    """Quaternary search seeded at ``guess - sigma, guess, guess + sigma``.
+
+    Each round probes three split points (which real hardware prefetches
+    together); the first round's points bracket the prediction with the
+    model's error std so most lookups finish after one round.
+    """
+    n = len(keys)
+    lo = max(0, min(lo, n))
+    hi = max(lo, min(hi, n))
+    sigma = max(int(sigma), 1)
+    first = True
+    while hi - lo > 3:
+        if first:
+            center = max(lo, min(guess, hi - 1))
+            p1 = max(lo, center - sigma)
+            p2 = center
+            p3 = min(hi - 1, center + sigma)
+            first = False
+        else:
+            quarter = (hi - lo) >> 2
+            p1 = lo + quarter
+            p2 = lo + 2 * quarter
+            p3 = lo + 3 * quarter
+        if counter is not None:
+            counter.comparisons += 3
+        # Narrow to the sub-range that preserves the lower-bound
+        # invariant: the answer stays inside [lo, hi).
+        if keys[p1] >= key:
+            hi = p1 + 1
+        elif keys[p2] >= key:
+            lo, hi = p1 + 1, p2 + 1
+        elif keys[p3] >= key:
+            lo, hi = p2 + 1, p3 + 1
+        else:
+            lo = p3 + 1
+    return binary_search(keys, key, lo, hi, counter)
+
+
+def _plain_binary(keys, key, lo, hi, guess, counter=None):
+    return binary_search(keys, key, lo, hi, counter)
+
+
+def _exponential(keys, key, lo, hi, guess, counter=None):
+    # Bound-free: expands from the guess over the whole array.
+    return exponential_search(keys, key, guess, counter)
+
+
+def _biased_quaternary_default(keys, key, lo, hi, guess, counter=None):
+    # sigma defaults to a quarter of the window, >= 1
+    sigma = max((hi - lo) // 4, 1)
+    return biased_quaternary_search(keys, key, lo, hi, guess, sigma, counter)
+
+
+#: name -> callable(keys, key, lo, hi, guess, counter) -> lower-bound pos
+SEARCH_STRATEGIES: dict[str, Callable] = {
+    "binary": _plain_binary,
+    "biased_binary": biased_binary_search,
+    "biased_quaternary": _biased_quaternary_default,
+    "exponential": _exponential,
+}
+
+
+def bounded_search(
+    keys,
+    key: float,
+    lo: int,
+    hi: int,
+    guess: int,
+    strategy: str = "binary",
+    sigma: int | None = None,
+    counter: Counter | None = None,
+) -> int:
+    """Dispatch to a named strategy; see :data:`SEARCH_STRATEGIES`."""
+    if strategy == "biased_quaternary" and sigma is not None:
+        return biased_quaternary_search(keys, key, lo, hi, guess, sigma, counter)
+    try:
+        fn = SEARCH_STRATEGIES[strategy]
+    except KeyError:
+        known = ", ".join(sorted(SEARCH_STRATEGIES))
+        raise KeyError(f"unknown strategy {strategy!r}; known: {known}") from None
+    return fn(keys, key, lo, hi, guess, counter)
+
+
+def verify_lower_bound(keys, key: float, pos: int) -> bool:
+    """True iff ``pos`` is the correct lower bound of ``key`` in ``keys``.
+
+    The Section 3.4 misprediction check: for non-monotonic models the
+    error window can miss for *absent* keys; callers widen the search
+    when this returns False.
+    """
+    n = len(keys)
+    if pos < 0 or pos > n:
+        return False
+    if pos < n and keys[pos] < key:
+        return False
+    if pos > 0 and keys[pos - 1] >= key:
+        return False
+    return True

@@ -1,0 +1,255 @@
+"""Writable learned index — the Appendix D.1 delta-buffer design.
+
+The paper on inserts: "there always exists a much simpler alternative
+to handling inserts by building a delta-index [60].  All inserts are
+kept in buffer and from time to time merged with a potential retraining
+of the model.  This approach is already widely used, for example in
+Bigtable."
+
+:class:`WritableLearnedIndex` implements exactly that LSM-flavoured
+design:
+
+* reads consult the (immutable) learned main index and a small sorted
+  delta buffer, merging their results;
+* inserts go to the delta buffer (O(log d) into a sorted list);
+* deletes are tombstones in the same buffer;
+* when the buffer exceeds ``merge_threshold`` (or on explicit
+  :meth:`merge`), the buffer is merged into the main array and the RMI
+  retrained — cheap, because linear leaves train in closed form
+  (Section 3.6).
+
+It also demonstrates the paper's append observation: "for an index over
+the timestamps of web-logs ... most if not all inserts will be appends
+with increasing timestamps ... updating the index structure becomes an
+O(1) operation" — appends beyond the trained key range never invalidate
+the stored error bounds of existing leaves, so merges of append-only
+batches can skip full retraining (``append_fast_path=True`` keeps the
+model and only extends the array, re-checking the last leaf's bound).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..models.base import Model
+from .rmi import RecursiveModelIndex
+
+__all__ = ["WritableLearnedIndex"]
+
+
+class WritableLearnedIndex:
+    """RMI + sorted delta buffer with tombstone deletes."""
+
+    def __init__(
+        self,
+        keys: np.ndarray | None = None,
+        *,
+        stage_sizes: Sequence[int] = (1, 100),
+        model_factories: Sequence[Callable[[], Model]] | None = None,
+        merge_threshold: int = 4_096,
+        append_fast_path: bool = True,
+    ):
+        if merge_threshold < 1:
+            raise ValueError("merge_threshold must be >= 1")
+        base = (
+            np.asarray(keys, dtype=np.int64)
+            if keys is not None
+            else np.empty(0, dtype=np.int64)
+        )
+        if base.size and np.any(np.diff(base) <= 0):
+            raise ValueError("initial keys must be sorted and unique")
+        self._stage_sizes = tuple(stage_sizes)
+        self._model_factories = model_factories
+        self.merge_threshold = int(merge_threshold)
+        self.append_fast_path = bool(append_fast_path)
+        self.merges = 0
+        self.retrains = 0
+        self.fast_appends = 0
+        self._delta: list[int] = []        # sorted inserted keys
+        self._tombstones: set[int] = set()  # deleted main-index keys
+        self._rebuild(base)
+
+    # -- construction helpers -----------------------------------------------
+
+    def _rebuild(self, keys: np.ndarray) -> None:
+        self._main = RecursiveModelIndex(
+            keys,
+            stage_sizes=self._stage_sizes,
+            model_factories=self._model_factories,
+        )
+        self.retrains += 1
+
+    # -- write path -----------------------------------------------------------
+
+    def insert(self, key: int) -> None:
+        """Insert ``key``; duplicate inserts are idempotent."""
+        key = int(key)
+        self._tombstones.discard(key)
+        main_pos = self._main.lookup(float(key))
+        in_main = (
+            main_pos < self._main.keys.size
+            and int(self._main.keys[main_pos]) == key
+        )
+        if in_main:
+            return
+        spot = bisect.bisect_left(self._delta, key)
+        if spot < len(self._delta) and self._delta[spot] == key:
+            return
+        self._delta.insert(spot, key)
+        if len(self._delta) >= self.merge_threshold:
+            self.merge()
+
+    def insert_batch(self, keys) -> None:
+        for key in keys:
+            self.insert(int(key))
+
+    def delete(self, key: int) -> bool:
+        """Delete ``key``; returns whether it was present."""
+        key = int(key)
+        spot = bisect.bisect_left(self._delta, key)
+        if spot < len(self._delta) and self._delta[spot] == key:
+            del self._delta[spot]
+            return True
+        main_pos = self._main.lookup(float(key))
+        if (
+            main_pos < self._main.keys.size
+            and int(self._main.keys[main_pos]) == key
+            and key not in self._tombstones
+        ):
+            self._tombstones.add(key)
+            return True
+        return False
+
+    # -- merge ------------------------------------------------------------------
+
+    def merge(self) -> None:
+        """Fold the delta buffer and tombstones into the main index."""
+        if not self._delta and not self._tombstones:
+            return
+        self.merges += 1
+        main_keys = self._main.keys
+        if self._tombstones:
+            keep = ~np.isin(
+                main_keys, np.fromiter(self._tombstones, dtype=np.int64)
+            )
+            main_keys = main_keys[keep]
+            tombstoned = True
+        else:
+            tombstoned = False
+        delta = np.array(self._delta, dtype=np.int64)
+        is_pure_append = (
+            self.append_fast_path
+            and not tombstoned
+            and main_keys.size > 0
+            and delta.size > 0
+            and delta[0] > main_keys[-1]
+        )
+        merged = (
+            np.concatenate([main_keys, delta])
+            if is_pure_append
+            else np.union1d(main_keys, delta)
+        )
+        self._delta.clear()
+        self._tombstones.clear()
+        if is_pure_append and self._try_fast_append(merged, delta.size):
+            self.fast_appends += 1
+            return
+        self._rebuild(merged)
+
+    def _try_fast_append(self, merged: np.ndarray, appended: int) -> bool:
+        """O(appended) append path: keep the model, extend the array.
+
+        Valid when the model generalizes to the appended range — i.e.
+        the existing leaf routing still predicts the new keys within a
+        tolerable error.  We verify by measuring the worst new-key
+        error; if it exceeds the current max window we fall back to
+        retraining (the paper's "can it be detected?" question,
+        answered by measurement).
+        """
+        old = self._main
+        candidate = object.__new__(RecursiveModelIndex)
+        candidate.__dict__.update(old.__dict__)
+        # Rebind data arrays; models and error stats are shared.
+        from ..util import scalar_view
+
+        candidate.keys = merged
+        candidate._keys_view = scalar_view(merged)
+        new_keys = merged[-appended:]
+        worst = 0
+        for key in new_keys[:: max(appended // 64, 1)]:
+            true_pos = int(np.searchsorted(merged, key))
+            _leaf, raw = candidate._leaf_for(float(key))
+            worst = max(worst, abs(int(raw) - true_pos))
+        budget = max(old.max_error_window, 64) * 4
+        if worst > budget:
+            self._rebuild(merged)
+            return False
+        # Widen every leaf's stored bounds by the observed append error
+        # so the guarantee stays honest without retraining.
+        from ..models.cdf import ErrorStats
+
+        slack = worst + 1
+        candidate.leaf_errors = [
+            ErrorStats(
+                stats.min_error - slack,
+                stats.max_error + slack,
+                stats.mean_absolute,
+                stats.std,
+                stats.count,
+            )
+            for stats in old.leaf_errors
+        ]
+        candidate._compile()
+        self._main = candidate
+        return True
+
+    # -- read path ----------------------------------------------------------------
+
+    def contains(self, key: int) -> bool:
+        key = int(key)
+        if key in self._tombstones:
+            return False
+        spot = bisect.bisect_left(self._delta, key)
+        if spot < len(self._delta) and self._delta[spot] == key:
+            return True
+        pos = self._main.lookup(float(key))
+        return pos < self._main.keys.size and int(self._main.keys[pos]) == key
+
+    def range_query(self, low: int, high: int) -> np.ndarray:
+        """All live keys in ``[low, high]`` across main + delta."""
+        if high < low:
+            return np.empty(0, dtype=np.int64)
+        main_hits = self._main.range_query(float(low), float(high))
+        if self._tombstones:
+            keep = ~np.isin(
+                main_hits, np.fromiter(self._tombstones, dtype=np.int64)
+            )
+            main_hits = main_hits[keep]
+        lo = bisect.bisect_left(self._delta, int(low))
+        hi = bisect.bisect_right(self._delta, int(high))
+        delta_hits = np.array(self._delta[lo:hi], dtype=np.int64)
+        if delta_hits.size == 0:
+            return main_hits.astype(np.int64)
+        return np.union1d(main_hits.astype(np.int64), delta_hits)
+
+    def __len__(self) -> int:
+        return (
+            self._main.keys.size - len(self._tombstones) + len(self._delta)
+        )
+
+    @property
+    def delta_size(self) -> int:
+        return len(self._delta)
+
+    def size_bytes(self) -> int:
+        return self._main.size_bytes() + len(self._delta) * 8
+
+    def __repr__(self) -> str:
+        return (
+            f"WritableLearnedIndex(n={len(self)}, delta={len(self._delta)}, "
+            f"tombstones={len(self._tombstones)}, merges={self.merges}, "
+            f"fast_appends={self.fast_appends})"
+        )

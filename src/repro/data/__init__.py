@@ -1,0 +1,50 @@
+"""Dataset simulators for the learned-index reproduction.
+
+The paper evaluates on proprietary Google datasets; every generator in
+this package is a documented synthetic substitute (see DESIGN.md,
+"Fidelity notes") producing deterministic, seeded data with the CDF
+properties the paper relies on.
+"""
+
+from .maps import LONGITUDE_SCALE, map_longitudes
+from .registry import (
+    INTEGER_DATASETS,
+    IntegerDataset,
+    integer_dataset,
+    string_dataset,
+)
+from .strings import document_ids, web_paths
+from .synthetic import (
+    clustered_keys,
+    dedupe_sorted,
+    lognormal_keys,
+    normal_keys,
+    sequential_keys,
+    uniform_keys,
+    zipf_gap_keys,
+)
+from .urls import benign_urls, confusable_urls, phishing_urls, url_dataset
+from .weblogs import weblog_timestamps
+
+__all__ = [
+    "INTEGER_DATASETS",
+    "IntegerDataset",
+    "LONGITUDE_SCALE",
+    "benign_urls",
+    "clustered_keys",
+    "confusable_urls",
+    "dedupe_sorted",
+    "document_ids",
+    "integer_dataset",
+    "lognormal_keys",
+    "map_longitudes",
+    "normal_keys",
+    "phishing_urls",
+    "sequential_keys",
+    "string_dataset",
+    "uniform_keys",
+    "url_dataset",
+    "web_paths",
+    "weblog_timestamps",
+    "zipf_gap_keys",
+]

@@ -1,0 +1,74 @@
+"""Named dataset registry used by benchmarks and examples.
+
+The paper evaluates on three integer datasets (Maps, Weblogs,
+Lognormal), one string dataset (document ids) and one URL dataset.
+Benchmarks refer to them by name through this registry so every
+experiment pulls byte-identical data for a given (name, n, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from . import maps, strings, synthetic, weblogs
+
+__all__ = ["IntegerDataset", "integer_dataset", "INTEGER_DATASETS", "string_dataset"]
+
+
+@dataclass(frozen=True)
+class IntegerDataset:
+    """A sorted unique int64 key array plus its provenance."""
+
+    name: str
+    keys: np.ndarray
+    description: str
+
+    @property
+    def n(self) -> int:
+        return int(self.keys.size)
+
+
+_INTEGER_GENERATORS: dict[str, tuple[Callable[..., np.ndarray], str]] = {
+    "maps": (
+        maps.map_longitudes,
+        "fixed-point longitudes of world map features (paper: Maps)",
+    ),
+    "weblogs": (
+        weblogs.weblog_timestamps,
+        "university web-server request timestamps (paper: Weblogs)",
+    ),
+    "lognormal": (
+        synthetic.lognormal_keys,
+        "lognormal(0, 2) values scaled to integers (paper: Lognormal)",
+    ),
+    "uniform": (synthetic.uniform_keys, "uniform random integers (ablation)"),
+    "normal": (synthetic.normal_keys, "gaussian integers (ablation)"),
+    "clustered": (
+        synthetic.clustered_keys,
+        "heavily clustered integers (adversarial ablation)",
+    ),
+}
+
+#: The paper's three evaluation datasets, in Figure 4 column order.
+INTEGER_DATASETS = ("maps", "weblogs", "lognormal")
+
+
+def integer_dataset(name: str, n: int, *, seed: int = 42) -> IntegerDataset:
+    """Materialize a named integer dataset with ``n`` unique sorted keys."""
+    try:
+        generator, description = _INTEGER_GENERATORS[name]
+    except KeyError:
+        known = ", ".join(sorted(_INTEGER_GENERATORS))
+        raise KeyError(f"unknown dataset {name!r}; known: {known}") from None
+    keys = generator(n, seed=seed)
+    if keys.size != n:
+        raise AssertionError(f"{name} generator returned {keys.size} != {n}")
+    return IntegerDataset(name=name, keys=keys, description=description)
+
+
+def string_dataset(n: int, *, seed: int = 42) -> list[str]:
+    """The paper's document-id string dataset (Section 3.7.2 substitute)."""
+    return strings.document_ids(n, seed=seed)

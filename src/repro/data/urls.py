@@ -1,0 +1,221 @@
+"""Simulated phishing-blacklist URL dataset.
+
+The paper's existence-index experiment (Section 5.2) uses Google's
+transparency report: 1.7M unique blacklisted phishing URLs as keys, and
+a negative set mixing random valid URLs with whitelisted URLs "that
+could be mistaken for phishing pages".
+
+That data is proprietary, so this module provides a generative grammar
+for three URL populations:
+
+* ``phishing_urls`` — keys: typosquatted brands, credential-themed
+  tokens, IP-literal hosts, deep redirect paths, excessive subdomains;
+* ``benign_urls`` — easy negatives: ordinary pages on common domains;
+* ``confusable_urls`` — hard negatives (the paper's "whitelisted URLs
+  that could be mistaken for phishing"): legitimate login/account pages
+  on real brand domains.
+
+The three populations overlap in surface features but differ in
+character-level statistics, giving a learnable separation — exactly the
+setting the learned Bloom filter exploits.  The mixing ratio of the
+negative set is a parameter so the paper's covariate-shift study
+(random-only vs whitelist-only negatives) can be reproduced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["phishing_urls", "benign_urls", "confusable_urls", "url_dataset"]
+
+_BRANDS = [
+    "paypal", "google", "amazon", "apple", "microsoft", "netflix",
+    "facebook", "instagram", "chase", "wellsfargo", "dropbox", "adobe",
+]
+_TLDS_COMMON = [".com", ".org", ".net", ".edu", ".io"]
+_TLDS_CHEAP = [".xyz", ".top", ".tk", ".ml", ".info", ".cc", ".club"]
+_PHISH_TOKENS = [
+    "login", "verify", "secure", "account", "update", "confirm",
+    "signin", "banking", "wallet", "support", "alert", "suspended",
+]
+_BENIGN_WORDS = [
+    "news", "blog", "wiki", "docs", "about", "contact", "products",
+    "research", "weather", "sports", "music", "recipes", "travel",
+    "photos", "forum", "events", "careers", "store", "library",
+]
+_PATH_WORDS = _BENIGN_WORDS + [
+    "article", "post", "page", "item", "view", "category", "archive",
+]
+
+
+def _typosquat(brand: str, rng: np.random.Generator) -> str:
+    """Corrupt a brand name the way phishing domains do."""
+    swaps = {"l": "1", "o": "0", "i": "1", "e": "3", "a": "4", "s": "5"}
+    style = rng.integers(0, 4)
+    if style == 0:  # character substitution: paypa1
+        candidates = [i for i, c in enumerate(brand) if c in swaps]
+        if candidates:
+            i = int(rng.choice(candidates))
+            return brand[:i] + swaps[brand[i]] + brand[i + 1:]
+        return brand + "s"
+    if style == 1:  # doubled letter: googgle
+        i = int(rng.integers(1, len(brand)))
+        return brand[:i] + brand[i - 1] + brand[i:]
+    if style == 2:  # hyphen insertion: pay-pal
+        i = int(rng.integers(1, len(brand)))
+        return brand[:i] + "-" + brand[i:]
+    return brand + str(int(rng.integers(0, 99)))  # suffix digits
+
+
+def _rand_word(rng: np.random.Generator, lo: int = 4, hi: int = 12) -> str:
+    length = int(rng.integers(lo, hi))
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    return "".join(letters[int(i)] for i in rng.integers(0, 26, size=length))
+
+
+def phishing_urls(
+    n: int, *, seed: int = 42, hard_fraction: float = 0.2
+) -> list[str]:
+    """Generate ``n`` unique phishing-style URLs (the key set).
+
+    ``hard_fraction`` of the keys are *compromised benign sites*:
+    phishing pages hosted on ordinary-looking URLs, drawn from the same
+    grammar as :func:`benign_urls`.  No character-level classifier can
+    separate those from real benign pages, which keeps the classifier's
+    false-negative rate realistically non-zero (the paper reports 55%
+    FNR at a 0.5% model FPR) so the overflow Bloom filter has real work
+    to do.
+    """
+    rng = np.random.default_rng(seed)
+    seen: set[str] = set()
+    out: list[str] = []
+    while len(out) < n:
+        if rng.random() < hard_fraction:
+            # Compromised legitimate site: benign-looking URL.
+            host = str(rng.choice(_BENIGN_WORDS)) + _rand_word(rng, 2, 6)
+            tld = str(rng.choice(_TLDS_COMMON))
+            depth = int(rng.integers(1, 4))
+            path = "/".join(
+                str(rng.choice(_PATH_WORDS)) for _ in range(depth)
+            )
+            if rng.random() < 0.4:
+                path += f"/{int(rng.integers(0, 10**5))}"
+            url = f"https://www.{host}{tld}/{path}"
+            if url not in seen:
+                seen.add(url)
+                out.append(url)
+            continue
+        style = rng.integers(0, 4)
+        if style == 0:
+            # typosquat + credential token + cheap TLD
+            host = _typosquat(str(rng.choice(_BRANDS)), rng)
+            tld = str(rng.choice(_TLDS_CHEAP))
+            token = str(rng.choice(_PHISH_TOKENS))
+            url = f"http://{host}{tld}/{token}"
+        elif style == 1:
+            # brand buried in subdomains of a junk domain
+            brand = str(rng.choice(_BRANDS))
+            token = str(rng.choice(_PHISH_TOKENS))
+            junk = _rand_word(rng, 6, 14)
+            tld = str(rng.choice(_TLDS_CHEAP))
+            url = f"http://{brand}.{token}.{junk}{tld}/{_rand_word(rng, 4, 8)}"
+        elif style == 2:
+            # IP-literal host with a deep path
+            octets = rng.integers(1, 255, size=4)
+            ip = ".".join(str(int(o)) for o in octets)
+            token = str(rng.choice(_PHISH_TOKENS))
+            brand = str(rng.choice(_BRANDS))
+            url = f"http://{ip}/{brand}/{token}/{_rand_word(rng, 6, 10)}.php"
+        else:
+            # long random host with phishing keywords in the path
+            host = _rand_word(rng, 10, 18)
+            tld = str(rng.choice(_TLDS_CHEAP))
+            t1 = str(rng.choice(_PHISH_TOKENS))
+            t2 = str(rng.choice(_PHISH_TOKENS))
+            url = f"http://{host}{tld}/{t1}/{t2}?id={int(rng.integers(0, 10**6))}"
+        if url not in seen:
+            seen.add(url)
+            out.append(url)
+    return out
+
+
+def benign_urls(n: int, *, seed: int = 43) -> list[str]:
+    """Generate ``n`` unique ordinary URLs (easy negatives)."""
+    rng = np.random.default_rng(seed)
+    seen: set[str] = set()
+    out: list[str] = []
+    while len(out) < n:
+        host = str(rng.choice(_BENIGN_WORDS)) + _rand_word(rng, 2, 6)
+        tld = str(rng.choice(_TLDS_COMMON))
+        depth = int(rng.integers(1, 4))
+        path = "/".join(str(rng.choice(_PATH_WORDS)) for _ in range(depth))
+        if rng.random() < 0.4:
+            path += f"/{int(rng.integers(0, 10**5))}"
+        url = f"https://www.{host}{tld}/{path}"
+        if url not in seen:
+            seen.add(url)
+            out.append(url)
+    return out
+
+
+def confusable_urls(n: int, *, seed: int = 44) -> list[str]:
+    """Generate ``n`` unique hard negatives: real brand login pages.
+
+    These share tokens ("login", "account", brand names) with the
+    phishing set but have clean host structure — the population the
+    paper describes as "whitelisted URLs that could be mistaken for
+    phishing pages".
+    """
+    rng = np.random.default_rng(seed)
+    seen: set[str] = set()
+    out: list[str] = []
+    while len(out) < n:
+        brand = str(rng.choice(_BRANDS))
+        token = str(rng.choice(_PHISH_TOKENS))
+        style = rng.integers(0, 3)
+        if style == 0:
+            url = f"https://www.{brand}.com/{token}"
+        elif style == 1:
+            url = f"https://{token}.{brand}.com/"
+        else:
+            url = f"https://www.{brand}.com/{token}/{_rand_word(rng, 3, 7)}"
+        if url not in seen:
+            seen.add(url)
+            out.append(url)
+        if len(seen) > 6 * len(_BRANDS) * len(_PHISH_TOKENS):
+            # population is finite; pad with numbered variants
+            url = f"https://www.{brand}.com/{token}?session={len(out)}"
+            if url not in seen:
+                seen.add(url)
+                out.append(url)
+    return out[:n]
+
+
+def url_dataset(
+    n_keys: int,
+    n_negatives: int,
+    *,
+    confusable_fraction: float = 0.5,
+    seed: int = 42,
+) -> tuple[list[str], list[str]]:
+    """Build the (keys, negatives) pair used by learned-Bloom benchmarks.
+
+    ``confusable_fraction`` controls the negative mixture: 0.0 gives the
+    paper's "only random URLs" variant, 1.0 the "only whitelisted URLs"
+    variant, 0.5 the headline mixture.
+    """
+    if not 0.0 <= confusable_fraction <= 1.0:
+        raise ValueError("confusable_fraction must be in [0, 1]")
+    keys = phishing_urls(n_keys, seed=seed)
+    n_conf = int(round(n_negatives * confusable_fraction))
+    n_rand = n_negatives - n_conf
+    negatives = benign_urls(n_rand, seed=seed + 1) + confusable_urls(
+        n_conf, seed=seed + 2
+    )
+    rng = np.random.default_rng(seed + 3)
+    order = rng.permutation(len(negatives))
+    negatives = [negatives[i] for i in order]
+    # Existence-index semantics: negatives must not collide with keys.
+    key_set = set(keys)
+    negatives = [u for u in negatives if u not in key_set]
+    return keys, negatives

@@ -1,0 +1,29 @@
+"""Point-index substrates: hash functions and hash-map architectures.
+
+Every map takes a pluggable hash callable, so learned CDF hashes
+(:mod:`repro.core.learned_hash`) and murmur-style random hashes are
+interchangeable — the orthogonality claim of Section 4.1.
+"""
+
+from .chaining import RECORD_BYTES, SLOT_BYTES, ChainingHashMap
+from .cuckoo import BucketizedCuckooHashMap, GenericCuckooHashMap
+from .hashing import (
+    RandomHashFunction,
+    murmur3_string,
+    murmur_fmix64,
+    murmur_fmix64_batch,
+)
+from .inplace import InPlaceChainedHashMap
+
+__all__ = [
+    "RECORD_BYTES",
+    "SLOT_BYTES",
+    "BucketizedCuckooHashMap",
+    "ChainingHashMap",
+    "GenericCuckooHashMap",
+    "InPlaceChainedHashMap",
+    "RandomHashFunction",
+    "murmur3_string",
+    "murmur_fmix64",
+    "murmur_fmix64_batch",
+]

@@ -1,0 +1,48 @@
+"""Machine-learning substrate: every model the paper's indexes compose.
+
+Implemented from scratch on numpy — no ML framework is used at either
+training or inference time (Section 3.1: LIF "never uses Tensorflow at
+inference").
+"""
+
+from .base import ConstantModel, Model
+from .cdf import (
+    EmpiricalCDF,
+    ErrorStats,
+    empirical_cdf,
+    error_stats,
+    positions_for_keys,
+)
+from .gru import CharVocabulary, GRUClassifier
+from .linear import LinearModel, SplineSegmentModel
+from .multivariate import FEATURE_LIBRARY, MultivariateLinearModel
+from .nn import MLP, FrameworkModel, NeuralRegressionModel
+from .tokenization import (
+    lexicographic_scalar,
+    lexicographic_scalar_batch,
+    tokenize,
+    tokenize_batch,
+)
+
+__all__ = [
+    "FEATURE_LIBRARY",
+    "MLP",
+    "CharVocabulary",
+    "ConstantModel",
+    "EmpiricalCDF",
+    "ErrorStats",
+    "FrameworkModel",
+    "GRUClassifier",
+    "LinearModel",
+    "Model",
+    "MultivariateLinearModel",
+    "NeuralRegressionModel",
+    "SplineSegmentModel",
+    "empirical_cdf",
+    "error_stats",
+    "lexicographic_scalar",
+    "lexicographic_scalar_batch",
+    "positions_for_keys",
+    "tokenize",
+    "tokenize_batch",
+]

@@ -1,0 +1,117 @@
+"""Empirical CDF utilities (Section 2.2).
+
+"a model that predicts the position given a key inside a sorted array
+effectively approximates the cumulative distribution function (CDF).
+We can model the CDF of the data to predict the position as
+p = F(Key) * N."
+
+These helpers convert between the position view (what indexes store)
+and the probability view (what models learn), and compute the error
+statistics the RMI's bound bookkeeping and Appendix A analysis need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "empirical_cdf",
+    "positions_for_keys",
+    "ErrorStats",
+    "error_stats",
+    "EmpiricalCDF",
+]
+
+
+def positions_for_keys(n: int) -> np.ndarray:
+    """Target positions 0..n-1 for a sorted key array of size ``n``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return np.arange(n, dtype=np.float64)
+
+
+def empirical_cdf(sorted_keys: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """F_hat(q) = |{k <= q}| / N for each query value.
+
+    Matches Appendix A's definition of the empirical CDF over the stored
+    keys; assumes ``sorted_keys`` is sorted ascending.
+    """
+    sorted_keys = np.asarray(sorted_keys)
+    query = np.asarray(query)
+    if sorted_keys.size == 0:
+        return np.zeros(query.shape, dtype=np.float64)
+    counts = np.searchsorted(sorted_keys, query, side="right")
+    return counts / float(sorted_keys.size)
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Prediction-error summary for a model over its assigned keys.
+
+    ``min_error``/``max_error`` are the signed worst under/over
+    predictions (prediction - truth), i.e. the Section 3.4 search bounds:
+    the true position of key ``k`` lies in
+    ``[pred(k) - max_error, pred(k) - min_error]``.
+    """
+
+    min_error: int
+    max_error: int
+    mean_absolute: float
+    std: float
+    count: int
+
+    @property
+    def max_absolute(self) -> int:
+        """Algorithm 1's ``max_abs_err`` hybrid-replacement criterion."""
+        return max(abs(self.min_error), abs(self.max_error))
+
+    @property
+    def window(self) -> int:
+        """Width of the guaranteed search window."""
+        return self.max_error - self.min_error
+
+
+def error_stats(predictions: np.ndarray, truths: np.ndarray) -> ErrorStats:
+    """Compute :class:`ErrorStats` from parallel prediction/truth arrays."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    truths = np.asarray(truths, dtype=np.float64)
+    if predictions.shape != truths.shape:
+        raise ValueError("prediction/truth shape mismatch")
+    if predictions.size == 0:
+        return ErrorStats(0, 0, 0.0, 0.0, 0)
+    signed = predictions - truths
+    return ErrorStats(
+        min_error=int(np.floor(signed.min())),
+        max_error=int(np.ceil(signed.max())),
+        mean_absolute=float(np.abs(signed).mean()),
+        std=float(signed.std()),
+        count=int(signed.size),
+    )
+
+
+class EmpiricalCDF:
+    """A queryable empirical CDF over a fixed sorted key set.
+
+    The "perfect model" reference point: an index using this as its
+    model has zero error on stored keys (it *is* a lookup), so it marks
+    the accuracy frontier other models are compared against in tests.
+    """
+
+    def __init__(self, sorted_keys: np.ndarray):
+        keys = np.asarray(sorted_keys)
+        if keys.size and np.any(np.diff(keys) < 0):
+            raise ValueError("keys must be sorted ascending")
+        self._keys = keys
+
+    @property
+    def n(self) -> int:
+        return int(self._keys.size)
+
+    def __call__(self, query) -> np.ndarray:
+        return empirical_cdf(self._keys, np.asarray(query))
+
+    def position(self, query) -> np.ndarray:
+        """Predicted positions N * F(q), the Section 2.2 estimator."""
+        return self(query) * self.n

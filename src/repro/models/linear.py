@@ -1,0 +1,172 @@
+"""Closed-form linear regression — the RMI's workhorse leaf model.
+
+Section 3.6 of the paper: "a closed form solution exists for linear
+multi-variate models (e.g., also 0-layer NN) and they can be trained in
+a single pass over the sorted data" and Section 3.7.1: "For the second
+stage, simple, linear models, had the best performance ... linear
+models can be learned optimally."
+
+``LinearModel`` is ordinary least squares ``y = slope * x + intercept``
+fit in one pass.  The scalar ``predict`` path is two Python float
+operations — the analogue of LIF's ~30ns code-generated models — which
+is what makes measured lookup-time ratios against tree traversal
+meaningful in this reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Model
+
+__all__ = ["LinearModel", "SplineSegmentModel"]
+
+
+class LinearModel(Model):
+    """Least-squares line ``position = slope * key + intercept``."""
+
+    __slots__ = ("slope", "intercept")
+
+    def __init__(self, slope: float = 0.0, intercept: float = 0.0):
+        self.slope = float(slope)
+        self.intercept = float(intercept)
+
+    def fit(self, keys: np.ndarray, positions: np.ndarray) -> "LinearModel":
+        keys = np.asarray(keys, dtype=np.float64)
+        positions = np.asarray(positions, dtype=np.float64)
+        n = keys.size
+        if n == 0:
+            self.slope, self.intercept = 0.0, 0.0
+            return self
+        if n == 1:
+            self.slope, self.intercept = 0.0, float(positions[0])
+            return self
+        mean_x = float(keys.mean())
+        mean_y = float(positions.mean())
+        dx = keys - mean_x
+        var_x = float(np.dot(dx, dx))
+        if var_x == 0.0:
+            # All keys identical: only the mean position is identifiable.
+            self.slope, self.intercept = 0.0, mean_y
+            return self
+        cov_xy = float(np.dot(dx, positions - mean_y))
+        self.slope = cov_xy / var_x
+        self.intercept = mean_y - self.slope * mean_x
+        return self
+
+    def fit_endpoints(
+        self, keys: np.ndarray, positions: np.ndarray
+    ) -> "LinearModel":
+        """Interpolate the first and last point instead of least squares.
+
+        Useful for strictly bounding segments (spline-style fitting);
+        guarantees zero error at both endpoints.
+        """
+        keys = np.asarray(keys, dtype=np.float64)
+        positions = np.asarray(positions, dtype=np.float64)
+        if keys.size < 2 or keys[-1] == keys[0]:
+            return self.fit(keys, positions)
+        self.slope = float(
+            (positions[-1] - positions[0]) / (keys[-1] - keys[0])
+        )
+        self.intercept = float(positions[0] - self.slope * keys[0])
+        return self
+
+    def predict(self, key: float) -> float:
+        return self.slope * key + self.intercept
+
+    def predict_batch(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.float64)
+        return self.slope * keys + self.intercept
+
+    @property
+    def param_count(self) -> int:
+        return 2
+
+    def op_count(self) -> int:
+        return 2  # one multiply, one add
+
+    def is_monotonic(self) -> bool:
+        return self.slope >= 0.0
+
+    def __repr__(self) -> str:
+        return f"LinearModel(slope={self.slope:.6g}, intercept={self.intercept:.6g})"
+
+
+class SplineSegmentModel(Model):
+    """Monotone piecewise-linear interpolation over ``k`` knots.
+
+    A middle ground between one line and a full second stage: knots are
+    taken at evenly spaced key quantiles, and prediction interpolates
+    between the surrounding knots.  Because the knot positions are
+    non-decreasing the model is monotonic by construction, so the
+    Section 3.4 bound guarantees hold even for absent keys.
+    """
+
+    def __init__(self, knots: int = 16):
+        if knots < 2:
+            raise ValueError("need at least 2 knots")
+        self.requested_knots = int(knots)
+        self.knot_keys = np.zeros(2)
+        self.knot_positions = np.zeros(2)
+
+    def fit(
+        self, keys: np.ndarray, positions: np.ndarray
+    ) -> "SplineSegmentModel":
+        keys = np.asarray(keys, dtype=np.float64)
+        positions = np.asarray(positions, dtype=np.float64)
+        if keys.size == 0:
+            self.knot_keys = np.array([0.0, 1.0])
+            self.knot_positions = np.array([0.0, 0.0])
+            return self
+        if keys.size == 1:
+            k = float(keys[0])
+            self.knot_keys = np.array([k, k + 1.0])
+            self.knot_positions = np.array([positions[0], positions[0]])
+            return self
+        k = min(self.requested_knots, keys.size)
+        picks = np.linspace(0, keys.size - 1, k).round().astype(np.int64)
+        knot_keys = keys[picks]
+        knot_positions = positions[picks]
+        # Collapse duplicate knot keys (possible with heavy clustering).
+        unique_keys, first = np.unique(knot_keys, return_index=True)
+        if unique_keys.size < 2:
+            k0 = float(unique_keys[0])
+            self.knot_keys = np.array([k0, k0 + 1.0])
+            mean = float(positions.mean())
+            self.knot_positions = np.array([mean, mean])
+            return self
+        self.knot_keys = unique_keys
+        self.knot_positions = np.maximum.accumulate(knot_positions[first])
+        return self
+
+    def predict(self, key: float) -> float:
+        kk = self.knot_keys
+        kp = self.knot_positions
+        if key <= kk[0]:
+            return float(kp[0])
+        if key >= kk[-1]:
+            return float(kp[-1])
+        hi = int(np.searchsorted(kk, key, side="right"))
+        lo = hi - 1
+        span = kk[hi] - kk[lo]
+        frac = (key - kk[lo]) / span
+        return float(kp[lo] + frac * (kp[hi] - kp[lo]))
+
+    def predict_batch(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.float64)
+        return np.interp(keys, self.knot_keys, self.knot_positions)
+
+    @property
+    def param_count(self) -> int:
+        return 2 * int(self.knot_keys.size)
+
+    def op_count(self) -> int:
+        # binary search over knots + one interpolation
+        return int(np.ceil(np.log2(max(self.knot_keys.size, 2)))) + 4
+
+    def is_monotonic(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"SplineSegmentModel(knots={self.knot_keys.size})"

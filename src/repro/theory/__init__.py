@@ -1,0 +1,19 @@
+"""Theoretical analysis utilities (Appendix A)."""
+
+from .scaling import (
+    ScalingMeasurement,
+    dkw_bound,
+    empirical_position_error,
+    expected_position_error,
+    expected_squared_cdf_error,
+    fit_error_exponent,
+)
+
+__all__ = [
+    "ScalingMeasurement",
+    "dkw_bound",
+    "empirical_position_error",
+    "expected_position_error",
+    "expected_squared_cdf_error",
+    "fit_error_exponent",
+]

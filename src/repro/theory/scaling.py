@@ -1,0 +1,101 @@
+"""Appendix A: theoretical scaling of learned range indexes.
+
+The paper derives, for i.i.d. data sampled from a known CDF F:
+
+    E[(F(x) - F_hat_N(x))^2] = F(x)(1 - F(x)) / N        (Eq. 3)
+
+so the expected *position* error |N F(x) - N F_hat_N(x)| grows as
+O(sqrt(N)) for a constant-size model — sub-linear, versus the O(N)
+growth of a constant-size B-Tree (whose page count, and hence page
+size at fixed index size, must grow linearly).
+
+This module provides the analytic quantities plus an empirical
+estimator used by the E10 benchmark to verify the sqrt(N) exponent,
+and the Dvoretzky–Kiefer–Wolfowitz bound the paper cites as the
+classical grounding ([28]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "expected_squared_cdf_error",
+    "expected_position_error",
+    "dkw_bound",
+    "empirical_position_error",
+    "fit_error_exponent",
+    "ScalingMeasurement",
+]
+
+
+def expected_squared_cdf_error(f_x: np.ndarray, n: int) -> np.ndarray:
+    """Eq. 3: variance of the empirical CDF at points with F(x)=f_x."""
+    f_x = np.asarray(f_x, dtype=np.float64)
+    if np.any((f_x < 0) | (f_x > 1)):
+        raise ValueError("F(x) values must lie in [0, 1]")
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return f_x * (1.0 - f_x) / float(n)
+
+
+def expected_position_error(f_x: np.ndarray, n: int) -> np.ndarray:
+    """RMS position error N * sqrt(Var) = sqrt(N F(x)(1-F(x)))."""
+    return float(n) * np.sqrt(expected_squared_cdf_error(f_x, n))
+
+
+def dkw_bound(n: int, alpha: float = 0.05) -> float:
+    """DKW: with prob >= 1-alpha, sup_x |F_N(x) - F(x)| <= this."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    return float(np.sqrt(np.log(2.0 / alpha) / (2.0 * n)))
+
+
+@dataclass(frozen=True)
+class ScalingMeasurement:
+    """Mean absolute position error of the true-CDF model at one N."""
+
+    n: int
+    mean_absolute_error: float
+    max_absolute_error: float
+
+
+def empirical_position_error(
+    sampler: Callable[[int, int], np.ndarray],
+    true_cdf: Callable[[np.ndarray], np.ndarray],
+    n: int,
+    *,
+    seed: int = 0,
+) -> ScalingMeasurement:
+    """Measure |N F(x) - rank(x)| for a sample of size ``n``.
+
+    ``sampler(n, seed)`` draws the sample; ``true_cdf`` is the known
+    generating distribution — the "constant-size model" of Appendix A,
+    whose parameter count does not grow with N.
+    """
+    sample = np.sort(np.asarray(sampler(n, seed), dtype=np.float64))
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    predicted = true_cdf(sample) * n
+    errors = np.abs(predicted - ranks)
+    return ScalingMeasurement(
+        n=n,
+        mean_absolute_error=float(errors.mean()),
+        max_absolute_error=float(errors.max()),
+    )
+
+
+def fit_error_exponent(measurements: list[ScalingMeasurement]) -> float:
+    """Log-log slope of mean error vs N (Appendix A predicts ~0.5)."""
+    if len(measurements) < 2:
+        raise ValueError("need at least two measurements")
+    log_n = np.log([m.n for m in measurements])
+    log_err = np.log(
+        [max(m.mean_absolute_error, 1e-12) for m in measurements]
+    )
+    slope, _intercept = np.polyfit(log_n, log_err, 1)
+    return float(slope)

@@ -1,0 +1,67 @@
+"""Shared fixtures: small, deterministic datasets for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    integer_dataset,
+    lognormal_keys,
+    string_dataset,
+    uniform_keys,
+    url_dataset,
+)
+
+
+@pytest.fixture(scope="session")
+def uniform_small() -> np.ndarray:
+    """5k sorted unique uniform keys."""
+    return uniform_keys(5_000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def lognormal_small() -> np.ndarray:
+    """5k sorted unique lognormal keys (heavy tail, saturated head)."""
+    return lognormal_keys(5_000, seed=12)
+
+
+@pytest.fixture(scope="session")
+def maps_small() -> np.ndarray:
+    return integer_dataset("maps", 20_000, seed=13).keys
+
+
+@pytest.fixture(scope="session")
+def weblogs_small() -> np.ndarray:
+    return integer_dataset("weblogs", 20_000, seed=14).keys
+
+
+@pytest.fixture(scope="session")
+def strings_small() -> list[str]:
+    return string_dataset(3_000, seed=15)
+
+
+@pytest.fixture(scope="session")
+def urls_small() -> tuple[list[str], list[str]]:
+    return url_dataset(1_500, 1_500, seed=16)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def make_queries(
+    keys: np.ndarray, rng: np.random.Generator, present: int, absent: int
+) -> np.ndarray:
+    """Mixed present/absent query batch over an integer key array."""
+    hits = rng.choice(keys, size=present)
+    lo = int(keys.min()) - 10
+    hi = int(keys.max()) + 10
+    misses = rng.integers(lo, hi, size=absent)
+    return np.concatenate([hits, misses])
+
+
+@pytest.fixture()
+def queries_factory():
+    return make_queries

@@ -1,0 +1,95 @@
+"""Unit tests for the standard Bloom filter."""
+
+import numpy as np
+import pytest
+
+from repro.bloom import BloomFilter, optimal_bits, optimal_hash_count
+
+
+class TestSizing:
+    def test_optimal_bits_formula(self):
+        # m = -n ln p / ln(2)^2; for n=1000, p=0.01 -> ~9585 bits
+        assert optimal_bits(1000, 0.01) == pytest.approx(9585, rel=0.01)
+
+    def test_paper_scale_example(self):
+        """Section 5: one billion records need ~1.76GB, and '[f]or a FPR
+        of 0.01% we would require ~2.23 Gigabytes'."""
+        gb_01bp = optimal_bits(10**9, 0.0001) / 8 / 1000**3
+        assert gb_01bp == pytest.approx(2.23, rel=0.1)
+        gb_10bp = optimal_bits(10**9, 0.001) / 8 / 1000**3
+        assert gb_10bp == pytest.approx(1.76, rel=0.1)
+
+    def test_optimal_hash_count(self):
+        m = optimal_bits(1000, 0.01)
+        assert optimal_hash_count(m, 1000) == 7
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            optimal_bits(-1, 0.01)
+        with pytest.raises(ValueError):
+            optimal_bits(10, 1.5)
+        with pytest.raises(ValueError):
+            BloomFilter(0, 1)
+        with pytest.raises(ValueError):
+            BloomFilter(8, 0)
+
+
+class TestNoFalseNegatives:
+    def test_strings(self):
+        keys = [f"key-{i}" for i in range(2_000)]
+        bloom = BloomFilter.for_capacity(len(keys), 0.01)
+        bloom.add_batch(keys)
+        assert all(k in bloom for k in keys)
+
+    def test_integers(self):
+        keys = list(range(0, 20_000, 7))
+        bloom = BloomFilter.for_capacity(len(keys), 0.05)
+        bloom.add_batch(keys)
+        assert all(k in bloom for k in keys)
+
+
+class TestFalsePositiveRate:
+    def test_close_to_target(self):
+        keys = [f"key-{i}" for i in range(5_000)]
+        non_keys = [f"other-{i}" for i in range(30_000)]
+        for target in (0.01, 0.05):
+            bloom = BloomFilter.for_capacity(len(keys), target)
+            bloom.add_batch(keys)
+            measured = bloom.measured_fpr(non_keys)
+            assert measured == pytest.approx(target, rel=0.6)
+
+    def test_expected_fpr_tracks_occupancy(self):
+        bloom = BloomFilter.for_capacity(1000, 0.01)
+        assert bloom.expected_fpr() == 0.0
+        bloom.add_batch([f"k{i}" for i in range(1000)])
+        assert bloom.expected_fpr() == pytest.approx(0.01, rel=0.3)
+
+    def test_overfilled_filter_degrades(self):
+        bloom = BloomFilter.for_capacity(100, 0.01)
+        bloom.add_batch([f"k{i}" for i in range(2000)])
+        assert bloom.measured_fpr([f"x{i}" for i in range(2000)]) > 0.2
+
+
+class TestInternals:
+    def test_size_bytes(self):
+        bloom = BloomFilter(8000, 3)
+        assert bloom.size_bytes() == 1000
+
+    def test_fill_ratio_monotone(self):
+        bloom = BloomFilter(4096, 3)
+        assert bloom.fill_ratio() == 0.0
+        bloom.add("a")
+        ratio_one = bloom.fill_ratio()
+        bloom.add_batch([f"k{i}" for i in range(100)])
+        assert bloom.fill_ratio() > ratio_one
+
+    def test_measured_fpr_empty_nonkeys(self):
+        bloom = BloomFilter(64, 2)
+        assert bloom.measured_fpr([]) == 0.0
+
+    def test_mixed_key_types(self):
+        bloom = BloomFilter.for_capacity(100, 0.01)
+        bloom.add("string-key")
+        bloom.add(12345)
+        assert "string-key" in bloom
+        assert 12345 in bloom

@@ -1,0 +1,120 @@
+"""Unit tests for the separate-chaining hash map (Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LearnedHashFunction
+from repro.hashmap import (
+    RECORD_BYTES,
+    SLOT_BYTES,
+    ChainingHashMap,
+    RandomHashFunction,
+)
+
+
+@pytest.fixture()
+def kv(rng):
+    keys = np.unique(rng.integers(0, 10**12, size=5_000))
+    values = rng.integers(0, 10**9, size=keys.size)
+    return keys, values
+
+
+class TestBasicOperations:
+    def test_roundtrip(self, kv):
+        keys, values = kv
+        hm = ChainingHashMap(keys.size, RandomHashFunction(keys.size, seed=1))
+        hm.insert_batch(keys, values)
+        assert len(hm) == keys.size
+        for i in range(0, keys.size, 53):
+            assert hm.get(int(keys[i])) == int(values[i])
+
+    def test_missing_key(self, kv):
+        keys, values = kv
+        hm = ChainingHashMap(keys.size, RandomHashFunction(keys.size, seed=1))
+        hm.insert_batch(keys, values)
+        absent = int(keys.max()) + 17
+        assert hm.get(absent) is None
+        assert absent not in hm
+
+    def test_overwrite(self):
+        hm = ChainingHashMap(16, RandomHashFunction(16, seed=1))
+        hm.insert(5, 100)
+        hm.insert(5, 200)
+        assert hm.get(5) == 200
+        assert len(hm) == 1
+
+    def test_overwrite_in_chain(self):
+        # Force a chain by hashing everything to slot 0.
+        hm = ChainingHashMap(8, lambda key: 0)
+        hm.insert(1, 10)
+        hm.insert(2, 20)
+        hm.insert(3, 30)
+        hm.insert(2, 99)
+        assert hm.get(2) == 99
+        assert len(hm) == 3
+
+    def test_rejects_bad_slots(self):
+        with pytest.raises(ValueError):
+            ChainingHashMap(0, lambda key: 0)
+
+    def test_mismatched_batch(self):
+        hm = ChainingHashMap(4, lambda key: 0)
+        with pytest.raises(ValueError):
+            hm.insert_batch(np.array([1, 2]), np.array([1]))
+
+
+class TestStorageAccounting:
+    def test_slot_constants_match_paper(self):
+        assert RECORD_BYTES == 20
+        assert SLOT_BYTES == 24
+
+    def test_empty_slot_bytes(self):
+        hm = ChainingHashMap(10, lambda key: int(key) % 10)
+        hm.insert(0, 1)
+        hm.insert(1, 2)
+        assert hm.empty_slots == 8
+        assert hm.empty_slot_bytes() == 8 * SLOT_BYTES
+
+    def test_size_includes_overflow(self):
+        hm = ChainingHashMap(4, lambda key: 0)
+        for k in range(4):
+            hm.insert(k, k)
+        assert hm.overflow_records() == 3
+        assert hm.size_bytes() == 4 * SLOT_BYTES + 3 * SLOT_BYTES
+
+    def test_chain_histogram(self):
+        hm = ChainingHashMap(4, lambda key: 0)
+        for k in range(3):
+            hm.insert(k, k)
+        histogram = hm.chain_length_histogram()
+        assert histogram[3] == 1
+        assert histogram[0] == 3
+
+
+class TestLearnedVersusRandom:
+    def test_learned_hash_wastes_fewer_slots(self, maps_small):
+        """Appendix B / Figure 11: model hash reduces empty-slot waste."""
+        keys = maps_small
+        values = np.arange(keys.size)
+        learned = ChainingHashMap(
+            keys.size,
+            LearnedHashFunction(keys, keys.size, stage_sizes=(1, keys.size // 10)),
+        )
+        learned.insert_batch(keys, values)
+        random_map = ChainingHashMap(
+            keys.size, RandomHashFunction(keys.size, seed=3)
+        )
+        random_map.insert_batch(keys, values)
+        assert learned.empty_slot_bytes() < 0.5 * random_map.empty_slot_bytes()
+        # and both must still round-trip correctly
+        for i in range(0, keys.size, 997):
+            assert learned.get(int(keys[i])) == i
+            assert random_map.get(int(keys[i])) == i
+
+    def test_probe_counting(self, kv):
+        keys, values = kv
+        hm = ChainingHashMap(keys.size, RandomHashFunction(keys.size, seed=1))
+        hm.insert_batch(keys, values)
+        before = hm.probe_count
+        hm.get(int(keys[0]))
+        assert hm.probe_count > before

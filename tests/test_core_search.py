@@ -1,0 +1,121 @@
+"""Unit tests for the last-mile search strategies (Section 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.search import (
+    SEARCH_STRATEGIES,
+    Counter,
+    biased_binary_search,
+    biased_quaternary_search,
+    bounded_search,
+    verify_lower_bound,
+)
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = np.random.default_rng(3)
+    return np.unique(rng.integers(0, 10**6, size=3_000))
+
+
+def truth(keys, q):
+    return int(np.searchsorted(keys, q, side="left"))
+
+
+class TestBiasedBinary:
+    def test_matches_searchsorted_any_guess(self, keys):
+        rng = np.random.default_rng(0)
+        n = len(keys)
+        for q in np.concatenate(
+            [rng.choice(keys, 150), rng.integers(-5, 10**6 + 5, 150)]
+        ):
+            expected = truth(keys, q)
+            for guess in (0, n - 1, expected, rng.integers(0, n)):
+                got = biased_binary_search(keys, q, 0, n, int(guess))
+                assert got == expected
+
+    def test_perfect_guess_single_comparison_window(self, keys):
+        q = int(keys[777])
+        counter = Counter()
+        biased_binary_search(keys, q, 770, 785, 777, counter)
+        # perfect first probe collapses the window immediately
+        assert counter.comparisons <= 5
+
+    def test_respects_window(self, keys):
+        expected = truth(keys, int(keys[100]))
+        got = biased_binary_search(keys, int(keys[100]), 90, 110, 95)
+        assert got == expected
+
+
+class TestBiasedQuaternary:
+    def test_matches_searchsorted(self, keys):
+        rng = np.random.default_rng(1)
+        n = len(keys)
+        for q in np.concatenate(
+            [rng.choice(keys, 150), rng.integers(-5, 10**6 + 5, 150)]
+        ):
+            expected = truth(keys, q)
+            for sigma in (1, 4, 32):
+                got = biased_quaternary_search(
+                    keys, q, 0, n, expected, sigma=sigma
+                )
+                assert got == expected, (q, sigma)
+
+    def test_bad_guess_still_correct(self, keys):
+        n = len(keys)
+        rng = np.random.default_rng(2)
+        for q in rng.choice(keys, 100):
+            guess = int(rng.integers(0, n))
+            assert biased_quaternary_search(
+                keys, int(q), 0, n, guess, sigma=2
+            ) == truth(keys, q)
+
+    def test_accurate_guess_cheaper_than_plain_binary(self, keys):
+        c_quat, c_bin = Counter(), Counter()
+        rng = np.random.default_rng(3)
+        for q in rng.choice(keys, 200):
+            expected = truth(keys, int(q))
+            biased_quaternary_search(
+                keys, int(q), 0, len(keys), expected, sigma=2, counter=c_quat
+            )
+            bounded_search(
+                keys, int(q), 0, len(keys), expected, "binary", counter=c_bin
+            )
+        assert c_quat.comparisons < c_bin.comparisons
+
+
+class TestBoundedSearchDispatch:
+    def test_all_strategies_agree(self, keys):
+        rng = np.random.default_rng(4)
+        n = len(keys)
+        for q in np.concatenate(
+            [rng.choice(keys, 80), rng.integers(-5, 10**6 + 5, 80)]
+        ):
+            expected = truth(keys, q)
+            for name in SEARCH_STRATEGIES:
+                got = bounded_search(keys, q, 0, n, expected, name)
+                assert got == expected, name
+
+    def test_unknown_strategy(self, keys):
+        with pytest.raises(KeyError, match="unknown strategy"):
+            bounded_search(keys, 1.0, 0, 10, 5, "psychic")
+
+
+class TestVerifyLowerBound:
+    def test_accepts_correct(self, keys):
+        q = int(keys[50])
+        assert verify_lower_bound(keys, q, 50)
+
+    def test_rejects_wrong(self, keys):
+        q = int(keys[50])
+        assert not verify_lower_bound(keys, q, 49)
+        assert not verify_lower_bound(keys, q, 51)
+        assert not verify_lower_bound(keys, q, -1)
+        assert not verify_lower_bound(keys, q, len(keys) + 1)
+
+    def test_boundaries(self, keys):
+        below = int(keys[0]) - 1
+        above = int(keys[-1]) + 1
+        assert verify_lower_bound(keys, below, 0)
+        assert verify_lower_bound(keys, above, len(keys))

@@ -1,0 +1,96 @@
+"""Unit tests for the cuckoo hash maps (Appendix C)."""
+
+import numpy as np
+import pytest
+
+from repro.hashmap import BucketizedCuckooHashMap, GenericCuckooHashMap
+
+
+@pytest.fixture()
+def kv(rng):
+    keys = np.unique(rng.integers(0, 10**12, size=8_000))
+    values = rng.integers(0, 10**9, size=keys.size)
+    return keys, values
+
+
+class TestBucketizedCuckoo:
+    def test_roundtrip_at_99_percent(self, kv):
+        keys, values = kv
+        cuckoo = BucketizedCuckooHashMap(int(keys.size / 0.99))
+        for k, v in zip(keys, values):
+            assert cuckoo.insert(int(k), int(v))
+        assert cuckoo.utilization > 0.95
+        for i in range(0, keys.size, 61):
+            assert cuckoo.get(int(keys[i])) == int(values[i])
+
+    def test_missing_key(self, kv):
+        keys, values = kv
+        cuckoo = BucketizedCuckooHashMap(keys.size * 2)
+        for k, v in zip(keys[:100], values[:100]):
+            cuckoo.insert(int(k), int(v))
+        assert cuckoo.get(int(keys.max()) + 5) is None
+
+    def test_overwrite(self):
+        cuckoo = BucketizedCuckooHashMap(64)
+        cuckoo.insert(5, 1)
+        cuckoo.insert(5, 2)
+        assert cuckoo.get(5) == 2
+        assert len(cuckoo) == 1
+
+    def test_bucket_slots_override(self):
+        narrow = BucketizedCuckooHashMap(1024, bucket_slots=4)
+        assert narrow.BUCKET_SLOTS == 4
+        with pytest.raises(ValueError):
+            BucketizedCuckooHashMap(64, bucket_slots=0)
+
+    def test_value_bytes_changes_size(self):
+        small = BucketizedCuckooHashMap(1024, value_bytes=4)
+        large = BucketizedCuckooHashMap(1024, value_bytes=12)
+        assert large.size_bytes() > small.size_bytes()
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            BucketizedCuckooHashMap(0)
+
+
+class TestGenericCuckoo:
+    def test_roundtrip_at_95_percent(self, kv):
+        keys, values = kv
+        cuckoo = GenericCuckooHashMap(keys.size)
+        for k, v in zip(keys, values):
+            assert cuckoo.insert(int(k), int(v))
+        assert cuckoo.utilization == pytest.approx(0.95, abs=0.03)
+        for i in range(0, keys.size, 61):
+            assert cuckoo.get(int(keys[i])) == int(values[i])
+
+    def test_missing_and_overwrite(self):
+        cuckoo = GenericCuckooHashMap(100)
+        cuckoo.insert(1, 10)
+        cuckoo.insert(1, 20)
+        assert cuckoo.get(1) == 20
+        assert cuckoo.get(2) is None
+        assert len(cuckoo) == 1
+
+    def test_growth_under_pressure(self, rng):
+        # Tiny map forced far past its capacity must grow, not fail.
+        cuckoo = GenericCuckooHashMap(16, stash_size=2)
+        keys = np.unique(rng.integers(0, 10**9, size=500))
+        for i, k in enumerate(keys):
+            assert cuckoo.insert(int(k), i)
+        for i, k in enumerate(keys[::17]):
+            assert cuckoo.get(int(k)) == int(np.where(keys == k)[0][0])
+
+    def test_rejects_sentinel_key(self):
+        cuckoo = GenericCuckooHashMap(16)
+        with pytest.raises(ValueError):
+            cuckoo.insert(-(2**62), 1)
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ValueError):
+            GenericCuckooHashMap(100, target_utilization=0.999)
+
+    def test_contains(self):
+        cuckoo = GenericCuckooHashMap(32)
+        cuckoo.insert(7, 70)
+        assert 7 in cuckoo
+        assert 8 not in cuckoo

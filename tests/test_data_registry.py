@@ -1,0 +1,37 @@
+"""Unit tests for the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import INTEGER_DATASETS, integer_dataset, string_dataset
+
+
+class TestRegistry:
+    def test_paper_datasets_listed(self):
+        assert INTEGER_DATASETS == ("maps", "weblogs", "lognormal")
+
+    @pytest.mark.parametrize("name", INTEGER_DATASETS)
+    def test_materializes_each(self, name):
+        ds = integer_dataset(name, 2_000, seed=1)
+        assert ds.name == name
+        assert ds.n == 2_000
+        assert np.all(np.diff(ds.keys) > 0)
+        assert ds.description
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            integer_dataset("nope", 100)
+
+    def test_ablation_datasets_available(self):
+        for name in ("uniform", "normal", "clustered"):
+            assert integer_dataset(name, 500, seed=1).n == 500
+
+    def test_same_args_same_bytes(self):
+        a = integer_dataset("maps", 1_000, seed=9).keys
+        b = integer_dataset("maps", 1_000, seed=9).keys
+        np.testing.assert_array_equal(a, b)
+
+    def test_string_dataset(self):
+        ids = string_dataset(300, seed=2)
+        assert len(ids) == 300
+        assert ids == sorted(ids)

@@ -1,0 +1,136 @@
+"""Unit tests for the synthetic integer key generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic
+from repro.data.synthetic import (
+    clustered_keys,
+    dedupe_sorted,
+    lognormal_keys,
+    normal_keys,
+    sequential_keys,
+    uniform_keys,
+    zipf_gap_keys,
+)
+
+
+def _assert_canonical(keys: np.ndarray, n: int) -> None:
+    assert keys.dtype == np.int64
+    assert keys.size == n
+    assert np.all(np.diff(keys) > 0), "keys must be strictly increasing"
+
+
+class TestLognormal:
+    def test_canonical_layout(self):
+        _assert_canonical(lognormal_keys(2_000, seed=1), 2_000)
+
+    def test_deterministic(self):
+        a = lognormal_keys(1_000, seed=5)
+        b = lognormal_keys(1_000, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_data(self):
+        a = lognormal_keys(1_000, seed=5)
+        b = lognormal_keys(1_000, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_heavy_tail(self):
+        keys = lognormal_keys(5_000, seed=2)
+        # Median far below mean is the heavy-tail signature.
+        assert np.median(keys) < keys.mean() * 0.5
+
+    def test_respects_explicit_max_key(self):
+        keys = lognormal_keys(500, max_key=10_000, seed=3)
+        assert keys.max() <= 10_000
+        assert keys.min() >= 0
+
+    def test_default_key_space_scales_with_n(self):
+        small = lognormal_keys(500, seed=3)
+        large = lognormal_keys(5_000, seed=3)
+        assert large.max() > small.max()
+
+    def test_saturated_head(self):
+        # The paper-density default must create runs of consecutive
+        # integers in the dense head of the distribution.
+        keys = lognormal_keys(20_000, seed=4)
+        gaps = np.diff(keys)
+        assert (gaps == 1).mean() > 0.2
+
+
+class TestUniform:
+    def test_canonical_layout(self):
+        _assert_canonical(uniform_keys(2_000, seed=1), 2_000)
+
+    def test_spans_range(self):
+        keys = uniform_keys(10_000, max_key=1_000_000, seed=1)
+        assert keys.min() < 50_000
+        assert keys.max() > 950_000
+
+    def test_roughly_linear_cdf(self):
+        keys = uniform_keys(10_000, max_key=1_000_000, seed=1)
+        positions = np.arange(keys.size)
+        fitted = np.polyfit(keys.astype(float), positions, 1)
+        residual = positions - np.polyval(fitted, keys.astype(float))
+        assert np.abs(residual).max() < keys.size * 0.02
+
+
+class TestNormal:
+    def test_canonical_layout(self):
+        _assert_canonical(normal_keys(2_000, seed=1), 2_000)
+
+    def test_concentrated_around_mean(self):
+        keys = normal_keys(5_000, mu=0.5, sigma=0.05, seed=1)
+        center = 0.5 * synthetic.DEFAULT_MAX_KEY
+        within = np.abs(keys - center) < 0.2 * synthetic.DEFAULT_MAX_KEY
+        assert within.mean() > 0.99
+
+
+class TestClustered:
+    def test_canonical_layout(self):
+        _assert_canonical(clustered_keys(2_000, seed=1), 2_000)
+
+    def test_has_large_gaps(self):
+        keys = clustered_keys(5_000, clusters=5, spread=0.001, seed=1)
+        gaps = np.diff(keys)
+        # Step-like CDF: the biggest gap dwarfs the median gap.
+        assert gaps.max() > 1000 * max(np.median(gaps), 1)
+
+
+class TestSequential:
+    def test_exact_progression(self):
+        keys = sequential_keys(100, start=7, step=3)
+        np.testing.assert_array_equal(keys, 7 + 3 * np.arange(100))
+
+    def test_default(self):
+        _assert_canonical(sequential_keys(50), 50)
+
+
+class TestZipfGaps:
+    def test_canonical_layout(self):
+        _assert_canonical(zipf_gap_keys(2_000, seed=1), 2_000)
+
+    def test_gap_distribution_is_heavy_tailed(self):
+        keys = zipf_gap_keys(5_000, alpha=1.5, seed=1)
+        gaps = np.diff(keys)
+        # Zipf(1.5) gaps: unit gaps dominate but the tail is very long.
+        assert (gaps == 1).mean() > 0.3
+        assert gaps.max() > 100 * np.median(gaps)
+
+
+class TestDedupeSorted:
+    def test_sorts_and_dedupes(self):
+        out = dedupe_sorted(np.array([5, 1, 5, 3, 1]))
+        np.testing.assert_array_equal(out, [1, 3, 5])
+
+    def test_dtype(self):
+        assert dedupe_sorted(np.array([2.0, 1.0])).dtype == np.int64
+
+    def test_empty(self):
+        assert dedupe_sorted(np.array([])).size == 0
+
+
+class TestFillUnique:
+    def test_raises_when_space_too_small(self):
+        with pytest.raises(RuntimeError):
+            lognormal_keys(1_000, max_key=10, seed=1)

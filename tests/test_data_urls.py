@@ -1,0 +1,100 @@
+"""Unit tests for the URL dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.urls import (
+    benign_urls,
+    confusable_urls,
+    phishing_urls,
+    url_dataset,
+)
+
+
+class TestPhishingUrls:
+    def test_unique_count(self):
+        urls = phishing_urls(1_000, seed=1)
+        assert len(urls) == 1_000
+        assert len(set(urls)) == 1_000
+
+    def test_deterministic(self):
+        assert phishing_urls(300, seed=2) == phishing_urls(300, seed=2)
+
+    def test_look_like_urls(self):
+        for url in phishing_urls(200, seed=1):
+            assert url.startswith("http")
+            assert "/" in url.split("://", 1)[1]
+
+    def test_hard_fraction_zero_is_fully_suspicious(self):
+        urls = phishing_urls(400, seed=1, hard_fraction=0.0)
+        suspicious_markers = (
+            ".xyz", ".top", ".tk", ".ml", ".info", ".cc", ".club", "http://",
+        )
+        hits = sum(
+            any(marker in u for marker in suspicious_markers) for u in urls
+        )
+        assert hits == len(urls)
+
+    def test_hard_fraction_adds_benign_looking_keys(self):
+        urls = phishing_urls(1_000, seed=1, hard_fraction=0.3)
+        benign_looking = sum(u.startswith("https://www.") for u in urls)
+        assert 0.2 < benign_looking / len(urls) < 0.45
+
+
+class TestBenignUrls:
+    def test_unique_count(self):
+        urls = benign_urls(1_000, seed=1)
+        assert len(set(urls)) == 1_000
+
+    def test_https_and_common_tlds(self):
+        for url in benign_urls(200, seed=1):
+            assert url.startswith("https://www.")
+
+
+class TestConfusableUrls:
+    def test_exact_count(self):
+        urls = confusable_urls(500, seed=1)
+        assert len(urls) == 500
+        assert len(set(urls)) == 500
+
+    def test_brand_plus_credential_tokens(self):
+        brands = (
+            "paypal", "google", "amazon", "apple", "microsoft", "netflix",
+            "facebook", "instagram", "chase", "wellsfargo", "dropbox", "adobe",
+        )
+        for url in confusable_urls(200, seed=1):
+            assert any(b in url for b in brands)
+
+
+class TestUrlDataset:
+    def test_no_key_leakage_into_negatives(self):
+        keys, negatives = url_dataset(800, 800, seed=3)
+        assert not set(keys) & set(negatives)
+
+    def test_mixture_control(self):
+        _, random_only = url_dataset(200, 400, confusable_fraction=0.0, seed=3)
+        _, confusable_only = url_dataset(
+            200, 400, confusable_fraction=1.0, seed=3
+        )
+        brands = ("paypal", "google", "amazon", "apple", "microsoft",
+                  "netflix", "facebook", "instagram", "chase", "wellsfargo",
+                  "dropbox", "adobe")
+        assert all(u.startswith("https://") for u in confusable_only)
+        assert all(any(b in u for b in brands) for u in confusable_only)
+        assert len(random_only) > 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            url_dataset(10, 10, confusable_fraction=1.5)
+
+    def test_classifier_separability(self):
+        """A trivial bag-of-tokens score must separate easy negatives."""
+        keys, negatives = url_dataset(500, 500, confusable_fraction=0.0, seed=3)
+
+        def score(url: str) -> int:
+            markers = ("login", "verify", "secure", ".xyz", ".tk", "http://")
+            return sum(m in url for m in markers)
+
+        key_scores = np.array([score(u) for u in keys])
+        neg_scores = np.array([score(u) for u in negatives])
+        assert key_scores.mean() > neg_scores.mean() + 0.5

@@ -1,0 +1,100 @@
+"""Unit tests for the weblog timestamp simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data.weblogs import (
+    _SECONDS_PER_DAY,
+    PAPER_TICKS_PER_KEY,
+    RateModel,
+    weblog_timestamps,
+)
+
+
+class TestRateModel:
+    def setup_method(self):
+        self.model = RateModel(seed=3)
+
+    def test_daily_peak_versus_night(self):
+        ten_thirty = np.array([10.5 * 3600.0])
+        three_am = np.array([3.0 * 3600.0])
+        assert self.model.daily_factor(ten_thirty) > 5 * self.model.daily_factor(
+            three_am
+        )
+
+    def test_lunch_dip(self):
+        lunch = np.array([12.5 * 3600.0])
+        eleven = np.array([11.0 * 3600.0])
+        assert self.model.daily_factor(lunch) < self.model.daily_factor(eleven)
+
+    def test_weekend_drop(self):
+        weekday = self.model.weekly_factor(np.array([2]))
+        weekend = self.model.weekly_factor(np.array([6]))
+        assert weekday > 4 * weekend
+
+    def test_semester_break_drop(self):
+        term_day = self.model.semester_factor(np.array([80]))
+        break_day = self.model.semester_factor(np.array([200]))
+        assert term_day > 5 * break_day
+
+    def test_exam_period_exceeds_midterm(self):
+        exam = self.model.semester_factor(np.array([130]))
+        midterm = self.model.semester_factor(np.array([80]))
+        assert exam > midterm
+
+    def test_holiday_drop(self):
+        holiday = self.model._holiday_days[0]
+        non_holiday = (holiday + 1) % 365
+        while non_holiday in self.model._holiday_days:
+            non_holiday = (non_holiday + 1) % 365
+        assert self.model.holiday_factor(np.array([holiday])) < 0.1
+        assert self.model.holiday_factor(np.array([non_holiday])) == 1.0
+
+    def test_event_bursts_raise_rate(self):
+        t0 = self.model._event_times[0]
+        near = self.model.event_factor(np.array([t0]))
+        far = self.model.event_factor(np.array([t0 + 50 * _SECONDS_PER_DAY]))
+        assert near > far
+
+    def test_rate_positive_everywhere(self):
+        t = np.linspace(0, 2 * 365 * _SECONDS_PER_DAY, 10_000)
+        rate = self.model.rate(t)
+        assert np.all(rate > 0)
+
+
+class TestWeblogTimestamps:
+    def test_canonical_layout(self):
+        keys = weblog_timestamps(5_000, seed=1)
+        assert keys.dtype == np.int64
+        assert keys.size == 5_000
+        assert np.all(np.diff(keys) > 0)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            weblog_timestamps(2_000, seed=9), weblog_timestamps(2_000, seed=9)
+        )
+
+    def test_density_matches_calibration(self):
+        n = 20_000
+        keys = weblog_timestamps(n, seed=1)
+        span = keys.max() - keys.min()
+        ticks_per_key = span / n
+        assert ticks_per_key == pytest.approx(PAPER_TICKS_PER_KEY, rel=0.35)
+
+    def test_explicit_resolution(self):
+        keys = weblog_timestamps(2_000, seed=1, resolution=1000)
+        # millisecond ticks over 2 years => huge key space, sparse keys
+        assert keys.max() > 10**9
+
+    def test_irregular_cdf(self):
+        # Night/weekend plateaus make the CDF far from linear: a single
+        # line should leave large relative residuals.
+        keys = weblog_timestamps(20_000, seed=1).astype(np.float64)
+        positions = np.arange(keys.size)
+        coeffs = np.polyfit(keys, positions, 1)
+        residual = np.abs(positions - np.polyval(coeffs, keys))
+        assert residual.max() > 0.02 * keys.size
+
+    def test_rejects_non_positive_n(self):
+        with pytest.raises(ValueError):
+            weblog_timestamps(0)

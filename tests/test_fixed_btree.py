@@ -1,0 +1,64 @@
+"""Unit tests for the budgeted fixed-size B-Tree with interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.btree import FixedSizeBTree
+
+
+def truth(keys, q):
+    return int(np.searchsorted(keys, q, side="left"))
+
+
+class TestFixedSizeBTree:
+    def test_respects_size_budget(self, uniform_small):
+        for budget in (1_000, 10_000, 50_000):
+            tree = FixedSizeBTree(uniform_small, size_budget_bytes=budget)
+            assert tree.size_bytes() <= budget * 1.05
+
+    def test_matches_searchsorted(self, uniform_small, rng):
+        tree = FixedSizeBTree(uniform_small, size_budget_bytes=20_000)
+        queries = np.concatenate(
+            [
+                rng.choice(uniform_small, 300),
+                rng.integers(
+                    uniform_small.min() - 5, uniform_small.max() + 5, 300
+                ),
+            ]
+        )
+        for q in queries:
+            assert tree.lookup(float(q)) == truth(uniform_small, q)
+
+    def test_matches_on_lognormal(self, lognormal_small, rng):
+        tree = FixedSizeBTree(lognormal_small, size_budget_bytes=8_000)
+        for q in rng.choice(lognormal_small, 300):
+            assert tree.lookup(float(q)) == truth(lognormal_small, q)
+
+    def test_budget_controls_separator_count(self, lognormal_small, rng):
+        small = FixedSizeBTree(lognormal_small, size_budget_bytes=2_000)
+        large = FixedSizeBTree(lognormal_small, size_budget_bytes=40_000)
+        assert small._run_starts.size < large._run_starts.size
+        # Interpolation keeps per-lookup cost modest even on long runs.
+        queries = rng.choice(lognormal_small, 200)
+        small.stats.reset()
+        for q in queries:
+            small.lookup(float(q))
+        per_lookup = small.stats.comparisons / 200
+        assert per_lookup < 3 * np.log2(lognormal_small.size)
+
+    def test_rejects_tiny_budget(self):
+        with pytest.raises(ValueError):
+            FixedSizeBTree(np.array([1, 2, 3]), size_budget_bytes=4)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            FixedSizeBTree(np.array([2, 1]), size_budget_bytes=1000)
+
+    def test_empty(self):
+        tree = FixedSizeBTree(np.array([], dtype=np.int64), size_budget_bytes=1000)
+        assert tree.lookup(5.0) == 0
+
+    def test_contains(self, uniform_small):
+        tree = FixedSizeBTree(uniform_small, size_budget_bytes=10_000)
+        assert tree.contains(float(uniform_small[0]))
+        assert not tree.contains(float(uniform_small.max() + 13))

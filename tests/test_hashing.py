@@ -1,0 +1,83 @@
+"""Unit tests for murmur-style hash functions."""
+
+import numpy as np
+import pytest
+
+from repro.hashmap import (
+    RandomHashFunction,
+    murmur3_string,
+    murmur_fmix64,
+    murmur_fmix64_batch,
+)
+
+
+class TestFmix64:
+    def test_deterministic(self):
+        assert murmur_fmix64(12345) == murmur_fmix64(12345)
+
+    def test_seed_changes_output(self):
+        assert murmur_fmix64(12345, seed=1) != murmur_fmix64(12345, seed=2)
+
+    def test_64_bit_range(self):
+        for key in (0, 1, 2**63 - 1, 2**64 - 1):
+            h = murmur_fmix64(key)
+            assert 0 <= h < 2**64
+
+    def test_avalanche(self):
+        """Flipping one input bit flips ~half the output bits."""
+        flips = []
+        for key in range(0, 2000, 7):
+            a = murmur_fmix64(key)
+            b = murmur_fmix64(key ^ 1)
+            flips.append(bin(a ^ b).count("1"))
+        assert 24 < np.mean(flips) < 40
+
+    def test_batch_matches_scalar(self):
+        keys = np.array([0, 1, 99, 2**40, 2**62], dtype=np.int64)
+        batch = murmur_fmix64_batch(keys, seed=5)
+        for key, h in zip(keys, batch):
+            assert murmur_fmix64(int(key), seed=5) == int(h)
+
+    def test_uniformity(self):
+        keys = np.arange(100_000, dtype=np.int64)
+        hashed = murmur_fmix64_batch(keys)
+        slots = (hashed % np.uint64(64)).astype(np.int64)
+        counts = np.bincount(slots, minlength=64)
+        # chi-square-ish sanity: all bins within 10% of expectation
+        expected = 100_000 / 64
+        assert np.all(np.abs(counts - expected) < expected * 0.1)
+
+
+class TestMurmur3String:
+    def test_known_vectors(self):
+        # Reference values of MurmurHash3_x86_32 (seed 0)
+        assert murmur3_string(b"", 0) == 0
+        assert murmur3_string(b"a", 0) == 0x3C2569B2
+        assert murmur3_string(b"hello", 0) == 0x248BFA47
+
+    def test_str_and_bytes_agree(self):
+        assert murmur3_string("abc") == murmur3_string(b"abc")
+
+    def test_seed_sensitivity(self):
+        assert murmur3_string("abc", 1) != murmur3_string("abc", 2)
+
+    def test_tail_lengths(self):
+        values = {murmur3_string("x" * i) for i in range(1, 9)}
+        assert len(values) == 8
+
+
+class TestRandomHashFunction:
+    def test_in_range(self):
+        h = RandomHashFunction(100, seed=1)
+        assert all(0 <= h(k) < 100 for k in range(1000))
+
+    def test_batch_matches_scalar(self):
+        h = RandomHashFunction(997, seed=2)
+        keys = np.array([5, 10**9, 2**50], dtype=np.int64)
+        batch = h.hash_batch(keys)
+        for key, slot in zip(keys, batch):
+            assert h(int(key)) == int(slot)
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            RandomHashFunction(0)

@@ -1,0 +1,129 @@
+"""Cross-module integration tests: full pipelines over real generators."""
+
+import bisect
+
+import numpy as np
+import pytest
+
+from repro import (
+    BTreeIndex,
+    ChainingHashMap,
+    HybridIndex,
+    LearnedBloomFilter,
+    LearnedHashFunction,
+    RandomHashFunction,
+    RecursiveModelIndex,
+    StringRMI,
+    conflict_stats,
+    synthesize,
+)
+from repro.core import RMIConfig
+from repro.data import integer_dataset, string_dataset, url_dataset
+from repro.models import GRUClassifier
+
+
+class TestRangeIndexPipeline:
+    @pytest.mark.parametrize("name", ["maps", "weblogs", "lognormal"])
+    def test_rmi_and_btree_agree_on_every_dataset(self, name, rng):
+        keys = integer_dataset(name, 30_000, seed=3).keys
+        rmi = RecursiveModelIndex(keys, stage_sizes=(1, 300))
+        btree = BTreeIndex(keys, page_size=128)
+        queries = np.concatenate(
+            [rng.choice(keys, 300), rng.integers(keys.min(), keys.max(), 300)]
+        )
+        for q in queries:
+            assert rmi.lookup(float(q)) == btree.lookup(float(q))
+
+    def test_rmi_smaller_and_no_less_accurate_than_btree(self):
+        keys = integer_dataset("maps", 50_000, seed=3).keys
+        # Paper ratio: leaves cover ~hundreds of keys each, so the model
+        # is far smaller than one separator per 128-key page.
+        rmi = RecursiveModelIndex(keys, stage_sizes=(1, 100))
+        btree = BTreeIndex(keys, page_size=128)
+        assert rmi.size_bytes() < btree.size_bytes()
+        # mean search window comparable to a page
+        assert rmi.stats.mean_window == 0  # no lookups yet
+        rng = np.random.default_rng(0)
+        for q in rng.choice(keys, 500):
+            rmi.lookup(float(q))
+        assert rmi.stats.mean_window < 4 * 128
+
+    def test_lif_synthesis_end_to_end(self):
+        keys = integer_dataset("lognormal", 20_000, seed=4).keys
+        grid = [
+            RMIConfig(num_leaves=50),
+            RMIConfig(num_leaves=200),
+            RMIConfig(
+                root_kind="multivariate",
+                root_features=("key", "log"),
+                num_leaves=200,
+            ),
+        ]
+        index, best, results = synthesize(keys, grid=grid, query_sample=300)
+        assert len(results) == 3
+        rng = np.random.default_rng(1)
+        for q in rng.choice(keys, 200):
+            assert index.lookup(float(q)) == int(
+                np.searchsorted(keys, q, side="left")
+            )
+
+    def test_hybrid_on_hard_data_stays_correct(self, rng):
+        from repro.data import clustered_keys
+
+        keys = clustered_keys(30_000, clusters=15, spread=0.0002, seed=5)
+        hybrid = HybridIndex(keys, stage_sizes=(1, 300), threshold=32)
+        assert hybrid.replaced_leaf_count > 0
+        for q in rng.choice(keys, 400):
+            assert hybrid.lookup(float(q)) == int(
+                np.searchsorted(keys, q, side="left")
+            )
+
+
+class TestStringPipeline:
+    def test_string_rmi_over_generated_docids(self, rng):
+        keys = string_dataset(10_000, seed=6)
+        index = StringRMI(keys, num_leaves=300, hybrid_threshold=256)
+        for i in rng.integers(0, len(keys), 300):
+            assert index.lookup(keys[i]) == i
+        for probe in ["00-", "99-", keys[500] + "z"]:
+            assert index.lookup(probe) == bisect.bisect_left(keys, probe)
+
+
+class TestPointIndexPipeline:
+    def test_learned_hash_into_chained_map(self):
+        keys = integer_dataset("maps", 30_000, seed=7).keys
+        values = np.arange(keys.size)
+        learned = LearnedHashFunction(
+            keys, keys.size, stage_sizes=(1, keys.size // 10)
+        )
+        random_fn = RandomHashFunction(keys.size, seed=2)
+        learned_stats = conflict_stats(learned, keys, keys.size)
+        random_stats = conflict_stats(random_fn, keys, keys.size)
+        assert learned_stats.conflict_rate < random_stats.conflict_rate
+
+        learned_map = ChainingHashMap(keys.size, learned)
+        learned_map.insert_batch(keys, values)
+        random_map = ChainingHashMap(keys.size, random_fn)
+        random_map.insert_batch(keys, values)
+        assert learned_map.empty_slot_bytes() < random_map.empty_slot_bytes()
+        rng = np.random.default_rng(0)
+        for i in rng.integers(0, keys.size, 500):
+            assert learned_map.get(int(keys[i])) == i
+
+
+class TestExistencePipeline:
+    def test_gru_learned_bloom_end_to_end(self):
+        keys, negatives = url_dataset(3_000, 3_000, seed=8)
+        third = len(negatives) // 3
+        train = negatives[:third]
+        val = negatives[third:2 * third]
+        test = negatives[2 * third:]
+        model = GRUClassifier(width=8, embedding_dim=16, max_length=40, seed=0)
+        labels = np.array([1.0] * len(keys) + [0.0] * len(train))
+        model.fit(
+            keys + train, labels, epochs=2, batch_size=256, learning_rate=5e-3
+        )
+        lbf = LearnedBloomFilter(model, keys, val, target_fpr=0.05)
+        # the existence-index contract, end to end
+        assert all(k in lbf for k in keys[:600])
+        assert lbf.measured_fpr(test) < 0.15

@@ -1,0 +1,92 @@
+"""Unit tests for learned sorting (Section 7, Beyond Indexing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import learned_sort, train_cdf_model_on_sample
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [0, 1, 2, 100, 10_000])
+    def test_sorts_uniform(self, n):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 1e9, size=n)
+        np.testing.assert_array_equal(learned_sort(values), np.sort(values))
+
+    def test_sorts_lognormal(self):
+        rng = np.random.default_rng(1)
+        values = rng.lognormal(0, 2, size=20_000)
+        np.testing.assert_array_equal(learned_sort(values), np.sort(values))
+
+    def test_sorts_with_duplicates(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 50, size=5_000).astype(np.float64)
+        np.testing.assert_array_equal(learned_sort(values), np.sort(values))
+
+    def test_sorts_constant(self):
+        values = np.full(1_000, 7.0)
+        np.testing.assert_array_equal(learned_sort(values), values)
+
+    def test_input_not_modified(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(size=1_000)
+        snapshot = values.copy()
+        learned_sort(values)
+        np.testing.assert_array_equal(values, snapshot)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(-1e9, 1e9),
+            min_size=0,
+            max_size=300,
+        )
+    )
+    def test_property_matches_numpy(self, values):
+        arr = np.array(values)
+        np.testing.assert_array_equal(learned_sort(arr), np.sort(arr))
+
+
+class TestEfficiency:
+    def test_good_model_means_little_repair_work(self):
+        """The Section 7 claim: a good CDF model leaves O(1)
+        displacement per key for the correction pass."""
+        rng = np.random.default_rng(4)
+        values = rng.uniform(0, 1e9, size=50_000)
+        _out, stats = learned_sort(values, return_stats=True)
+        assert stats.displacement_per_key < 10.0
+
+    def test_better_model_less_work(self):
+        rng = np.random.default_rng(5)
+        values = rng.lognormal(0, 2, size=30_000)
+        good = train_cdf_model_on_sample(values, sample_size=4_096, knots=128)
+        bad = train_cdf_model_on_sample(values, sample_size=16, knots=2)
+        _o1, good_stats = learned_sort(values, model=good, return_stats=True)
+        _o2, bad_stats = learned_sort(values, model=bad, return_stats=True)
+        assert good_stats.insertion_shifts < bad_stats.insertion_shifts
+
+    def test_stats_shape(self):
+        out, stats = learned_sort(np.array([3.0, 1.0, 2.0]), return_stats=True)
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0])
+        assert stats.n == 3
+        assert stats.insertion_shifts >= 0
+
+
+class TestSampleModel:
+    def test_monotone(self):
+        rng = np.random.default_rng(6)
+        values = rng.lognormal(0, 2, size=5_000)
+        model = train_cdf_model_on_sample(values)
+        grid = np.linspace(values.min(), values.max(), 500)
+        predictions = model.predict_batch(grid)
+        assert np.all(np.diff(predictions) >= -1e-12)
+
+    def test_constant_input(self):
+        model = train_cdf_model_on_sample(np.full(100, 5.0))
+        assert np.isfinite(model.predict(5.0))
+
+    def test_empty_input(self):
+        model = train_cdf_model_on_sample(np.array([]))
+        assert model.predict(1.0) == 0.0

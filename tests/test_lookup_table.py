@@ -1,0 +1,64 @@
+"""Unit tests for the hierarchical lookup table."""
+
+import numpy as np
+import pytest
+
+from repro.btree import HierarchicalLookupTable
+
+
+def truth(keys, q):
+    return int(np.searchsorted(keys, q, side="left"))
+
+
+class TestHierarchicalLookupTable:
+    @pytest.mark.parametrize("group", [4, 16, 64])
+    def test_matches_searchsorted(self, group, uniform_small, rng):
+        table = HierarchicalLookupTable(uniform_small, group=group)
+        queries = np.concatenate(
+            [
+                rng.choice(uniform_small, 200),
+                rng.integers(
+                    uniform_small.min() - 5, uniform_small.max() + 5, 200
+                ),
+            ]
+        )
+        for q in queries:
+            assert table.lookup(float(q)) == truth(uniform_small, q)
+
+    def test_matches_on_lognormal(self, lognormal_small, rng):
+        table = HierarchicalLookupTable(lognormal_small)
+        for q in rng.choice(lognormal_small, 300):
+            assert table.lookup(float(q)) == truth(lognormal_small, q)
+
+    def test_two_auxiliary_arrays(self, uniform_small):
+        table = HierarchicalLookupTable(uniform_small, group=64)
+        # paper: "creating two arrays in total"
+        assert table._second.size == pytest.approx(
+            np.ceil(uniform_small.size / 64 / 64) * 64, abs=64
+        )
+        assert table._top.size <= table._second.size
+
+    def test_second_table_padded_to_group_multiple(self, uniform_small):
+        table = HierarchicalLookupTable(uniform_small, group=64)
+        assert table._second.size % 64 == 0
+
+    def test_size_far_below_data(self, uniform_small):
+        table = HierarchicalLookupTable(uniform_small, group=64)
+        assert table.size_bytes() < uniform_small.size * 8 / 16
+
+    def test_rejects_bad_group(self):
+        with pytest.raises(ValueError):
+            HierarchicalLookupTable(np.array([1, 2]), group=1)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            HierarchicalLookupTable(np.array([2, 1]))
+
+    def test_empty(self):
+        table = HierarchicalLookupTable(np.array([], dtype=np.int64))
+        assert table.lookup(1.0) == 0
+
+    def test_extremes(self, uniform_small):
+        table = HierarchicalLookupTable(uniform_small)
+        assert table.lookup(float(uniform_small.min() - 1)) == 0
+        assert table.lookup(float(uniform_small.max() + 1)) == uniform_small.size

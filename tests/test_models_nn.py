@@ -1,0 +1,158 @@
+"""Unit tests for the MLP framework and its RMI adapter."""
+
+import numpy as np
+import pytest
+
+from repro.models import MLP, FrameworkModel, NeuralRegressionModel
+
+
+class TestMLPConstruction:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            MLP(0)
+        with pytest.raises(ValueError):
+            MLP(1, hidden=(0,))
+        with pytest.raises(ValueError):
+            MLP(1, task="nope")
+
+    def test_zero_hidden_is_linear(self):
+        net = MLP(1, hidden=())
+        assert len(net.weights) == 1
+        assert net.param_count == 2  # 1 weight + 1 bias
+
+    def test_param_count(self):
+        net = MLP(1, hidden=(32, 32))
+        expected = 1 * 32 + 32 + 32 * 32 + 32 + 32 * 1 + 1
+        assert net.param_count == expected
+
+
+class TestMLPGradients:
+    @pytest.mark.parametrize("hidden", [(), (5,), (4, 3)])
+    def test_regression_backprop_matches_finite_differences(self, hidden):
+        rng = np.random.default_rng(0)
+        net = MLP(2, hidden=hidden, seed=1)
+        x = rng.normal(size=(6, 2))
+        y = rng.normal(size=(6, 1))
+        out, acts = net._forward(x)
+        delta = 2.0 * (out - y) / x.shape[0]
+        grads_w, grads_b = net._backward(acts, delta)
+        num_w, num_b = net.finite_difference_gradients(x, y)
+        for analytic, numeric in zip(grads_w + grads_b, num_w + num_b):
+            scale = max(float(np.abs(numeric).max()), 1e-8)
+            assert np.abs(analytic - numeric).max() / scale < 1e-5
+
+    def test_classification_backprop_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        net = MLP(3, hidden=(4,), task="classification", seed=2)
+        x = rng.normal(size=(8, 3))
+        y = rng.integers(0, 2, size=(8, 1)).astype(float)
+        out, acts = net._forward(x)
+        prob = 1.0 / (1.0 + np.exp(-out))
+        delta = (prob - y) / x.shape[0]
+        grads_w, grads_b = net._backward(acts, delta)
+        num_w, num_b = net.finite_difference_gradients(x, y)
+        for analytic, numeric in zip(grads_w + grads_b, num_w + num_b):
+            scale = max(float(np.abs(numeric).max()), 1e-8)
+            assert np.abs(analytic - numeric).max() / scale < 1e-4
+
+
+class TestMLPTraining:
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, size=(512, 1))
+        y = np.sin(3 * x).ravel()
+        net = MLP(1, hidden=(16,), seed=0)
+        history = net.fit(x, y, epochs=60, batch_size=64, learning_rate=3e-3)
+        assert history[-1] < history[0] * 0.3
+
+    def test_sgd_optimizer(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, size=(256, 1))
+        y = (2 * x + 1).ravel()
+        net = MLP(1, hidden=(), seed=0)
+        history = net.fit(
+            x, y, epochs=40, optimizer="sgd", learning_rate=0.05
+        )
+        assert history[-1] < history[0]
+
+    def test_rejects_unknown_optimizer(self):
+        net = MLP(1)
+        with pytest.raises(ValueError):
+            net.fit(np.ones((4, 1)), np.ones(4), epochs=1, optimizer="mystery")
+
+    def test_rejects_mismatched_rows(self):
+        net = MLP(1)
+        with pytest.raises(ValueError):
+            net.fit(np.ones((4, 1)), np.ones(5), epochs=1)
+
+    def test_classification_learns_separation(self):
+        rng = np.random.default_rng(2)
+        x = np.concatenate(
+            [rng.normal(-2, 0.5, size=(200, 1)), rng.normal(2, 0.5, size=(200, 1))]
+        )
+        y = np.concatenate([np.zeros(200), np.ones(200)])
+        net = MLP(1, hidden=(8,), task="classification", seed=0)
+        net.fit(x, y, epochs=60, batch_size=64, learning_rate=1e-2)
+        prob = net.forward(x).ravel()
+        assert prob[:200].mean() < 0.2
+        assert prob[200:].mean() > 0.8
+
+
+class TestNeuralRegressionModel:
+    def test_scalar_matches_batch(self):
+        rng = np.random.default_rng(3)
+        keys = np.sort(rng.uniform(0, 1e6, size=2000))
+        model = NeuralRegressionModel(hidden=(8,), epochs=5)
+        model.fit(keys, np.arange(2000.0))
+        for q in keys[::251]:
+            scalar = model.predict(float(q))
+            batch = float(model.predict_batch(np.array([q]))[0])
+            assert scalar == pytest.approx(batch, rel=1e-9, abs=1e-6)
+
+    def test_learns_cdf_shape_better_than_a_line(self):
+        rng = np.random.default_rng(4)
+        keys = np.sort(rng.lognormal(0, 2, size=4000))
+        positions = np.arange(4000.0)
+        model = NeuralRegressionModel(
+            hidden=(16, 16), epochs=80, seed=1, learning_rate=3e-3
+        )
+        model.fit(keys, positions)
+        nn_err = np.abs(model.predict_batch(keys) - positions).mean()
+        slope, intercept = np.polyfit(keys, positions, 1)
+        line_err = np.abs(slope * keys + intercept - positions).mean()
+        assert nn_err < line_err * 0.8
+        assert nn_err < 4000 * 0.25
+
+    def test_unfit_predicts_zero(self):
+        model = NeuralRegressionModel()
+        assert model.predict(5.0) == 0.0
+
+    def test_training_sample_cap(self):
+        keys = np.sort(np.random.default_rng(5).uniform(0, 1, size=5000))
+        model = NeuralRegressionModel(
+            hidden=(), epochs=2, max_train_samples=500
+        )
+        model.fit(keys, np.arange(5000.0))
+        assert model.predict(0.5) == pytest.approx(2500.0, rel=0.2)
+
+
+class TestFrameworkModel:
+    def test_matches_underlying_network(self):
+        rng = np.random.default_rng(6)
+        keys = rng.uniform(0, 1, size=(128, 1))
+        positions = (keys * 100).ravel()
+        net = MLP(1, hidden=(4,), seed=0)
+        net.fit(keys, positions, epochs=10)
+        framework = FrameworkModel(net)
+        for q in (0.1, 0.5, 0.9):
+            direct = float(net.forward(np.array([[q]]))[0, 0])
+            assert framework.predict(q) == pytest.approx(direct)
+
+    def test_validates_feed(self):
+        framework = FrameworkModel(MLP(1))
+        with pytest.raises(KeyError):
+            framework.run({})
+        with pytest.raises(TypeError):
+            framework.run({"key": np.array([[1]], dtype=np.int32)})
+        with pytest.raises(ValueError):
+            framework.run({"key": np.array([1.0])})

@@ -1,0 +1,132 @@
+"""Unit tests for the paged learned index (Appendix D.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PagedLearnedIndex, PageStore
+from repro.data import lognormal_keys, uniform_keys
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return uniform_keys(20_000, seed=51)
+
+
+def truth(keys, q):
+    return int(np.searchsorted(keys, q, side="left"))
+
+
+class TestPageStore:
+    def test_pages_are_shuffled(self, keys):
+        store = PageStore(keys, page_size=128, shuffle_seed=3)
+        assert store.num_pages == (keys.size + 127) // 128
+        assert not np.array_equal(
+            store.translation, np.arange(store.num_pages)
+        )
+
+    def test_translation_is_a_permutation(self, keys):
+        store = PageStore(keys, page_size=64)
+        assert sorted(store.translation.tolist()) == list(
+            range(store.num_pages)
+        )
+
+    def test_logical_reassembly(self, keys):
+        store = PageStore(keys, page_size=128)
+        reassembled = np.concatenate(
+            [
+                store.read_page(int(store.translation[logical]))
+                for logical in range(store.num_pages)
+            ]
+        )
+        np.testing.assert_array_equal(reassembled, keys)
+
+    def test_io_accounting_full_pages(self, keys):
+        store = PageStore(keys, page_size=128)
+        store.read_page(0)
+        assert store.page_reads == 1
+        assert store.bytes_read == 128 * 8
+
+    def test_io_accounting_partial(self, keys):
+        store = PageStore(keys, page_size=128, partial_reads=True)
+        store.read_page(0, 10, 20)
+        assert store.bytes_read == 10 * 8
+
+    def test_bad_page_raises(self, keys):
+        store = PageStore(keys, page_size=128)
+        with pytest.raises(IndexError):
+            store.read_page(store.num_pages)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            PageStore(np.array([2, 1]))
+
+
+class TestPagedLookup:
+    @pytest.mark.parametrize("page_size", [32, 256, 1024])
+    def test_matches_searchsorted(self, page_size, keys, rng):
+        index = PagedLearnedIndex(
+            keys, page_size=page_size, stage_sizes=(1, 128)
+        )
+        queries = np.concatenate(
+            [rng.choice(keys, 200), rng.integers(keys.min(), keys.max(), 200)]
+        )
+        for q in queries:
+            page, slot = index.lookup(float(q))
+            assert page * page_size + slot == truth(keys, q), q
+
+    def test_lognormal(self, rng):
+        keys = lognormal_keys(20_000, seed=52)
+        index = PagedLearnedIndex(keys, page_size=256, stage_sizes=(1, 128))
+        for q in rng.choice(keys, 300):
+            page, slot = index.lookup(float(q))
+            assert page * 256 + slot == truth(keys, q)
+
+    def test_contains(self, keys):
+        index = PagedLearnedIndex(keys, page_size=256, stage_sizes=(1, 64))
+        assert index.contains(float(keys[137]))
+        missing = int(keys.max()) + 3
+        assert not index.contains(float(missing))
+
+    def test_empty(self):
+        index = PagedLearnedIndex(np.array([], dtype=np.int64))
+        assert index.lookup(5.0) == (0, 0)
+        assert not index.contains(5.0)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            PagedLearnedIndex(np.array([1, 1, 2]))
+
+
+class TestIOProfile:
+    def test_one_page_read_in_the_common_case(self, keys):
+        """The appendix's point: window << page -> single page read."""
+        index = PagedLearnedIndex(keys, page_size=1024, stage_sizes=(1, 256))
+        rng = np.random.default_rng(0)
+        index.reset_io()
+        queries = rng.choice(keys, 500)
+        for q in queries:
+            index.lookup(float(q))
+        reads, _ = index.io_stats()
+        assert reads / len(queries) < 1.6
+
+    def test_partial_reads_cut_bytes(self, keys):
+        full = PagedLearnedIndex(
+            keys, page_size=1024, stage_sizes=(1, 256), partial_reads=False
+        )
+        partial = PagedLearnedIndex(
+            keys, page_size=1024, stage_sizes=(1, 256), partial_reads=True
+        )
+        rng = np.random.default_rng(1)
+        queries = rng.choice(keys, 300)
+        for q in queries:
+            full.lookup(float(q))
+            partial.lookup(float(q))
+        _, full_bytes = full.io_stats()
+        _, partial_bytes = partial.io_stats()
+        # error window << page size => far fewer bytes per lookup
+        assert partial_bytes < full_bytes / 4
+
+    def test_index_far_smaller_than_data(self, keys):
+        index = PagedLearnedIndex(keys, page_size=256, stage_sizes=(1, 64))
+        data_bytes = keys.size * 8
+        assert index.size_bytes() < data_bytes / 10

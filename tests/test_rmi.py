@@ -1,0 +1,227 @@
+"""Unit tests for the Recursive Model Index (Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RecursiveModelIndex
+from repro.models import (
+    LinearModel,
+    MultivariateLinearModel,
+    NeuralRegressionModel,
+    SplineSegmentModel,
+)
+
+
+def truth(keys, q):
+    return int(np.searchsorted(keys, q, side="left"))
+
+
+class TestConstruction:
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            RecursiveModelIndex(np.array([2, 1]))
+
+    def test_rejects_bad_stage_sizes(self):
+        keys = np.arange(10)
+        with pytest.raises(ValueError):
+            RecursiveModelIndex(keys, stage_sizes=(2, 10))
+        with pytest.raises(ValueError):
+            RecursiveModelIndex(keys, stage_sizes=(1, 0))
+        with pytest.raises(ValueError):
+            RecursiveModelIndex(keys, stage_sizes=())
+
+    def test_rejects_factory_mismatch(self):
+        with pytest.raises(ValueError):
+            RecursiveModelIndex(
+                np.arange(10), stage_sizes=(1, 2), model_factories=[LinearModel]
+            )
+
+    def test_empty_keys(self):
+        index = RecursiveModelIndex(np.array([], dtype=np.int64))
+        assert index.lookup(1.0) == 0
+        assert not index.contains(1.0)
+
+    def test_single_key(self):
+        index = RecursiveModelIndex(np.array([7], dtype=np.int64))
+        assert index.lookup(6.0) == 0
+        assert index.lookup(7.0) == 0
+        assert index.lookup(8.0) == 1
+
+
+class TestLookupCorrectness:
+    @pytest.mark.parametrize("leaves", [1, 10, 100, 1000])
+    def test_present_and_absent_keys(self, leaves, uniform_small, rng):
+        index = RecursiveModelIndex(uniform_small, stage_sizes=(1, leaves))
+        queries = np.concatenate(
+            [
+                rng.choice(uniform_small, 300),
+                rng.integers(
+                    uniform_small.min() - 10, uniform_small.max() + 10, 300
+                ),
+            ]
+        )
+        for q in queries:
+            assert index.lookup(float(q)) == truth(uniform_small, q)
+
+    @pytest.mark.parametrize(
+        "dataset", ["maps_small", "weblogs_small", "lognormal_small"]
+    )
+    def test_on_paper_datasets(self, dataset, request, rng):
+        keys = request.getfixturevalue(dataset)
+        index = RecursiveModelIndex(keys, stage_sizes=(1, keys.size // 50))
+        queries = np.concatenate(
+            [rng.choice(keys, 300), rng.integers(keys.min(), keys.max(), 300)]
+        )
+        for q in queries:
+            assert index.lookup(float(q)) == truth(keys, q)
+
+    def test_perfectly_linear_data_zero_window(self):
+        keys = np.arange(0, 100_000, 10, dtype=np.int64)
+        index = RecursiveModelIndex(keys, stage_sizes=(1, 100))
+        # a linear CDF collapses error to ~0 (the paper's O(1) example)
+        assert index.mean_error_window <= 4
+        assert index.lookup(float(keys[777])) == 777
+
+    def test_three_stage_rmi(self, lognormal_small, rng):
+        index = RecursiveModelIndex(
+            lognormal_small,
+            stage_sizes=(1, 10, 100),
+            model_factories=[LinearModel, LinearModel, LinearModel],
+        )
+        for q in rng.choice(lognormal_small, 300):
+            assert index.lookup(float(q)) == truth(lognormal_small, q)
+
+    @pytest.mark.parametrize(
+        "strategy", ["binary", "biased_binary", "biased_quaternary", "exponential"]
+    )
+    def test_search_strategies_agree(self, strategy, lognormal_small, rng):
+        index = RecursiveModelIndex(
+            lognormal_small, stage_sizes=(1, 100), search_strategy=strategy
+        )
+        queries = np.concatenate(
+            [
+                rng.choice(lognormal_small, 200),
+                rng.integers(
+                    lognormal_small.min() - 5, lognormal_small.max() + 5, 200
+                ),
+            ]
+        )
+        for q in queries:
+            assert index.lookup(float(q)) == truth(lognormal_small, q), strategy
+
+
+class TestErrorBounds:
+    def test_bounds_contain_every_stored_key(self, lognormal_small):
+        index = RecursiveModelIndex(lognormal_small, stage_sizes=(1, 64))
+        for i in range(0, lognormal_small.size, 37):
+            q = float(lognormal_small[i])
+            _est, lo, hi = index.predict(q)
+            assert lo <= i < hi, (i, lo, hi)
+
+    def test_window_shrinks_with_more_leaves(self, lognormal_small):
+        wide = RecursiveModelIndex(lognormal_small, stage_sizes=(1, 10))
+        narrow = RecursiveModelIndex(lognormal_small, stage_sizes=(1, 500))
+        assert narrow.mean_error_window < wide.mean_error_window
+
+    def test_min_leaf_error_widens_window(self, uniform_small):
+        plain = RecursiveModelIndex(uniform_small, stage_sizes=(1, 100))
+        padded = RecursiveModelIndex(
+            uniform_small, stage_sizes=(1, 100), min_leaf_error=50
+        )
+        assert padded.mean_error_window >= plain.mean_error_window
+        assert padded.mean_error_window >= 100
+
+
+class TestRangeInterface:
+    def test_range_query_matches_reference(self, uniform_small, rng):
+        index = RecursiveModelIndex(uniform_small, stage_sizes=(1, 100))
+        for _ in range(30):
+            lo, hi = sorted(rng.integers(0, uniform_small.max(), size=2))
+            expected = uniform_small[
+                (uniform_small >= lo) & (uniform_small <= hi)
+            ]
+            np.testing.assert_array_equal(index.range_query(lo, hi), expected)
+
+    def test_range_query_empty(self, uniform_small):
+        index = RecursiveModelIndex(uniform_small, stage_sizes=(1, 10))
+        assert index.range_query(100, 50).size == 0
+
+    def test_upper_bound(self):
+        keys = np.array([10, 20, 30], dtype=np.int64)
+        index = RecursiveModelIndex(keys, stage_sizes=(1, 2))
+        assert index.upper_bound(20.0) == 2
+        assert index.upper_bound(25.0) == 2
+
+    def test_lookup_batch(self, uniform_small, rng):
+        index = RecursiveModelIndex(uniform_small, stage_sizes=(1, 100))
+        queries = rng.choice(uniform_small, 50)
+        batch = index.lookup_batch(queries)
+        expected = np.searchsorted(uniform_small, queries, side="left")
+        np.testing.assert_array_equal(batch, expected)
+
+
+class TestModelMixtures:
+    def test_multivariate_root(self, lognormal_small, rng):
+        index = RecursiveModelIndex(
+            lognormal_small,
+            stage_sizes=(1, 100),
+            model_factories=[
+                lambda: MultivariateLinearModel(features=("key", "log")),
+                LinearModel,
+            ],
+        )
+        for q in rng.choice(lognormal_small, 200):
+            assert index.lookup(float(q)) == truth(lognormal_small, q)
+
+    def test_nn_root(self, lognormal_small, rng):
+        index = RecursiveModelIndex(
+            lognormal_small,
+            stage_sizes=(1, 100),
+            model_factories=[
+                lambda: NeuralRegressionModel(hidden=(8,), epochs=10),
+                LinearModel,
+            ],
+        )
+        for q in rng.choice(lognormal_small, 150):
+            assert index.lookup(float(q)) == truth(lognormal_small, q)
+
+    def test_spline_leaves_disable_fast_path(self, uniform_small, rng):
+        index = RecursiveModelIndex(
+            uniform_small,
+            stage_sizes=(1, 50),
+            model_factories=[LinearModel, lambda: SplineSegmentModel(knots=4)],
+        )
+        assert not index._fast
+        for q in rng.choice(uniform_small, 150):
+            assert index.lookup(float(q)) == truth(uniform_small, q)
+
+
+class TestAccountingAndStats:
+    def test_size_scales_with_leaves(self, uniform_small):
+        small = RecursiveModelIndex(uniform_small, stage_sizes=(1, 10))
+        large = RecursiveModelIndex(uniform_small, stage_sizes=(1, 1000))
+        assert large.size_bytes() > 10 * small.size_bytes()
+
+    def test_size_far_below_btree(self, maps_small):
+        from repro.btree import BTreeIndex
+
+        rmi = RecursiveModelIndex(maps_small, stage_sizes=(1, 50))
+        btree = BTreeIndex(maps_small, page_size=128)
+        assert rmi.size_bytes() < btree.size_bytes()
+
+    def test_stats_tracking(self, uniform_small, rng):
+        index = RecursiveModelIndex(uniform_small, stage_sizes=(1, 100))
+        index.stats.reset()
+        for q in rng.choice(uniform_small, 50):
+            index.lookup(float(q))
+        assert index.stats.lookups == 50
+        assert index.stats.comparisons > 0
+        assert index.stats.mean_window > 0
+
+    def test_model_op_count_positive(self, uniform_small):
+        index = RecursiveModelIndex(uniform_small, stage_sizes=(1, 10))
+        assert index.model_op_count() >= 4
+
+    def test_repr(self, uniform_small):
+        index = RecursiveModelIndex(uniform_small, stage_sizes=(1, 10))
+        assert "RecursiveModelIndex" in repr(index)

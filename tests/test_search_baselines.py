@@ -1,0 +1,108 @@
+"""Unit tests for binary / interpolation / exponential search."""
+
+import numpy as np
+import pytest
+
+from repro.btree import (
+    Counter,
+    binary_search,
+    exponential_search,
+    interpolation_search,
+)
+
+
+@pytest.fixture(scope="module")
+def sorted_keys():
+    rng = np.random.default_rng(7)
+    return np.unique(rng.integers(0, 10**6, size=4_000))
+
+
+def truth(keys, q):
+    return int(np.searchsorted(keys, q, side="left"))
+
+
+class TestBinarySearch:
+    def test_matches_searchsorted(self, sorted_keys):
+        rng = np.random.default_rng(1)
+        queries = np.concatenate(
+            [rng.choice(sorted_keys, 200), rng.integers(-5, 10**6 + 5, 200)]
+        )
+        for q in queries:
+            assert binary_search(sorted_keys, q) == truth(sorted_keys, q)
+
+    def test_subrange(self, sorted_keys):
+        q = sorted_keys[100]
+        assert binary_search(sorted_keys, q, 50, 200) == 100
+
+    def test_clamps_bounds(self, sorted_keys):
+        n = len(sorted_keys)
+        assert binary_search(sorted_keys, sorted_keys[0], -5, n + 5) == 0
+
+    def test_counter(self, sorted_keys):
+        counter = Counter()
+        binary_search(sorted_keys, int(sorted_keys[123]), counter=counter)
+        assert 1 <= counter.comparisons <= int(np.ceil(np.log2(len(sorted_keys)))) + 1
+
+    def test_empty(self):
+        assert binary_search(np.array([]), 1.0) == 0
+
+
+class TestInterpolationSearch:
+    def test_matches_searchsorted(self, sorted_keys):
+        rng = np.random.default_rng(2)
+        queries = np.concatenate(
+            [rng.choice(sorted_keys, 200), rng.integers(-5, 10**6 + 5, 200)]
+        )
+        for q in queries:
+            assert interpolation_search(sorted_keys, q) == truth(sorted_keys, q)
+
+    def test_uniform_data_uses_fewer_probes_than_binary(self):
+        keys = np.arange(0, 10**6, 7, dtype=np.int64)
+        c_interp, c_bin = Counter(), Counter()
+        rng = np.random.default_rng(3)
+        for q in rng.choice(keys, 100):
+            interpolation_search(keys, q, counter=c_interp)
+            binary_search(keys, q, counter=c_bin)
+        assert c_interp.comparisons < c_bin.comparisons * 0.6
+
+    def test_adversarial_falls_back(self):
+        # Exponential growth defeats interpolation; must still be correct.
+        keys = (2.0 ** np.arange(50)).astype(np.int64)
+        for q in [1, 3, 2**20 - 1, 2**30, 2**49]:
+            assert interpolation_search(keys, q) == truth(keys, q)
+
+    def test_duplicate_endpoint_span(self):
+        keys = np.array([5, 5, 5, 5], dtype=np.int64)
+        assert interpolation_search(keys, 5) == 0
+        assert interpolation_search(keys, 6) == 4
+
+
+class TestExponentialSearch:
+    def test_matches_searchsorted_from_any_guess(self, sorted_keys):
+        rng = np.random.default_rng(4)
+        n = len(sorted_keys)
+        queries = np.concatenate(
+            [rng.choice(sorted_keys, 100), rng.integers(-5, 10**6 + 5, 100)]
+        )
+        for q in queries:
+            expected = truth(sorted_keys, q)
+            for guess in (0, n // 2, n - 1, expected, max(expected - 3, 0)):
+                assert exponential_search(sorted_keys, q, guess) == expected
+
+    def test_good_guess_uses_few_comparisons(self, sorted_keys):
+        q = int(sorted_keys[1234])
+        counter = Counter()
+        exponential_search(sorted_keys, q, 1234, counter=counter)
+        good = counter.comparisons
+        counter.reset()
+        exponential_search(sorted_keys, q, 0, counter=counter)
+        far = counter.comparisons
+        assert good < far
+
+    def test_empty(self):
+        assert exponential_search(np.array([]), 1.0, 0) == 0
+
+    def test_guess_out_of_range_is_clamped(self, sorted_keys):
+        q = int(sorted_keys[0])
+        assert exponential_search(sorted_keys, q, 10**9) == 0
+        assert exponential_search(sorted_keys, q, -10) == 0

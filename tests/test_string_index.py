@@ -1,0 +1,120 @@
+"""Unit tests for the learned string index (Sections 3.5, 3.7.2)."""
+
+import bisect
+
+import numpy as np
+import pytest
+
+from repro.core import StringRMI
+from repro.data import string_dataset, web_paths
+
+
+def probes_for(keys, rng, count=150):
+    present = [keys[i] for i in rng.integers(0, len(keys), count)]
+    absent = [k + "~" for k in present[:40]]
+    absent += ["", "\x7f\x7f", keys[0][:-1], keys[-1] + "z"]
+    return present + absent
+
+
+class TestConstruction:
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            StringRMI(["b", "a"])
+
+    def test_rejects_bad_leaves(self):
+        with pytest.raises(ValueError):
+            StringRMI(["a"], num_leaves=0)
+
+    def test_empty(self):
+        index = StringRMI([], num_leaves=4)
+        assert index.lookup("anything") == 0
+
+    def test_single(self):
+        index = StringRMI(["hello"], num_leaves=4)
+        assert index.lookup("a") == 0
+        assert index.lookup("hello") == 0
+        assert index.lookup("z") == 1
+
+
+class TestLookupCorrectness:
+    def test_document_ids_linear_root(self, strings_small, rng):
+        index = StringRMI(strings_small, num_leaves=100)
+        for q in probes_for(strings_small, rng):
+            assert index.lookup(q) == bisect.bisect_left(strings_small, q), q
+
+    def test_web_paths(self, rng):
+        keys = web_paths(2_000, seed=8)
+        index = StringRMI(keys, num_leaves=64)
+        for q in probes_for(keys, rng):
+            assert index.lookup(q) == bisect.bisect_left(keys, q)
+
+    def test_mlp_root(self, strings_small, rng):
+        index = StringRMI(
+            strings_small, num_leaves=100, hidden=(8,), epochs=8
+        )
+        for q in probes_for(strings_small, rng, count=80):
+            assert index.lookup(q) == bisect.bisect_left(strings_small, q)
+
+    @pytest.mark.parametrize(
+        "strategy", ["binary", "biased_binary", "biased_quaternary"]
+    )
+    def test_search_strategies(self, strategy, strings_small, rng):
+        index = StringRMI(
+            strings_small, num_leaves=100, search_strategy=strategy
+        )
+        for q in probes_for(strings_small, rng, count=100):
+            assert index.lookup(q) == bisect.bisect_left(strings_small, q)
+
+    def test_hybrid_fallback(self, strings_small, rng):
+        index = StringRMI(strings_small, num_leaves=50, hybrid_threshold=16)
+        assert index.replaced_leaf_count > 0
+        for q in probes_for(strings_small, rng):
+            assert index.lookup(q) == bisect.bisect_left(strings_small, q)
+
+    def test_contains(self, strings_small):
+        index = StringRMI(strings_small, num_leaves=32)
+        assert index.contains(strings_small[7])
+        assert not index.contains(strings_small[7] + "x")
+
+
+class TestBounds:
+    def test_windows_contain_stored_keys(self, strings_small):
+        index = StringRMI(strings_small, num_leaves=64)
+        for i in range(0, len(strings_small), 31):
+            _est, lo, hi = index.predict(strings_small[i])
+            assert lo <= i < hi
+
+    def test_range_query(self, strings_small):
+        index = StringRMI(strings_small, num_leaves=64)
+        lo_key = strings_small[100]
+        hi_key = strings_small[200]
+        expected = strings_small[100:201]
+        assert index.range_query(lo_key, hi_key) == expected
+
+    def test_range_query_empty(self, strings_small):
+        index = StringRMI(strings_small, num_leaves=16)
+        assert index.range_query("z", "a") == []
+
+
+class TestAccounting:
+    def test_hybrid_grows_size(self, strings_small):
+        pure = StringRMI(strings_small, num_leaves=50)
+        hybrid = StringRMI(strings_small, num_leaves=50, hybrid_threshold=16)
+        assert hybrid.size_bytes() > pure.size_bytes()
+
+    def test_mlp_root_larger_than_linear(self, strings_small):
+        linear = StringRMI(strings_small, num_leaves=50)
+        mlp = StringRMI(strings_small, num_leaves=50, hidden=(16,), epochs=2)
+        assert mlp.size_bytes() > linear.size_bytes()
+
+    def test_model_op_count(self, strings_small):
+        index = StringRMI(strings_small, num_leaves=10, max_length=24)
+        assert index.model_op_count() > 24
+
+    def test_stats(self, strings_small, rng):
+        index = StringRMI(strings_small, num_leaves=32)
+        index.stats.reset()
+        for q in [strings_small[i] for i in rng.integers(0, len(strings_small), 40)]:
+            index.lookup(q)
+        assert index.stats.lookups == 40
+        assert index.stats.comparisons > 0

@@ -1,0 +1,100 @@
+"""Unit tests for the Appendix A scaling analysis."""
+
+import numpy as np
+import pytest
+
+from repro.theory import (
+    dkw_bound,
+    empirical_position_error,
+    expected_position_error,
+    expected_squared_cdf_error,
+    fit_error_exponent,
+)
+
+
+class TestAnalyticForms:
+    def test_variance_peaks_at_half(self):
+        f = np.array([0.1, 0.5, 0.9])
+        var = expected_squared_cdf_error(f, 100)
+        assert var[1] > var[0]
+        assert var[1] > var[2]
+        assert var[1] == pytest.approx(0.25 / 100)
+
+    def test_variance_shrinks_with_n(self):
+        f = np.array([0.5])
+        assert expected_squared_cdf_error(f, 10_000)[0] < (
+            expected_squared_cdf_error(f, 100)[0]
+        )
+
+    def test_position_error_sqrt_growth(self):
+        f = np.array([0.5])
+        small = expected_position_error(f, 10_000)[0]
+        large = expected_position_error(f, 40_000)[0]
+        assert large / small == pytest.approx(2.0, rel=0.01)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            expected_squared_cdf_error(np.array([1.5]), 10)
+        with pytest.raises(ValueError):
+            expected_squared_cdf_error(np.array([0.5]), 0)
+
+
+class TestDKW:
+    def test_formula(self):
+        assert dkw_bound(1000, 0.05) == pytest.approx(
+            np.sqrt(np.log(2 / 0.05) / 2000)
+        )
+
+    def test_tightens_with_n(self):
+        assert dkw_bound(10_000) < dkw_bound(100)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            dkw_bound(0)
+        with pytest.raises(ValueError):
+            dkw_bound(10, 2.0)
+
+    def test_bound_holds_empirically(self):
+        rng = np.random.default_rng(0)
+        violations = 0
+        trials = 40
+        n = 2_000
+        bound = dkw_bound(n, alpha=0.05)
+        grid = np.linspace(0, 1, 500)
+        for t in range(trials):
+            sample = np.sort(rng.uniform(0, 1, size=n))
+            empirical = np.searchsorted(sample, grid, side="right") / n
+            if np.abs(empirical - grid).max() > bound:
+                violations += 1
+        assert violations <= trials * 0.15
+
+
+class TestEmpiricalScaling:
+    def test_uniform_error_exponent_near_half(self):
+        def sampler(n, seed):
+            return np.random.default_rng(seed).uniform(0, 1, size=n)
+
+        def cdf(x):
+            return np.clip(x, 0, 1)
+
+        from repro.theory import ScalingMeasurement
+
+        measurements = []
+        for n in (1_000, 4_000, 16_000, 64_000, 256_000):
+            errors = [
+                empirical_position_error(sampler, cdf, n, seed=s).mean_absolute_error
+                for s in range(8)
+            ]
+            measurements.append(
+                ScalingMeasurement(n, float(np.mean(errors)), 0.0)
+            )
+        exponent = fit_error_exponent(measurements)
+        assert exponent == pytest.approx(0.5, abs=0.15)
+
+    def test_needs_two_measurements(self):
+        def sampler(n, seed):
+            return np.random.default_rng(seed).uniform(0, 1, size=n)
+
+        m = empirical_position_error(sampler, lambda x: x, 100)
+        with pytest.raises(ValueError):
+            fit_error_exponent([m])

@@ -1,0 +1,38 @@
+"""Unit tests for shared utilities."""
+
+import numpy as np
+
+from repro.util import scalar_view
+
+
+class TestScalarView:
+    def test_int64_memoryview(self):
+        keys = np.array([1, 2, 3], dtype=np.int64)
+        view = scalar_view(keys)
+        assert isinstance(view, memoryview)
+        assert view[1] == 2
+        assert isinstance(view[1], int)
+
+    def test_float64_memoryview(self):
+        keys = np.array([1.5, 2.5])
+        view = scalar_view(keys)
+        assert view[0] == 1.5
+        assert isinstance(view[0], float)
+
+    def test_zero_copy(self):
+        keys = np.array([1, 2, 3], dtype=np.int64)
+        view = scalar_view(keys)
+        keys[0] = 99
+        assert view[0] == 99
+
+    def test_non_contiguous_falls_back(self):
+        keys = np.arange(10, dtype=np.int64)[::2]
+        view = scalar_view(keys)
+        assert list(view) == [0, 2, 4, 6, 8]
+
+    def test_lists_pass_through(self):
+        data = ["a", "b"]
+        assert scalar_view(data) is data
+
+    def test_generic_iterable(self):
+        assert scalar_view(range(3)) == [0, 1, 2]

@@ -1,0 +1,198 @@
+"""Unit tests for the writable learned index (Appendix D.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import WritableLearnedIndex
+from repro.data import lognormal_keys
+
+
+@pytest.fixture()
+def base_keys():
+    return lognormal_keys(20_000, seed=33)
+
+
+class TestConstruction:
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            WritableLearnedIndex(np.array([3, 1]))
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            WritableLearnedIndex(merge_threshold=0)
+
+    def test_empty_start(self):
+        index = WritableLearnedIndex()
+        assert len(index) == 0
+        assert not index.contains(5)
+
+
+class TestInsert:
+    def test_insert_then_contains(self, base_keys):
+        index = WritableLearnedIndex(base_keys, stage_sizes=(1, 64))
+        new_key = int(base_keys.max()) + 1000
+        assert not index.contains(new_key)
+        index.insert(new_key)
+        assert index.contains(new_key)
+        assert len(index) == base_keys.size + 1
+
+    def test_duplicate_insert_idempotent(self, base_keys):
+        index = WritableLearnedIndex(base_keys, stage_sizes=(1, 64))
+        index.insert(int(base_keys[0]))  # already in main
+        assert len(index) == base_keys.size
+        index.insert(999_999_999_999)
+        index.insert(999_999_999_999)
+        assert len(index) == base_keys.size + 1
+
+    def test_reads_see_both_sides(self, base_keys):
+        index = WritableLearnedIndex(
+            base_keys, stage_sizes=(1, 64), merge_threshold=10**9
+        )
+        top = int(base_keys.max())
+        inserted = [top + 10, top + 20]
+        index.insert_batch(inserted)
+        assert index.delta_size == 2
+        for key in inserted:
+            assert index.contains(key)
+        assert index.contains(int(base_keys[0]))
+
+    def test_auto_merge_at_threshold(self, base_keys):
+        index = WritableLearnedIndex(
+            base_keys, stage_sizes=(1, 64), merge_threshold=50
+        )
+        rng = np.random.default_rng(0)
+        fresh = rng.integers(0, base_keys.max(), size=120)
+        index.insert_batch(fresh)
+        assert index.merges >= 2
+        assert index.delta_size < 50
+        for key in np.unique(fresh)[:50]:
+            assert index.contains(int(key))
+
+
+class TestDelete:
+    def test_delete_from_main(self, base_keys):
+        index = WritableLearnedIndex(base_keys, stage_sizes=(1, 64))
+        victim = int(base_keys[777])
+        assert index.delete(victim)
+        assert not index.contains(victim)
+        assert len(index) == base_keys.size - 1
+
+    def test_delete_from_delta(self, base_keys):
+        index = WritableLearnedIndex(
+            base_keys, stage_sizes=(1, 64), merge_threshold=10**9
+        )
+        key = int(base_keys.max()) + 5
+        index.insert(key)
+        assert index.delete(key)
+        assert not index.contains(key)
+
+    def test_delete_absent(self, base_keys):
+        index = WritableLearnedIndex(base_keys, stage_sizes=(1, 64))
+        assert not index.delete(int(base_keys.max()) + 123)
+
+    def test_reinsert_after_delete(self, base_keys):
+        index = WritableLearnedIndex(base_keys, stage_sizes=(1, 64))
+        victim = int(base_keys[123])
+        index.delete(victim)
+        index.insert(victim)
+        assert index.contains(victim)
+        assert len(index) == base_keys.size
+
+    def test_tombstones_fold_into_merge(self, base_keys):
+        index = WritableLearnedIndex(base_keys, stage_sizes=(1, 64))
+        victims = [int(base_keys[i]) for i in (5, 500, 5_000)]
+        for victim in victims:
+            index.delete(victim)
+        index.merge()
+        for victim in victims:
+            assert not index.contains(victim)
+        assert index._main.keys.size == base_keys.size - 3
+
+
+class TestRangeQueries:
+    def test_merged_view(self, base_keys):
+        index = WritableLearnedIndex(
+            base_keys, stage_sizes=(1, 64), merge_threshold=10**9
+        )
+        lo, hi = int(base_keys[1000]), int(base_keys[1100])
+        inside = lo + 1
+        while inside in set(base_keys[1000:1101].tolist()):
+            inside += 1
+        index.insert(inside)
+        deleted = int(base_keys[1050])
+        index.delete(deleted)
+        hits = index.range_query(lo, hi)
+        assert inside in hits
+        assert deleted not in hits
+        assert np.all(np.diff(hits) > 0)
+
+    def test_matches_reference_after_workload(self, base_keys):
+        rng = np.random.default_rng(4)
+        index = WritableLearnedIndex(
+            base_keys, stage_sizes=(1, 64), merge_threshold=200
+        )
+        reference = set(base_keys.tolist())
+        for _ in range(500):
+            if rng.random() < 0.6:
+                key = int(rng.integers(0, base_keys.max() * 2))
+                index.insert(key)
+                reference.add(key)
+            else:
+                key = int(rng.choice(sorted(reference)))
+                index.delete(key)
+                reference.discard(key)
+        lo, hi = sorted(
+            (int(rng.integers(0, base_keys.max())),
+             int(rng.integers(0, base_keys.max())))
+        )
+        expected = np.array(
+            sorted(k for k in reference if lo <= k <= hi), dtype=np.int64
+        )
+        np.testing.assert_array_equal(index.range_query(lo, hi), expected)
+        assert len(index) == len(reference)
+
+
+class TestAppendFastPath:
+    def test_appends_skip_retraining(self):
+        keys = np.arange(0, 100_000, 5, dtype=np.int64)
+        index = WritableLearnedIndex(
+            keys, stage_sizes=(1, 64), merge_threshold=500
+        )
+        retrains_before = index.retrains
+        # append keys continuing the same linear pattern
+        appended = np.arange(100_000, 110_000, 5, dtype=np.int64)
+        index.insert_batch(appended)
+        index.merge()
+        assert index.fast_appends >= 1
+        assert index.retrains == retrains_before
+        # correctness after the fast path
+        for key in appended[::97]:
+            assert index.contains(int(key))
+        assert index.contains(int(keys[123]))
+        assert not index.contains(3)
+
+    def test_distribution_shift_forces_retrain(self):
+        keys = np.arange(0, 100_000, 5, dtype=np.int64)
+        index = WritableLearnedIndex(
+            keys, stage_sizes=(1, 64), merge_threshold=10**9
+        )
+        retrains_before = index.retrains
+        # appended keys wildly off the learned pattern
+        shifted = np.arange(10**9, 10**9 + 2_000_000, 1_000, dtype=np.int64)
+        index.insert_batch(shifted)
+        index.merge()
+        assert index.retrains > retrains_before
+        for key in shifted[::199]:
+            assert index.contains(int(key))
+
+    def test_fast_path_can_be_disabled(self):
+        keys = np.arange(0, 50_000, 5, dtype=np.int64)
+        index = WritableLearnedIndex(
+            keys,
+            stage_sizes=(1, 32),
+            merge_threshold=10**9,
+            append_fast_path=False,
+        )
+        index.insert_batch(range(50_000, 52_000, 5))
+        index.merge()
+        assert index.fast_appends == 0
