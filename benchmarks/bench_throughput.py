@@ -1,0 +1,255 @@
+"""Throughput benchmark: scalar vs vectorized batch lookups (ISSUE 1).
+
+SOSD (Kipf et al., 2019) and "Benchmarking Learned Indexes" (Marcus et
+al., 2020) report *batched* lookup throughput as the primary metric,
+because per-query latency in an interpreted harness is dominated by
+interpreter overhead rather than by the index.  This benchmark measures
+both numbers for every index structure with a batch API:
+
+* **scalar ops/s** — the per-query Python loop (``lookup`` per query),
+  the honest latency path the figure benchmarks use;
+* **batch ops/s** — the vectorized engine (``lookup_batch``), whose
+  cost is numpy gathers and compares, i.e. hardware-bound.
+
+Every row also verifies that the batch result is bit-identical to the
+scalar loop over the full query set — the speedup must be a pure
+execution-strategy change.
+
+Run standalone (it is not a pytest file):
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+    PYTHONPATH=src python benchmarks/bench_throughput.py --json
+
+``--json`` additionally writes ``BENCH_throughput.json`` so CI runs
+accumulate a perf trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import Table  # noqa: E402
+from repro.btree import (  # noqa: E402
+    BTreeIndex,
+    FixedSizeBTree,
+    HierarchicalLookupTable,
+)
+from repro.core import RecursiveModelIndex  # noqa: E402
+from repro.data import lognormal_keys, uniform_keys  # noqa: E402
+
+#: The acceptance configuration from ISSUE 1: 1M uniform keys, 100k
+#: queries, RMI batch >= 20x the scalar loop.
+ACCEPTANCE_MIN_SPEEDUP = 20.0
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    name: str
+    dataset: str
+    n: int
+    num_queries: int
+    scalar_ops_per_sec: float
+    batch_ops_per_sec: float
+    speedup: float
+    identical: bool
+
+
+def _time_once(fn) -> tuple[float, np.ndarray]:
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def measure(index, queries: np.ndarray, *, name: str, dataset: str,
+            batch_repeats: int = 3) -> ThroughputResult:
+    """Scalar loop once (it is the slow path), batch best-of-N."""
+    scalar_fn = getattr(index, "lookup_batch_scalar", None)
+    if scalar_fn is None:
+        def scalar_fn():
+            return np.array([index.lookup(float(q)) for q in queries])
+    else:
+        _bound = scalar_fn
+
+        def scalar_fn():
+            return _bound(queries)
+
+    scalar_s, scalar_out = _time_once(scalar_fn)
+    batch_s = float("inf")
+    batch_out = None
+    for _ in range(batch_repeats):
+        elapsed, batch_out = _time_once(lambda: index.lookup_batch(queries))
+        batch_s = min(batch_s, elapsed)
+    identical = bool(np.array_equal(scalar_out, batch_out))
+    q = queries.size
+    return ThroughputResult(
+        name=name,
+        dataset=dataset,
+        n=int(index.keys.size),
+        num_queries=int(q),
+        scalar_ops_per_sec=q / scalar_s,
+        batch_ops_per_sec=q / batch_s,
+        speedup=scalar_s / batch_s,
+        identical=identical,
+    )
+
+
+def run(
+    n: int, num_queries: int, seed: int = 42
+) -> tuple[list[ThroughputResult], dict[str, float]]:
+    rng = np.random.default_rng(seed)
+    datasets = {
+        "uniform": uniform_keys(n, seed=seed),
+        "lognormal": lognormal_keys(n, seed=seed + 1),
+    }
+    results: list[ThroughputResult] = []
+    searchsorted_ops: dict[str, float] = {}
+    for ds_name, keys in datasets.items():
+        queries = rng.choice(keys, size=num_queries).astype(np.float64)
+        # Mix in 10% absent keys so the fix-up path is exercised too.
+        absent = rng.integers(
+            int(keys.min()) - 100, int(keys.max()) + 100, num_queries // 10
+        ).astype(np.float64)
+        queries[: absent.size] = absent
+
+        for leaves in (100, 1_000, 10_000, 20_000):
+            index = RecursiveModelIndex(keys, stage_sizes=(1, leaves))
+            results.append(
+                measure(
+                    index, queries,
+                    name=f"rmi leaves={leaves}", dataset=ds_name,
+                )
+            )
+        results.append(
+            measure(
+                BTreeIndex(keys, page_size=128), queries,
+                name="btree page=128", dataset=ds_name,
+            )
+        )
+        results.append(
+            measure(
+                FixedSizeBTree(keys, size_budget_bytes=1_500_000), queries,
+                name="fixed btree 1.5MB", dataset=ds_name,
+            )
+        )
+        results.append(
+            measure(
+                HierarchicalLookupTable(keys), queries,
+                name="lookup table", dataset=ds_name,
+            )
+        )
+        # Context: model-free C binary search over the whole array.
+        # The RMI engine beating this is the learned-window advantage
+        # surviving vectorization.
+        ss_s = min(
+            _time_once(lambda: np.searchsorted(keys, queries))[0]
+            for _ in range(3)
+        )
+        searchsorted_ops[ds_name] = queries.size / ss_s
+    return results, searchsorted_ops
+
+
+def render(results: list[ThroughputResult]) -> str:
+    table = Table(
+        "Batch throughput: scalar loop vs vectorized lookup_batch",
+        [
+            "structure",
+            "dataset",
+            "n",
+            "queries",
+            "scalar ops/s",
+            "batch ops/s",
+            "speedup",
+            "identical",
+        ],
+    )
+    for r in results:
+        table.add_row(
+            r.name,
+            r.dataset,
+            f"{r.n:,}",
+            f"{r.num_queries:,}",
+            f"{r.scalar_ops_per_sec:,.0f}",
+            f"{r.batch_ops_per_sec:,.0f}",
+            f"{r.speedup:.1f}x",
+            "yes" if r.identical else "NO",
+        )
+    return table.render()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--n", type=int, default=1_000_000,
+        help="keys per dataset (default: the acceptance 1M)",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=100_000,
+        help="queries per measurement (default: the acceptance 100k)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="also write BENCH_throughput.json for the perf trajectory",
+    )
+    parser.add_argument(
+        "--json-path", type=Path, default=Path("BENCH_throughput.json"),
+        help="where --json writes its report",
+    )
+    args = parser.parse_args(argv)
+    if args.n < 1_000:
+        parser.error("--n must be >= 1000 (smaller datasets are all noise)")
+    if args.queries < 1:
+        parser.error("--queries must be >= 1")
+    if args.json:
+        parent = args.json_path.resolve().parent
+        if not parent.is_dir():
+            parser.error(f"--json-path directory does not exist: {parent}")
+
+    results, searchsorted_ops = run(args.n, args.queries)
+    print(render(results))
+    for ds_name, ops in searchsorted_ops.items():
+        print(
+            f"reference [{ds_name}]: np.searchsorted over the whole "
+            f"array (no model) = {ops:,.0f} ops/s"
+        )
+
+    rmi_uniform = [
+        r for r in results
+        if r.dataset == "uniform" and r.name.startswith("rmi")
+    ]
+    best = max(r.speedup for r in rmi_uniform)
+    all_identical = all(r.identical for r in results)
+    print(
+        f"\nbest RMI batch speedup on uniform: {best:.1f}x "
+        f"(acceptance floor {ACCEPTANCE_MIN_SPEEDUP:.0f}x); "
+        f"batch == scalar on every row: {all_identical}"
+    )
+
+    if args.json:
+        payload = {
+            "bench": "throughput",
+            "n": args.n,
+            "queries": args.queries,
+            "acceptance_min_speedup": ACCEPTANCE_MIN_SPEEDUP,
+            "best_rmi_uniform_speedup": best,
+            "all_identical": all_identical,
+            "searchsorted_ops_per_sec": searchsorted_ops,
+            "results": [asdict(r) for r in results],
+        }
+        args.json_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json_path}")
+
+    ok = all_identical and best >= ACCEPTANCE_MIN_SPEEDUP
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -96,6 +96,23 @@ class BloomFilter:
                 return False
         return True
 
+    def contains_batch(self, keys) -> np.ndarray:
+        """Batched membership: one bool per key.
+
+        Hashing stays per-key (murmur over strings/ints is scalar
+        Python), but the ``k`` bit probes per key are gathered with one
+        vectorized bitmap read per batch, which is what dominates for
+        large ``k``.
+        """
+        keys = list(keys)
+        if not keys:
+            return np.zeros(0, dtype=bool)
+        positions = np.array(
+            [self._positions(key) for key in keys], dtype=np.int64
+        )
+        probes = (self._bits[positions >> 3] >> (positions & 7)) & 1
+        return probes.all(axis=1)
+
     # -- evaluation ---------------------------------------------------------------
 
     def measured_fpr(self, non_keys) -> float:

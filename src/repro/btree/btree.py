@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..util import scalar_view
+from ..util import batch_contains, scalar_view
 
 __all__ = ["BTreeIndex", "GenericBTreeIndex", "TraversalStats"]
 
@@ -149,8 +149,11 @@ class BTreeIndex:
     def find_page(self, key: float) -> int:
         """Descend the tree; return the index of the candidate page.
 
-        The returned page is the last page whose first key is <= key
-        (page 0 if the key precedes everything).
+        The returned page is the last page whose first key is strictly
+        < key (page 0 if none).  Strict comparison matters under
+        duplicates: when a run of keys equal to the query spans page
+        boundaries, the *lower bound* lives in the first such page, not
+        the last one whose separator matches.
         """
         self.stats.lookups += 1
         if self._levels[0].size == 0:
@@ -164,12 +167,12 @@ class BTreeIndex:
             level = self._level_views[depth]
             hi = min(lo + fanout, len(level))
             stats.nodes_visited += 1
-            # binary search inside the node for rightmost key <= key
+            # binary search inside the node for rightmost key < key
             left, right = lo, hi
             while left < right:
                 mid = (left + right) >> 1
                 stats.comparisons += 1
-                if level[mid] <= key:
+                if level[mid] < key:
                     left = mid + 1
                 else:
                     right = mid
@@ -197,13 +200,24 @@ class BTreeIndex:
                 right = mid
         # If the key exceeds everything in the page, ``left == end``,
         # which is exactly the first record of the next page — find_page
-        # guarantees that page's first key is > key, so this is the
+        # guarantees that page's first key is >= key, so this is the
         # correct lower bound.
         return left
 
     def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
-        """Vectorized reference lookups (for tests; bypasses the tree)."""
+        """Batched lower-bound lookups via ``searchsorted``.
+
+        A B-Tree over a dense sorted array answers batches fastest by
+        skipping the tree entirely — the whole structure exists to
+        locate a page, and ``searchsorted`` does page + in-page search
+        in one vectorized pass.  Results match :meth:`lookup` exactly.
+        """
         return np.searchsorted(self.keys, np.asarray(queries), side="left")
+
+    def contains_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Batched membership: one bool per query."""
+        queries = np.asarray(queries).ravel()
+        return batch_contains(self.keys, queries, self.lookup_batch(queries))
 
     def range_query(self, low: float, high: float) -> np.ndarray:
         """All stored keys in ``[low, high]`` via two lower-bound descents."""
@@ -280,7 +294,8 @@ class GenericBTreeIndex:
             while left < right:
                 mid = (left + right) >> 1
                 self.stats.comparisons += 1
-                if level[mid] <= key:
+                # strict compare: see BTreeIndex.find_page on duplicates
+                if level[mid] < key:
                     left = mid + 1
                 else:
                     right = mid
@@ -301,6 +316,25 @@ class GenericBTreeIndex:
     def contains(self, key) -> bool:
         pos = self.lookup(key)
         return pos < len(self.keys) and self.keys[pos] == key
+
+    def lookup_batch(self, queries) -> np.ndarray:
+        """Batched lower-bound lookups (``bisect`` per query; generic
+        comparable keys cannot be vectorized by numpy)."""
+        return np.array(
+            [bisect.bisect_left(self.keys, q) for q in queries],
+            dtype=np.int64,
+        )
+
+    def contains_batch(self, queries) -> np.ndarray:
+        queries = list(queries)
+        n = len(self.keys)
+        return np.array(
+            [
+                pos < n and self.keys[pos] == q
+                for pos, q in zip(self.lookup_batch(queries), queries)
+            ],
+            dtype=bool,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -114,7 +114,9 @@ class FASTTree:
             self.stats.nodes_visited += 1
             self.stats.comparisons += SIMD_WIDTH
             # SIMD lane compare + popcount: rank of the key in the node.
-            rank = int((block <= key).sum())
+            # Strictly-less so duplicated keys resolve to the page of
+            # their first occurrence (lower-bound semantics).
+            rank = int((block < key).sum())
             slot = start + max(rank - 1, 0)
         page = min(slot, self._page_starts.size - 1)
         return int(page)

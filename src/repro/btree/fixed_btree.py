@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..util import scalar_view
+from ..util import batch_contains, scalar_view
 from .btree import TraversalStats
 from .search_baselines import Counter, interpolation_search
 
@@ -98,7 +98,10 @@ class FixedSizeBTree:
             while left < right:
                 mid = (left + right) >> 1
                 self.stats.comparisons += 1
-                if level[mid] <= key:
+                # strict compare: the lower bound of a duplicated key
+                # lives under the *first* separator >= it, so descend
+                # to the last separator strictly below the query.
+                if level[mid] < key:
                     left = mid + 1
                 else:
                     right = mid
@@ -123,6 +126,15 @@ class FixedSizeBTree:
     def contains(self, key: float) -> bool:
         pos = self.lookup(key)
         return pos < self.keys.size and self.keys[pos] == key
+
+    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Batched lower-bound lookups via ``searchsorted`` (the
+        separator levels only accelerate scalar descents)."""
+        return np.searchsorted(self.keys, np.asarray(queries), side="left")
+
+    def contains_batch(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.asarray(queries).ravel()
+        return batch_contains(self.keys, queries, self.lookup_batch(queries))
 
     def __repr__(self) -> str:
         return (

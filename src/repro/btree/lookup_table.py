@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..util import batch_contains
 from .btree import TraversalStats
 from .search_baselines import binary_search
 
@@ -70,23 +71,21 @@ class HierarchicalLookupTable:
         n = self.keys.size
         if n == 0:
             return 0
-        # Stage 1: binary search the top table for the last entry <= key.
+        # Stage 1: binary search the top table for the last entry
+        # strictly < key (a separator == key may still have equal keys
+        # in the group before it — lower-bound semantics under
+        # duplicates).
         top_rank = binary_search(self._top, key, counter=None)
         self.stats.nodes_visited += 1
         self.stats.comparisons += max(
             1, int(np.ceil(np.log2(max(self._top.size, 2))))
         )
-        if top_rank < self._top.size and self._top[top_rank] == key:
-            top_slot = top_rank
-        else:
-            top_slot = max(top_rank - 1, 0)
+        top_slot = max(top_rank - 1, 0)
         # Stage 2: AVX scan of the corresponding 64-entry second-table group.
         second_start = top_slot * self.group
         self.stats.nodes_visited += 1
         rank2 = self._scan_group(self._second, second_start, key)
         second_slot = second_start + max(rank2 - 1, 0)
-        if rank2 == 0:
-            second_slot = second_start
         second_slot = min(second_slot, self._second.size - 1)
         # Stage 3: AVX scan of the data group.
         data_start = second_slot * self.group
@@ -102,6 +101,16 @@ class HierarchicalLookupTable:
     def contains(self, key: float) -> bool:
         pos = self.lookup(key)
         return pos < self.keys.size and self.keys[pos] == key
+
+    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Batched lower-bound lookups via ``searchsorted`` — the
+        batch analogue of the branch-free scans, without the per-query
+        Python staging."""
+        return np.searchsorted(self.keys, np.asarray(queries), side="left")
+
+    def contains_batch(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.asarray(queries).ravel()
+        return batch_contains(self.keys, queries, self.lookup_batch(queries))
 
     def __repr__(self) -> str:
         return (

@@ -127,11 +127,16 @@ class LearnedBloomFilter:
         return key in self.overflow
 
     def contains_batch(self, keys: list[str]) -> np.ndarray:
-        """Vectorized membership (model scores batched)."""
+        """Vectorized membership: batched model scores, and only the
+        sub-threshold minority consults the overflow filter (batched)."""
+        keys = list(keys)
         scores = np.asarray(self.model.predict_proba(keys))
         out = scores > self.tau
-        for i in np.nonzero(~out)[0]:
-            out[i] = keys[i] in self.overflow
+        below = np.nonzero(~out)[0]
+        if below.size:
+            out[below] = self.overflow.contains_batch(
+                [keys[i] for i in below]
+            )
         return out
 
     def measured_fpr(self, test_nonkeys: list[str]) -> float:
@@ -218,13 +223,17 @@ class ModelHashBloomFilter:
         return key in self.aux
 
     def contains_batch(self, keys: list[str]) -> np.ndarray:
+        """Batched membership: vectorized bitmap probe, then only the
+        bitmap hits consult the auxiliary filter (batched)."""
+        keys = list(keys)
         scores = np.asarray(self.model.predict_proba(keys))
         positions = self._discretize(scores)
-        out = np.array(
-            [bool((self._bitmap[p >> 3] >> (p & 7)) & 1) for p in positions]
-        )
-        for i in np.nonzero(out)[0]:
-            out[i] = keys[i] in self.aux
+        out = (
+            (self._bitmap[positions >> 3] >> (positions & 7)) & 1
+        ).astype(bool)
+        hits = np.nonzero(out)[0]
+        if hits.size:
+            out[hits] = self.aux.contains_batch([keys[i] for i in hits])
         return out
 
     def measured_fpr(self, test_nonkeys: list[str]) -> float:

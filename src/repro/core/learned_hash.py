@@ -67,20 +67,11 @@ class LearnedHashFunction:
         return slot
 
     def hash_batch(self, keys: np.ndarray) -> np.ndarray:
-        """Vectorized slot computation (used by conflict accounting)."""
-        keys = np.asarray(keys, dtype=np.float64)
+        """Vectorized slot computation via the RMI's batch routing."""
+        keys = np.asarray(keys, dtype=np.float64).ravel()
         rmi = self._rmi
-        n = self._n
-        if rmi._fast and n:
-            # Linear leaves: route and predict fully vectorized.
-            m = rmi.stage_sizes[1]
-            root_pred = np.asarray(
-                rmi._stages[0][0].predict_batch(keys), dtype=np.float64
-            )
-            j = np.clip((root_pred * m / n).astype(np.int64), 0, m - 1)
-            slopes = np.asarray(rmi._leaf_slopes)
-            intercepts = np.asarray(rmi._leaf_intercepts)
-            raw = slopes[j] * keys + intercepts[j]
+        if rmi._compiled and self._n:
+            _leaf, raw = rmi._route_batch(keys)
             slots = (raw * self._scale).astype(np.int64)
             return np.clip(slots, 0, self.num_slots - 1)
         out = np.empty(keys.size, dtype=np.int64)

@@ -27,7 +27,29 @@ Key properties reproduced here:
 
 The public API is ``lookup`` / ``upper_bound`` / ``range_query`` /
 ``contains`` with lower-bound semantics identical to every baseline in
-:mod:`repro.btree`, plus ``predict`` exposing (estimate, window).
+:mod:`repro.btree`, plus ``predict`` exposing (estimate, window) and
+the batch variants ``lookup_batch`` / ``contains_batch``.
+
+Throughput vs latency
+---------------------
+Two-stage RMIs with linear leaves compile to four flat NumPy arrays
+(``slopes``, ``intercepts``, ``lo_offsets``, ``hi_offsets``), which
+supports two distinct execution modes:
+
+* ``lookup`` — the scalar *latency* path: one query at a time through
+  plain Python floats (list mirrors of the compiled arrays), so
+  measured ns/lookup and comparison counts reflect genuine per-query
+  cost and stay comparable to the Section 2.1 cost model;
+* ``lookup_batch`` — the vectorized *throughput* path: root
+  ``predict_batch`` → vectorized leaf routing → gathered per-leaf
+  affine predictions → clamped per-query windows → lock-step bounded
+  binary search (:func:`repro.core.search.vectorized_bounded_search`)
+  → vectorized lower-bound verification, with the rare Section 3.4
+  misses fixed up by scalar exponential search.  Both paths return
+  identical positions; the batch path just amortizes interpreter
+  overhead across the whole query array, which is how SOSD-style
+  benchmarks measure learned indexes.  ``lookup_batch_scalar`` keeps
+  the per-query loop available so benchmarks can report both numbers.
 """
 
 from __future__ import annotations
@@ -41,13 +63,60 @@ from ..btree.search_baselines import exponential_search
 from ..models.base import ConstantModel, Model
 from ..models.cdf import ErrorStats, error_stats, positions_for_keys
 from ..models.linear import LinearModel
-from ..util import scalar_view
-from .search import Counter, bounded_search, verify_lower_bound
+from ..util import batch_contains, scalar_view
+from .search import (
+    Counter,
+    bounded_search,
+    vectorized_bounded_search,
+    verify_lower_bound,
+    verify_lower_bound_batch,
+)
 
-__all__ = ["RecursiveModelIndex", "RMIStats", "DEFAULT_LEAF_ERROR"]
+__all__ = [
+    "RecursiveModelIndex",
+    "RMIStats",
+    "DEFAULT_LEAF_ERROR",
+    "clamp_window",
+    "clamp_window_batch",
+]
 
 #: Error assigned to untrained (empty) leaves: one page worth of slack.
 DEFAULT_LEAF_ERROR = 128
+
+
+def clamp_window(lo: int, hi: int, n: int) -> tuple[int, int]:
+    """Clamp a raw search window to ``[0, n]`` with ``hi`` exclusive.
+
+    The single source of truth for window semantics: degenerate windows
+    (``hi <= lo`` after clamping) collapse to the one-element window at
+    ``min(lo, max(hi - 1, 0))``, staying empty only when ``n == 0``.
+    """
+    if lo < 0:
+        lo = 0
+    elif lo > n:
+        lo = n
+    if hi > n:
+        hi = n
+    if hi <= lo:
+        lo = min(lo, max(hi - 1, 0))
+        hi = min(lo + 1, n)
+    return lo, hi
+
+
+def clamp_window_batch(
+    lo: np.ndarray, hi: np.ndarray, n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`clamp_window` over parallel int64 arrays."""
+    np.clip(lo, 0, n, out=lo)
+    np.clip(hi, None, n, out=hi)
+    degenerate = hi <= lo
+    if np.any(degenerate):
+        collapsed = np.minimum(
+            lo[degenerate], np.maximum(hi[degenerate] - 1, 0)
+        )
+        lo[degenerate] = collapsed
+        hi[degenerate] = np.minimum(collapsed + 1, n)
+    return lo, hi
 
 
 @dataclass
@@ -233,37 +302,58 @@ class RecursiveModelIndex:
             self.leaf_errors.append(stats)
 
     def _compile(self) -> None:
-        """Extract linear-leaf parameters into flat Python lists.
+        """Extract linear-leaf parameters into flat NumPy arrays.
 
         The LIF analogue (Section 3.1): "given a trained Tensorflow
         model, LIF automatically extracts all weights from the model and
         generates efficient index structures".  With two stages and
         linear leaves the entire lookup becomes a handful of float
-        operations over these lists, with no per-model dispatch.
+        operations over four flat arrays, with no per-model dispatch.
+
+        The arrays are the canonical compiled form — ``lookup_batch``
+        gathers from them directly.  The scalar latency path reads the
+        ``*_list`` mirrors instead, because indexing a Python list
+        returns a native float while indexing a numpy array boxes a
+        ``np.float64`` per probe (see :mod:`repro.util`).
+
+        ``_compiled`` means the arrays exist (batch engine usable);
+        ``_fast`` additionally means scalar lookups may take the
+        compiled path — hybrid indexes clear only ``_fast`` when B-Tree
+        fallback leaves are installed.
         """
         self._fast = False
+        self._compiled = False
         if len(self.stage_sizes) != 2:
             return
-        slopes: list[float] = []
-        intercepts: list[float] = []
-        lo_offsets: list[float] = []
-        hi_offsets: list[float] = []
-        for model, err in zip(self._stages[1], self.leaf_errors):
+        m = self.stage_sizes[1]
+        slopes = np.zeros(m, dtype=np.float64)
+        intercepts = np.zeros(m, dtype=np.float64)
+        lo_offsets = np.zeros(m, dtype=np.float64)
+        hi_offsets = np.zeros(m, dtype=np.float64)
+        for j, (model, err) in enumerate(
+            zip(self._stages[1], self.leaf_errors)
+        ):
             if isinstance(model, LinearModel):
-                slopes.append(model.slope)
-                intercepts.append(model.intercept)
+                slopes[j] = model.slope
+                intercepts[j] = model.intercept
             elif isinstance(model, ConstantModel):
-                slopes.append(0.0)
-                intercepts.append(model.value)
+                intercepts[j] = model.value
             else:
                 return
-            lo_offsets.append(float(err.max_error))
-            hi_offsets.append(float(err.min_error))
+            lo_offsets[j] = float(err.max_error)
+            hi_offsets[j] = float(err.min_error)
         self._leaf_slopes = slopes
         self._leaf_intercepts = intercepts
         self._leaf_lo_offsets = lo_offsets
         self._leaf_hi_offsets = hi_offsets
-        self._root_predict = self._stages[0][0].predict
+        self._leaf_slopes_list = slopes.tolist()
+        self._leaf_intercepts_list = intercepts.tolist()
+        self._leaf_lo_offsets_list = lo_offsets.tolist()
+        self._leaf_hi_offsets_list = hi_offsets.tolist()
+        root = self._stages[0][0]
+        self._root_predict = root.predict
+        self._root_predict_batch = root.predict_batch
+        self._compiled = True
         self._fast = True
 
     # -- inference -------------------------------------------------------------
@@ -309,15 +399,7 @@ class RecursiveModelIndex:
         # floor/ceil for either sign without numpy scalar overhead.
         lo = int(raw - stats.max_error) - 1
         hi = int(raw - stats.min_error) + 2
-        if lo < 0:
-            lo = 0
-        elif lo > n:
-            lo = n
-        if hi > n:
-            hi = n
-        if hi <= lo:
-            lo = min(lo, max(hi - 1, 0))
-            hi = min(lo + 1, n)
+        lo, hi = clamp_window(lo, hi, n)
         return leaf, est, lo, hi
 
     def lookup(self, key: float) -> int:
@@ -368,18 +450,10 @@ class RecursiveModelIndex:
             j = 0
         elif j >= m:
             j = m - 1
-        raw = self._leaf_slopes[j] * key + self._leaf_intercepts[j]
-        lo = int(raw - self._leaf_lo_offsets[j]) - 1
-        hi = int(raw - self._leaf_hi_offsets[j]) + 2
-        if lo < 0:
-            lo = 0
-        elif lo > n:
-            lo = n
-        if hi > n:
-            hi = n
-        if hi <= lo:
-            lo = min(lo, max(hi - 1, 0))
-            hi = lo + 1 if lo < n else n
+        raw = self._leaf_slopes_list[j] * key + self._leaf_intercepts_list[j]
+        lo = int(raw - self._leaf_lo_offsets_list[j]) - 1
+        hi = int(raw - self._leaf_hi_offsets_list[j]) + 2
+        lo, hi = clamp_window(lo, hi, n)
         stats.window_total += hi - lo
         keys = self._keys_view
         comparisons = 0
@@ -416,12 +490,14 @@ class RecursiveModelIndex:
     # -- range-index interface ---------------------------------------------------
 
     def upper_bound(self, key: float) -> int:
-        """Position one past the last stored key <= ``key``."""
+        """Position one past the last stored key <= ``key``.
+
+        Duplicates are resolved by one ``searchsorted(side="right")``
+        over the suffix starting at the lower bound — O(log d) for d
+        duplicates instead of the naive O(d) scan.
+        """
         pos = self.lookup(key)
-        n = self.keys.size
-        while pos < n and self.keys[pos] == key:
-            pos += 1
-        return pos
+        return pos + int(np.searchsorted(self.keys[pos:], key, side="right"))
 
     def contains(self, key: float) -> bool:
         pos = self.lookup(key)
@@ -433,14 +509,106 @@ class RecursiveModelIndex:
             return self.keys[0:0]
         start = self.lookup(low)
         end = self.lookup(high)
-        n = self.keys.size
-        while end < n and self.keys[end] <= high:
-            end += 1
+        end += int(np.searchsorted(self.keys[end:], high, side="right"))
         return self.keys[start:end]
 
+    # -- batch interface ---------------------------------------------------------
+
+    def _route_batch(
+        self, queries: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(leaf indices, leaf raw predictions) for a float query batch.
+
+        Requires a compiled two-stage index and a non-empty key array.
+        Mirrors the scalar routing exactly: truncated ``pred * m / n``
+        clamped to ``[0, m)``, then the gathered per-leaf affine model.
+        """
+        n = self.keys.size
+        m = self.stage_sizes[1]
+        root = np.asarray(
+            self._root_predict_batch(queries), dtype=np.float64
+        )
+        j = (root * m / n).astype(np.int64)
+        np.clip(j, 0, m - 1, out=j)
+        raw = self._leaf_slopes[j] * queries + self._leaf_intercepts[j]
+        return j, raw
+
+    def _lookup_batch_compiled(
+        self,
+        queries: np.ndarray,
+        routed: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """The vectorized engine: route → window → lock-step search.
+
+        ``routed`` lets callers that already ran :meth:`_route_batch`
+        (e.g. the hybrid index) pass (leaf, raw) instead of paying the
+        root inference twice.
+        """
+        n = self.keys.size
+        keys = self.keys
+        stats = self.stats
+        leaf, raw = routed if routed is not None else self._route_batch(queries)
+        lo = (raw - self._leaf_lo_offsets[leaf]).astype(np.int64) - 1
+        hi = (raw - self._leaf_hi_offsets[leaf]).astype(np.int64) + 2
+        lo, hi = clamp_window_batch(lo, hi, n)
+        stats.lookups += int(queries.size)
+        stats.window_total += int((hi - lo).sum())
+        counter = Counter()
+        # Unlike the scalar path, no +1 window extension: a result at
+        # the exclusive end is caught by the boundary verification
+        # below, and the narrower window saves a lock-step round.
+        pos = vectorized_bounded_search(keys, queries, lo, hi, counter=counter)
+        stats.comparisons += counter.comparisons
+        # Interior results are proven correct by the search's own
+        # probes (see vectorized_bounded_search); only window-boundary
+        # results can be Section 3.4 mispredictions.
+        suspects = np.nonzero((pos == lo) | (pos == hi))[0]
+        if suspects.size:
+            ok = verify_lower_bound_batch(
+                keys, queries[suspects], pos[suspects]
+            )
+            misses = suspects[~ok]
+            if misses.size:
+                # Section 3.4 fix-up for the rare absent-key misses
+                # under non-monotonic models: scalar exponential
+                # widening.
+                stats.fixups += int(misses.size)
+                keys_view = self._keys_view
+                for i in misses:
+                    pos[i] = exponential_search(
+                        keys_view, float(queries[i]), int(pos[i])
+                    )
+        return pos
+
     def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
-        """Loop over :meth:`lookup` (kept scalar to mirror per-query cost)."""
-        return np.array([self.lookup(float(q)) for q in np.asarray(queries)])
+        """Lower-bound positions for a whole query batch.
+
+        Compiled two-stage indexes run the vectorized engine; anything
+        else (deeper hierarchies, non-linear leaves) falls back to the
+        per-query loop.  Results are identical to calling
+        :meth:`lookup` per query — the search strategy only changes the
+        scalar probe schedule, never the returned position.
+        """
+        queries = np.asarray(queries, dtype=np.float64).ravel()
+        n = self.keys.size
+        if n == 0:
+            return np.zeros(queries.size, dtype=np.int64)
+        if not self._compiled:
+            return self.lookup_batch_scalar(queries)
+        return self._lookup_batch_compiled(queries)
+
+    def lookup_batch_scalar(self, queries: np.ndarray) -> np.ndarray:
+        """Per-query :meth:`lookup` loop — the interpreter-bound
+        baseline that batch-throughput benchmarks compare against."""
+        return np.array(
+            [self.lookup(float(q)) for q in np.asarray(queries).ravel()],
+            dtype=np.int64,
+        )
+
+    def contains_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorized membership: one bool per query."""
+        queries = np.asarray(queries, dtype=np.float64).ravel()
+        return batch_contains(self.keys, queries, self.lookup_batch(queries))
 
     # -- accounting ----------------------------------------------------------------
 

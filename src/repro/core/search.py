@@ -16,6 +16,18 @@ window.  The paper evaluates:
 
 All strategies return lower-bound positions (first index whose key is
 >= the lookup key) and optionally count comparisons for the cost model.
+
+Scalar vs batch
+---------------
+The scalar strategies above are the *latency* path: one Python-level
+probe sequence per query, mirroring what a code-generated C++ lookup
+would execute, so per-query comparison counts feed the Section 2.1 cost
+model honestly.  :func:`vectorized_bounded_search` is the *throughput*
+path: it runs the plain binary-search strategy for a whole query batch
+in lock-step (`while np.any(left < right)`), one numpy gather +
+compare per round over every still-active query.  Both return the same
+lower-bound positions; only the probe schedule differs, which is why
+benchmarks report scalar latency and batch throughput separately.
 """
 
 from __future__ import annotations
@@ -34,6 +46,9 @@ __all__ = [
     "biased_binary_search",
     "biased_quaternary_search",
     "bounded_search",
+    "vectorized_bounded_search",
+    "verify_lower_bound",
+    "verify_lower_bound_batch",
     "SEARCH_STRATEGIES",
     "Counter",
 ]
@@ -157,6 +172,96 @@ def bounded_search(
         known = ", ".join(sorted(SEARCH_STRATEGIES))
         raise KeyError(f"unknown strategy {strategy!r}; known: {known}") from None
     return fn(keys, key, lo, hi, guess, counter)
+
+
+def vectorized_bounded_search(
+    keys: np.ndarray,
+    queries: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    counter: Counter | None = None,
+) -> np.ndarray:
+    """Lock-step lower-bound binary search over per-query windows.
+
+    Runs one binary-search round per iteration for *every* query whose
+    window ``[lo, hi)`` is still open: a single fancy-indexed gather of
+    ``keys`` at the midpoints plus one vectorized compare, i.e. the
+    data-parallel analogue of issuing a batch of independent binary
+    searches.  Queries whose windows close simply stop participating;
+    the loop ends after ``ceil(log2(max window))`` rounds.
+
+    ``keys`` must be non-empty and sorted; ``lo``/``hi`` are int arrays
+    already clamped to ``[0, n]``.  Returns the per-query lower bound
+    *within its window* (callers verify against the full array and fix
+    up misses, exactly like the scalar path).
+
+    Verification shortcut for callers: a returned position strictly
+    inside its window has had both neighbours probed (the final probes
+    that pinned ``left`` and ``right`` established ``keys[pos-1] <
+    query <= keys[pos]``), so it is already a *globally* correct lower
+    bound.  Only boundary results (``pos == lo`` or ``pos == hi``) can
+    be Section 3.4 mispredictions and need the verification pass.
+    """
+    left = np.asarray(lo, dtype=np.int64).copy()
+    right = np.asarray(hi, dtype=np.int64).copy()
+    batch = left.size
+    # Phase 1 — full-width lock-step rounds while most lanes are open:
+    # every array op streams over the whole batch, so masking beats
+    # compaction until the open fraction drops.
+    while True:
+        active = left < right
+        open_lanes = int(np.count_nonzero(active))
+        if open_lanes == 0:
+            return left
+        if open_lanes * 4 < batch:
+            break
+        if counter is not None:
+            counter.comparisons += open_lanes
+        mid = (left + right) >> 1
+        # Closed lanes have left == right (possibly == n); 'clip' keeps
+        # their gather in range — the lanes are masked below anyway.
+        gathered = keys.take(mid, mode="clip")
+        less = gathered < queries
+        less &= active  # lanes moving right this round
+        active ^= less  # lanes moving left this round
+        left = np.where(less, mid + 1, left)
+        right = np.where(active, mid, right)
+    # Phase 2 — compact the straggler lanes (wide-window outliers) so
+    # the remaining rounds no longer pay full-batch passes.
+    idx = np.nonzero(active)[0]
+    l, r, q = left[idx], right[idx], queries[idx]
+    while l.size:
+        if counter is not None:
+            counter.comparisons += int(l.size)
+        mid = (l + r) >> 1  # all lanes open: mid < r <= n, gather safe
+        less = keys[mid] < q
+        l = np.where(less, mid + 1, l)
+        r = np.where(less, r, mid)
+        closed = l >= r
+        if closed.any():
+            left[idx[closed]] = l[closed]
+            still = ~closed
+            idx, l, r, q = idx[still], l[still], r[still], q[still]
+    return left
+
+
+def verify_lower_bound_batch(
+    keys: np.ndarray, queries: np.ndarray, positions: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`verify_lower_bound`: one bool per query.
+
+    ``positions`` must already lie in ``[0, n]``; entries fail when the
+    key at the position is still < query or the key before it is >=
+    query — the Section 3.4 misprediction cases the scalar fix-up
+    widens.
+    """
+    n = keys.shape[0]
+    positions = np.asarray(positions, dtype=np.int64)
+    safe = np.minimum(positions, n - 1)
+    bad = (positions < n) & (keys[safe] < queries)
+    prev = np.maximum(positions - 1, 0)
+    bad |= (positions > 0) & (keys[prev] >= queries)
+    return ~bad
 
 
 def verify_lower_bound(keys, key: float, pos: int) -> bool:

@@ -38,7 +38,7 @@ from ..models.tokenization import (
     tokenize,
     tokenize_batch,
 )
-from .rmi import RMIStats
+from .rmi import RMIStats, clamp_window, clamp_window_batch
 
 __all__ = ["StringRMI"]
 
@@ -199,6 +199,18 @@ class StringRMI:
         self.leaf_errors = leaf_stats
         self._leaf_slopes = [mdl.slope for mdl in leaf_models]
         self._leaf_intercepts = [mdl.intercept for mdl in leaf_models]
+        # Flat arrays for the vectorized batch path (the scalar path
+        # keeps the Python lists above — see repro.core.rmi._compile).
+        self._leaf_slopes_arr = np.array(self._leaf_slopes, dtype=np.float64)
+        self._leaf_intercepts_arr = np.array(
+            self._leaf_intercepts, dtype=np.float64
+        )
+        self._leaf_lo_offsets = np.array(
+            [float(s.max_error) for s in leaf_stats], dtype=np.float64
+        )
+        self._leaf_hi_offsets = np.array(
+            [float(s.min_error) for s in leaf_stats], dtype=np.float64
+        )
 
         # Hybrid replacement (Algorithm 1 lines 11-14) on string leaves.
         self.leaf_btrees: dict[int, tuple[int, GenericBTreeIndex]] = {}
@@ -255,11 +267,9 @@ class StringRMI:
         leaf, raw = self._route(key)
         est = min(max(int(raw), 0), n - 1)
         err = self.leaf_errors[leaf]
-        lo = min(max(int(raw - err.max_error) - 1, 0), n)
-        hi = min(int(raw - err.min_error) + 2, n)
-        if hi <= lo:
-            lo = min(lo, max(hi - 1, 0))
-            hi = min(lo + 1, n)
+        lo, hi = clamp_window(
+            int(raw - err.max_error) - 1, int(raw - err.min_error) + 2, n
+        )
         return est, lo, hi
 
     def lookup(self, key: str) -> int:
@@ -276,11 +286,9 @@ class StringRMI:
         else:
             est = min(max(int(raw), 0), n - 1)
             err = self.leaf_errors[leaf]
-            lo = min(max(int(raw - err.max_error) - 1, 0), n)
-            hi = min(int(raw - err.min_error) + 2, n)
-            if hi <= lo:
-                lo = min(lo, max(hi - 1, 0))
-                hi = min(lo + 1, n)
+            lo, hi = clamp_window(
+                int(raw - err.max_error) - 1, int(raw - err.min_error) + 2, n
+            )
             self.stats.window_total += hi - lo
             pos = self._bounded_string_search(key, lo, hi, est, err)
         # Absent keys under a non-monotonic root can escape the window.
@@ -328,9 +336,70 @@ class StringRMI:
                 right = mid
         return left
 
+    def lookup_batch(self, queries: list[str]) -> np.ndarray:
+        """Batched lower-bound lookups.
+
+        Featurization, root inference and leaf routing are fully
+        vectorized (for MLP roots that is where nearly all the time
+        goes); the last mile is a bounded ``bisect`` per query inside
+        its model window, since numpy cannot compare Python strings.
+        Results match :meth:`lookup` exactly.
+        """
+        queries = list(queries)
+        n = len(self.keys)
+        out = np.zeros(len(queries), dtype=np.int64)
+        if n == 0 or not queries:
+            return out
+        tokens = tokenize_batch(queries, self.max_length)
+        scalars = lexicographic_scalar_batch(queries, self.max_length)
+        root_pred = np.asarray(
+            self.root.predict_batch(tokens), dtype=np.float64
+        )
+        m = self.num_leaves
+        leaf = (root_pred * m / n).astype(np.int64)
+        np.clip(leaf, 0, m - 1, out=leaf)
+        raw = self._leaf_slopes_arr[leaf] * scalars + self._leaf_intercepts_arr[leaf]
+        lo = (raw - self._leaf_lo_offsets[leaf]).astype(np.int64) - 1
+        hi = (raw - self._leaf_hi_offsets[leaf]).astype(np.int64) + 2
+        lo, hi = clamp_window_batch(lo, hi, n)
+        keys = self.keys
+        self.stats.lookups += len(queries)
+        self.stats.window_total += int((hi - lo).sum())
+        for i, q in enumerate(queries):
+            fallback = self.leaf_btrees.get(int(leaf[i]))
+            if fallback is not None:
+                base, tree = fallback
+                pos = base + tree.lookup(q)
+            else:
+                # hi is exclusive for the window; the lower bound can
+                # be == hi when every windowed key is < q.
+                pos = bisect.bisect_left(
+                    keys, q, int(lo[i]), min(int(hi[i]) + 1, n)
+                )
+            if (pos < n and keys[pos] < q) or (
+                pos > 0 and keys[pos - 1] >= q
+            ):
+                self.stats.fixups += 1
+                pos = bisect.bisect_left(keys, q)
+            out[i] = pos
+        return out
+
     def contains(self, key: str) -> bool:
         pos = self.lookup(key)
         return pos < len(self.keys) and self.keys[pos] == key
+
+    def contains_batch(self, queries: list[str]) -> np.ndarray:
+        """Batched membership over the sorted string keys."""
+        queries = list(queries)
+        positions = self.lookup_batch(queries)
+        n = len(self.keys)
+        return np.array(
+            [
+                pos < n and self.keys[pos] == q
+                for pos, q in zip(positions, queries)
+            ],
+            dtype=bool,
+        )
 
     def range_query(self, low: str, high: str) -> list[str]:
         """All stored strings in ``[low, high]``."""

@@ -218,6 +218,29 @@ class WritableLearnedIndex:
         pos = self._main.lookup(float(key))
         return pos < self._main.keys.size and int(self._main.keys[pos]) == key
 
+    def contains_batch(self, keys) -> np.ndarray:
+        """Batched :meth:`contains`, merging main + delta + tombstones.
+
+        The main index runs its vectorized ``lookup_batch``; the delta
+        buffer is probed with one ``searchsorted`` over the batch; the
+        tombstone set masks both — the delta-merge read path without a
+        per-key Python loop.
+        """
+        queries = np.asarray(keys, dtype=np.int64).ravel()
+        hit = np.zeros(queries.size, dtype=bool)
+        if self._delta:
+            delta = np.asarray(self._delta, dtype=np.int64)
+            spot = np.searchsorted(delta, queries)
+            safe = np.minimum(spot, delta.size - 1)
+            hit |= (spot < delta.size) & (delta[safe] == queries)
+        main_keys = self._main.keys
+        if main_keys.size:
+            hit |= self._main.contains_batch(queries.astype(np.float64))
+        if self._tombstones:
+            dead = np.fromiter(self._tombstones, dtype=np.int64)
+            hit &= ~np.isin(queries, dead)
+        return hit
+
     def range_query(self, low: int, high: int) -> np.ndarray:
         """All live keys in ``[low, high]`` across main + delta."""
         if high < low:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["scalar_view"]
+__all__ = ["scalar_view", "batch_contains"]
 
 _VIEWABLE = {
     np.dtype(np.int64),
@@ -40,3 +40,21 @@ def scalar_view(keys):
     if isinstance(keys, (list, tuple, memoryview)):
         return keys
     return list(keys)
+
+
+def batch_contains(
+    keys: np.ndarray, queries: np.ndarray, positions: np.ndarray
+) -> np.ndarray:
+    """Membership mask from lower-bound positions (numeric keys only).
+
+    ``positions[i]`` must be the lower bound of ``queries[i]`` in the
+    sorted ``keys``; the query is present iff the position is in range
+    and the key there equals the query — the vectorized form of the
+    ``contains`` idiom every range index in this repo uses.
+    """
+    n = keys.shape[0]
+    positions = np.asarray(positions, dtype=np.int64)
+    if n == 0:
+        return np.zeros(positions.shape, dtype=bool)
+    safe = np.minimum(positions, n - 1)
+    return (positions < n) & (keys[safe] == queries)

@@ -1,0 +1,283 @@
+"""Batch == scalar equivalence for every index type.
+
+The vectorized batch engine (ISSUE 1) must be a pure throughput
+optimization: for any query batch, ``lookup_batch(qs)`` returns exactly
+``[lookup(q) for q in qs]`` — across every index type, every search
+strategy, present keys, absent keys, duplicates, the empty index and
+n=1.  Same for ``contains_batch`` / ``hash_batch``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bloom import BloomFilter
+from repro.btree import (
+    BTreeIndex,
+    FixedSizeBTree,
+    GenericBTreeIndex,
+    HierarchicalLookupTable,
+)
+from repro.core import (
+    HybridIndex,
+    LearnedHashFunction,
+    RecursiveModelIndex,
+    StringRMI,
+    WritableLearnedIndex,
+)
+from repro.models import LinearModel, SplineSegmentModel
+
+RNG = np.random.default_rng(77)
+
+STRATEGIES = ["binary", "biased_binary", "biased_quaternary", "exponential"]
+
+
+def dataset(kind: str) -> np.ndarray:
+    """The edge-case regimes the batch engine must survive."""
+    if kind == "empty":
+        return np.array([], dtype=np.int64)
+    if kind == "single":
+        return np.array([42], dtype=np.int64)
+    if kind == "duplicates":
+        base = np.sort(RNG.integers(0, 500, 2_000))
+        return np.sort(np.concatenate([base, base[:400], base[:400]]))
+    if kind == "uniform":
+        return np.unique(RNG.integers(0, 10**9, 3_000))
+    if kind == "lognormal":
+        return np.sort(
+            (np.exp(RNG.normal(0, 2.0, 3_000)) * 1e6).astype(np.int64)
+        )
+    raise ValueError(kind)
+
+
+def query_batch(keys: np.ndarray) -> np.ndarray:
+    """Present keys, absent keys, and out-of-range probes."""
+    parts = [np.array([-5.0, 0.0, 2.0**40])]
+    if keys.size:
+        parts.append(RNG.choice(keys, 200).astype(np.float64))
+        parts.append(
+            RNG.integers(
+                int(keys.min()) - 10, int(keys.max()) + 10, 200
+            ).astype(np.float64)
+        )
+    return np.concatenate(parts)
+
+
+def assert_batch_matches_scalar(index, queries):
+    batch = index.lookup_batch(queries)
+    scalar = np.array([index.lookup(float(q)) for q in queries])
+    np.testing.assert_array_equal(batch, scalar)
+    member = index.contains_batch(queries)
+    expected = np.array([index.contains(float(q)) for q in queries])
+    np.testing.assert_array_equal(member, expected)
+
+
+KINDS = ["empty", "single", "duplicates", "uniform", "lognormal"]
+
+
+class TestRMIEquivalence:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_all_strategies_all_regimes(self, kind, strategy):
+        keys = dataset(kind)
+        index = RecursiveModelIndex(
+            keys, stage_sizes=(1, 64), search_strategy=strategy
+        )
+        assert_batch_matches_scalar(index, query_batch(keys))
+
+    def test_empty_query_batch(self):
+        index = RecursiveModelIndex(dataset("uniform"))
+        assert index.lookup_batch(np.array([])).size == 0
+        assert index.contains_batch(np.array([])).size == 0
+
+    def test_scalar_loop_rename_still_available(self):
+        keys = dataset("uniform")
+        index = RecursiveModelIndex(keys, stage_sizes=(1, 32))
+        queries = query_batch(keys)
+        np.testing.assert_array_equal(
+            index.lookup_batch_scalar(queries), index.lookup_batch(queries)
+        )
+
+    def test_uncompiled_fallback_three_stages(self):
+        keys = dataset("lognormal")
+        index = RecursiveModelIndex(
+            keys,
+            stage_sizes=(1, 8, 64),
+            model_factories=[LinearModel, LinearModel, LinearModel],
+        )
+        assert not index._compiled
+        assert_batch_matches_scalar(index, query_batch(keys))
+
+    def test_uncompiled_fallback_spline_leaves(self):
+        keys = dataset("uniform")
+        index = RecursiveModelIndex(
+            keys,
+            stage_sizes=(1, 16),
+            model_factories=[LinearModel, lambda: SplineSegmentModel(knots=4)],
+        )
+        assert not index._compiled
+        assert_batch_matches_scalar(index, query_batch(keys))
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        keys=st.lists(
+            st.integers(min_value=-(10**9), max_value=10**9),
+            min_size=0,
+            max_size=300,
+        ).map(lambda xs: np.array(sorted(xs), dtype=np.int64)),
+        qs=st.lists(
+            st.integers(min_value=-(2 * 10**9), max_value=2 * 10**9),
+            min_size=1,
+            max_size=40,
+        ),
+        leaves=st.integers(1, 64),
+    )
+    def test_property_batch_equals_scalar(self, keys, qs, leaves):
+        index = RecursiveModelIndex(keys, stage_sizes=(1, leaves))
+        queries = np.asarray(qs, dtype=np.float64)
+        assert_batch_matches_scalar(index, queries)
+
+    def test_upper_bound_duplicates_match_searchsorted(self):
+        keys = dataset("duplicates")
+        index = RecursiveModelIndex(keys, stage_sizes=(1, 32))
+        for q in query_batch(keys)[:120]:
+            assert index.upper_bound(float(q)) == int(
+                np.searchsorted(keys, q, side="right")
+            )
+
+    def test_range_query_duplicates(self):
+        keys = dataset("duplicates")
+        index = RecursiveModelIndex(keys, stage_sizes=(1, 32))
+        lo, hi = int(keys[100]), int(keys[-100])
+        expected = keys[(keys >= lo) & (keys <= hi)]
+        np.testing.assert_array_equal(index.range_query(lo, hi), expected)
+
+
+class TestBaselineEquivalence:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_btree(self, kind):
+        keys = dataset(kind)
+        assert_batch_matches_scalar(
+            BTreeIndex(keys, page_size=32), query_batch(keys)
+        )
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_fixed_btree(self, kind):
+        keys = dataset(kind)
+        assert_batch_matches_scalar(
+            FixedSizeBTree(keys, size_budget_bytes=2_048), query_batch(keys)
+        )
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_lookup_table(self, kind):
+        keys = dataset(kind)
+        assert_batch_matches_scalar(
+            HierarchicalLookupTable(keys, group=16), query_batch(keys)
+        )
+
+
+class TestHybridEquivalence:
+    @pytest.mark.parametrize("threshold", [0, 4, 10**9])
+    def test_hybrid_with_fallback_leaves(self, threshold):
+        keys = dataset("lognormal")
+        index = HybridIndex(keys, stage_sizes=(1, 16), threshold=threshold)
+        if threshold == 0:
+            assert index.replaced_leaf_count > 0
+        assert_batch_matches_scalar(index, query_batch(keys))
+
+    @pytest.mark.parametrize("kind", ["empty", "single", "duplicates"])
+    def test_hybrid_edge_regimes(self, kind):
+        keys = dataset(kind)
+        index = HybridIndex(keys, stage_sizes=(1, 8), threshold=2)
+        assert_batch_matches_scalar(index, query_batch(keys))
+
+
+class TestStringEquivalence:
+    @pytest.mark.parametrize("hybrid_threshold", [None, 1])
+    def test_string_rmi(self, strings_small, hybrid_threshold, rng):
+        index = StringRMI(
+            strings_small,
+            num_leaves=50,
+            hybrid_threshold=hybrid_threshold,
+        )
+        queries = (
+            list(rng.choice(strings_small, 100))
+            + ["", "zzzzzz", "!absent", strings_small[0] + "x"]
+        )
+        batch = index.lookup_batch(queries)
+        scalar = np.array([index.lookup(q) for q in queries])
+        np.testing.assert_array_equal(batch, scalar)
+        member = index.contains_batch(queries)
+        expected = np.array([index.contains(q) for q in queries])
+        np.testing.assert_array_equal(member, expected)
+
+    def test_string_rmi_empty_and_single(self):
+        for keys in ([], ["only"]):
+            index = StringRMI(keys, num_leaves=4)
+            queries = ["", "a", "only", "zz"]
+            np.testing.assert_array_equal(
+                index.lookup_batch(queries),
+                np.array([index.lookup(q) for q in queries]),
+            )
+
+    def test_generic_btree_strings(self, strings_small, rng):
+        tree = GenericBTreeIndex(strings_small, page_size=32)
+        queries = list(rng.choice(strings_small, 80)) + ["", "~~~absent"]
+        np.testing.assert_array_equal(
+            tree.lookup_batch(queries),
+            np.array([tree.lookup(q) for q in queries]),
+        )
+        np.testing.assert_array_equal(
+            tree.contains_batch(queries),
+            np.array([tree.contains(q) for q in queries]),
+        )
+
+
+class TestWritableEquivalence:
+    def test_contains_batch_with_delta_and_tombstones(self):
+        base = np.arange(0, 4_000, 4, dtype=np.int64)
+        index = WritableLearnedIndex(base, merge_threshold=10_000)
+        for k in range(1, 600, 6):
+            index.insert(k)
+        for k in range(0, 1_200, 8):
+            index.delete(k)
+        assert index.delta_size > 0
+        queries = np.arange(-10, 4_020, dtype=np.int64)
+        batch = index.contains_batch(queries)
+        expected = np.array([index.contains(int(q)) for q in queries])
+        np.testing.assert_array_equal(batch, expected)
+
+    def test_contains_batch_empty_index(self):
+        index = WritableLearnedIndex()
+        np.testing.assert_array_equal(
+            index.contains_batch(np.array([1, 2, 3])),
+            np.array([False, False, False]),
+        )
+
+
+class TestHashAndBloomEquivalence:
+    def test_learned_hash_batch(self, lognormal_small):
+        h = LearnedHashFunction(
+            lognormal_small, num_slots=5_000, stage_sizes=(1, 100)
+        )
+        probes = np.concatenate(
+            [lognormal_small[:300], lognormal_small[:300] + 1]
+        ).astype(np.float64)
+        batch = h.hash_batch(probes)
+        scalar = np.array([h(float(q)) for q in probes])
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_standard_bloom_batch(self):
+        bloom = BloomFilter.for_capacity(500, 0.01)
+        keys = [f"key:{i}" for i in range(500)]
+        bloom.add_batch(keys)
+        probes = keys[:100] + [f"absent:{i}" for i in range(100)]
+        batch = bloom.contains_batch(probes)
+        expected = np.array([p in bloom for p in probes])
+        np.testing.assert_array_equal(batch, expected)
+        assert bloom.contains_batch([]).size == 0
