@@ -1,27 +1,33 @@
-"""Throughput benchmark: scalar vs vectorized batch lookups (ISSUE 1).
+"""Throughput benchmark: batch lookups, range scans, sorted fast path.
 
 SOSD (Kipf et al., 2019) and "Benchmarking Learned Indexes" (Marcus et
 al., 2020) report *batched* lookup throughput as the primary metric,
 because per-query latency in an interpreted harness is dominated by
 interpreter overhead rather than by the index.  This benchmark measures
-both numbers for every index structure with a batch API:
+three things (ISSUE 1 + ISSUE 2):
 
-* **scalar ops/s** — the per-query Python loop (``lookup`` per query),
-  the honest latency path the figure benchmarks use;
-* **batch ops/s** — the vectorized engine (``lookup_batch``), whose
-  cost is numpy gathers and compares, i.e. hardware-bound.
-
-Every row also verifies that the batch result is bit-identical to the
-scalar loop over the full query set — the speedup must be a pure
-execution-strategy change.
+* **point throughput** — scalar per-query loop vs the vectorized
+  ``lookup_batch`` engine, per index structure, with a bit-identical
+  check on every row;
+* **range throughput** — scalar ``range_query`` loop vs
+  ``range_query_batch`` on mixed point/scan workloads under uniform,
+  zipfian and hotspot skew (the regimes where learned-vs-tree rankings
+  actually change);
+* **sorted fast path** — ``lookup_batch(sort=True)`` (sort + dedup +
+  engine over the sorted unique queries + inverse-map scatter) vs
+  ``sort=False`` vs the auto heuristic, across batch sizes *and*
+  workload skews, reporting the measured crossover that justifies
+  :data:`repro.core.SORTED_BATCH_THRESHOLD`.
 
 Run standalone (it is not a pytest file):
 
     PYTHONPATH=src python benchmarks/bench_throughput.py
     PYTHONPATH=src python benchmarks/bench_throughput.py --json
+    PYTHONPATH=src python benchmarks/bench_throughput.py --smoke --json
 
-``--json`` additionally writes ``BENCH_throughput.json`` so CI runs
-accumulate a perf trajectory across PRs.
+``--json`` appends a record to the ``BENCH_throughput.json``
+*trajectory* (one entry per run, oldest first) so CI accumulates a perf
+history across PRs; ``--smoke`` shrinks the workload for CI runners.
 """
 
 from __future__ import annotations
@@ -43,12 +49,22 @@ from repro.btree import (  # noqa: E402
     FixedSizeBTree,
     HierarchicalLookupTable,
 )
-from repro.core import RecursiveModelIndex  # noqa: E402
-from repro.data import lognormal_keys, uniform_keys  # noqa: E402
+from repro.core import SORTED_BATCH_THRESHOLD, RecursiveModelIndex  # noqa: E402
+from repro.data import (  # noqa: E402
+    hotspot_queries,
+    lognormal_keys,
+    scan_workload,
+    uniform_keys,
+    zipfian_queries,
+)
 
 #: The acceptance configuration from ISSUE 1: 1M uniform keys, 100k
 #: queries, RMI batch >= 20x the scalar loop.
 ACCEPTANCE_MIN_SPEEDUP = 20.0
+
+#: Ranges whose scalar loop is timed (and equality-checked) per row;
+#: the batch path always runs the full workload.
+SCALAR_RANGE_SAMPLE = 4_000
 
 
 @dataclass(frozen=True)
@@ -157,6 +173,248 @@ def run(
     return results, searchsorted_ops
 
 
+# -- range scans under skew (ISSUE 2) -----------------------------------------
+
+
+@dataclass(frozen=True)
+class RangeThroughputResult:
+    name: str
+    dataset: str
+    skew: str
+    n: int
+    num_ranges: int
+    keys_returned: int
+    scalar_ranges_per_sec: float
+    batch_ranges_per_sec: float
+    speedup: float
+    identical: bool
+
+
+def measure_ranges(
+    index, lows: np.ndarray, highs: np.ndarray, *,
+    name: str, dataset: str, skew: str, batch_repeats: int = 3,
+) -> RangeThroughputResult:
+    """Scalar loop on a sample; batch best-of-N on the full workload."""
+    sample = min(lows.size, SCALAR_RANGE_SAMPLE)
+
+    def scalar_fn():
+        return [
+            index.range_query(float(lo), float(hi))
+            for lo, hi in zip(lows[:sample], highs[:sample])
+        ]
+
+    scalar_s, scalar_out = _time_once(scalar_fn)
+    batch_s = float("inf")
+    batch_out = None
+    for _ in range(batch_repeats):
+        elapsed, batch_out = _time_once(
+            lambda: index.range_query_batch(lows, highs)
+        )
+        batch_s = min(batch_s, elapsed)
+    identical = all(
+        np.array_equal(batch_out[i], scalar_out[i]) for i in range(sample)
+    )
+    return RangeThroughputResult(
+        name=name,
+        dataset=dataset,
+        skew=skew,
+        n=int(index.keys.size),
+        num_ranges=int(lows.size),
+        keys_returned=batch_out.total,
+        scalar_ranges_per_sec=sample / scalar_s,
+        batch_ranges_per_sec=lows.size / batch_s,
+        speedup=(scalar_s / sample) / (batch_s / lows.size),
+        identical=identical,
+    )
+
+
+def run_ranges(
+    n: int, num_ranges: int, seed: int = 42
+) -> list[RangeThroughputResult]:
+    datasets = {
+        "uniform": uniform_keys(n, seed=seed),
+        "lognormal": lognormal_keys(n, seed=seed + 1),
+    }
+    results: list[RangeThroughputResult] = []
+    for ds_name, keys in datasets.items():
+        indexes = {
+            "rmi leaves=10000": RecursiveModelIndex(
+                keys, stage_sizes=(1, 10_000)
+            ),
+            "btree page=128": BTreeIndex(keys, page_size=128),
+        }
+        for skew in ("uniform", "zipfian", "hotspot"):
+            lows, highs = scan_workload(
+                keys, num_ranges,
+                scan_fraction=0.5, mean_span=100, skew=skew, seed=seed,
+            )
+            for idx_name, index in indexes.items():
+                results.append(
+                    measure_ranges(
+                        index, lows, highs,
+                        name=idx_name, dataset=ds_name, skew=skew,
+                    )
+                )
+    return results
+
+
+def render_ranges(results: list[RangeThroughputResult]) -> str:
+    table = Table(
+        "Range-scan throughput: scalar range_query vs range_query_batch",
+        [
+            "structure",
+            "dataset",
+            "skew",
+            "ranges",
+            "keys out",
+            "scalar ranges/s",
+            "batch ranges/s",
+            "speedup",
+            "identical",
+        ],
+    )
+    for r in results:
+        table.add_row(
+            r.name,
+            r.dataset,
+            r.skew,
+            f"{r.num_ranges:,}",
+            f"{r.keys_returned:,}",
+            f"{r.scalar_ranges_per_sec:,.0f}",
+            f"{r.batch_ranges_per_sec:,.0f}",
+            f"{r.speedup:.1f}x",
+            "yes" if r.identical else "NO",
+        )
+    return table.render()
+
+
+# -- sorted-batch fast path (ISSUE 2) -----------------------------------------
+
+
+@dataclass(frozen=True)
+class SortedPathResult:
+    workload: str
+    batch_size: int
+    duplicate_fraction: float
+    unsorted_ops_per_sec: float
+    sorted_ops_per_sec: float
+    auto_ops_per_sec: float
+    sorted_speedup: float
+    identical: bool
+
+
+def run_sorted_path(
+    n: int, max_queries: int, seed: int = 42
+) -> tuple[list[SortedPathResult], dict[str, int | None]]:
+    """Measure forced ``sort=True`` / ``sort=False`` / the heuristic.
+
+    Runs per workload skew, because the sorted path's win comes from
+    sort-then-dedup: a uniform batch has almost no duplicates (the
+    argsort is pure overhead) while zipfian/hotspot batches collapse to
+    a fraction of their size.  Returns the rows plus, per workload, the
+    measured crossover: the smallest probed batch size where the forced
+    sorted path wins (None if it never does).
+    """
+    rng = np.random.default_rng(seed)
+    keys = uniform_keys(n, seed=seed)
+    index = RecursiveModelIndex(keys, stage_sizes=(1, 10_000))
+    sizes = [
+        s
+        for s in (4_096, 16_384, 65_536, 262_144)
+        if s <= max_queries
+    ] or [max_queries]
+    results: list[SortedPathResult] = []
+    crossover: dict[str, int | None] = {}
+    for workload in ("uniform", "zipfian", "hotspot"):
+        for size in sizes:
+            if workload == "uniform":
+                queries = rng.choice(keys, size=size).astype(np.float64)
+            elif workload == "zipfian":
+                queries = zipfian_queries(keys, size, seed=seed + 2)
+            else:
+                queries = hotspot_queries(keys, size, seed=seed + 2)
+            unsorted_s = min(
+                _time_once(lambda: index.lookup_batch(queries, sort=False))[0]
+                for _ in range(3)
+            )
+            sorted_s = min(
+                _time_once(lambda: index.lookup_batch(queries, sort=True))[0]
+                for _ in range(3)
+            )
+            auto_s = min(
+                _time_once(lambda: index.lookup_batch(queries))[0]
+                for _ in range(3)
+            )
+            identical = bool(
+                np.array_equal(
+                    index.lookup_batch(queries, sort=True),
+                    index.lookup_batch(queries, sort=False),
+                )
+            )
+            results.append(
+                SortedPathResult(
+                    workload=workload,
+                    batch_size=size,
+                    duplicate_fraction=1.0
+                    - np.unique(queries).size / size,
+                    unsorted_ops_per_sec=size / unsorted_s,
+                    sorted_ops_per_sec=size / sorted_s,
+                    auto_ops_per_sec=size / auto_s,
+                    sorted_speedup=unsorted_s / sorted_s,
+                    identical=identical,
+                )
+            )
+        crossover[workload] = next(
+            (
+                r.batch_size
+                for r in results
+                if r.workload == workload and r.sorted_speedup > 1.0
+            ),
+            None,
+        )
+    return results, crossover
+
+
+def render_sorted(
+    results: list[SortedPathResult], crossover: dict[str, int | None]
+) -> str:
+    table = Table(
+        "Sorted-batch fast path: sort+dedup engine vs unsorted vs heuristic",
+        [
+            "workload",
+            "batch size",
+            "dup frac",
+            "unsorted ops/s",
+            "sorted ops/s",
+            "auto ops/s",
+            "sorted speedup",
+            "identical",
+        ],
+    )
+    for r in results:
+        table.add_row(
+            r.workload,
+            f"{r.batch_size:,}",
+            f"{r.duplicate_fraction:.0%}",
+            f"{r.unsorted_ops_per_sec:,.0f}",
+            f"{r.sorted_ops_per_sec:,.0f}",
+            f"{r.auto_ops_per_sec:,.0f}",
+            f"{r.sorted_speedup:.2f}x",
+            "yes" if r.identical else "NO",
+        )
+    out = table.render()
+    pretty = ", ".join(
+        f"{wl}: {c:,}" if c is not None else f"{wl}: none"
+        for wl, c in crossover.items()
+    )
+    out += f"\nmeasured crossover per workload: {pretty}"
+    out += (
+        f"\nheuristic: batch >= {SORTED_BATCH_THRESHOLD:,} and estimated "
+        "duplicate fraction >= 50% (birthday estimate from a 4k sample)"
+    )
+    return out
+
+
 def render(results: list[ThroughputResult]) -> str:
     table = Table(
         "Batch throughput: scalar loop vs vectorized lookup_batch",
@@ -185,6 +443,40 @@ def render(results: list[ThroughputResult]) -> str:
     return table.render()
 
 
+def append_trajectory(path: Path, record: dict) -> dict:
+    """Append ``record`` to the trajectory file at ``path``.
+
+    The file holds ``{"bench": "throughput", "trajectory": [...]}``
+    with one record per run, oldest first.  A legacy single-record file
+    (pre-ISSUE-2) becomes the trajectory's first entry; an unparseable
+    file (e.g. a run killed mid-write) is preserved as
+    ``<path>.corrupt`` rather than silently overwritten, since the
+    accumulated history is the point of the file.
+    """
+    trajectory: list[dict] = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            backup = path.with_name(path.name + ".corrupt")
+            path.replace(backup)
+            print(
+                f"warning: could not parse {path}; preserved it as "
+                f"{backup} and starting a fresh trajectory",
+                file=sys.stderr,
+            )
+            existing = None
+        if isinstance(existing, dict):
+            if isinstance(existing.get("trajectory"), list):
+                trajectory = existing["trajectory"]
+            elif "results" in existing:
+                trajectory = [existing]
+    trajectory.append(record)
+    payload = {"bench": "throughput", "trajectory": trajectory}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -196,18 +488,32 @@ def main(argv: list[str] | None = None) -> int:
         help="queries per measurement (default: the acceptance 100k)",
     )
     parser.add_argument(
+        "--ranges", type=int, default=50_000,
+        help="range scans per skew workload (default 50k)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI scale: shrink keys/queries/ranges for shared runners",
+    )
+    parser.add_argument(
         "--json", action="store_true",
-        help="also write BENCH_throughput.json for the perf trajectory",
+        help="append a record to the BENCH_throughput.json trajectory",
     )
     parser.add_argument(
         "--json-path", type=Path, default=Path("BENCH_throughput.json"),
         help="where --json writes its report",
     )
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.n = min(args.n, 200_000)
+        args.queries = min(args.queries, 40_000)
+        args.ranges = min(args.ranges, 10_000)
     if args.n < 1_000:
         parser.error("--n must be >= 1000 (smaller datasets are all noise)")
     if args.queries < 1:
         parser.error("--queries must be >= 1")
+    if args.ranges < 1:
+        parser.error("--ranges must be >= 1")
     if args.json:
         parent = args.json_path.resolve().parent
         if not parent.is_dir():
@@ -221,12 +527,24 @@ def main(argv: list[str] | None = None) -> int:
             f"array (no model) = {ops:,.0f} ops/s"
         )
 
+    range_results = run_ranges(args.n, args.ranges)
+    print()
+    print(render_ranges(range_results))
+
+    sorted_results, crossover = run_sorted_path(args.n, args.queries)
+    print()
+    print(render_sorted(sorted_results, crossover))
+
     rmi_uniform = [
         r for r in results
         if r.dataset == "uniform" and r.name.startswith("rmi")
     ]
     best = max(r.speedup for r in rmi_uniform)
-    all_identical = all(r.identical for r in results)
+    all_identical = (
+        all(r.identical for r in results)
+        and all(r.identical for r in range_results)
+        and all(r.identical for r in sorted_results)
+    )
     print(
         f"\nbest RMI batch speedup on uniform: {best:.1f}x "
         f"(acceptance floor {ACCEPTANCE_MIN_SPEEDUP:.0f}x); "
@@ -234,18 +552,31 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     if args.json:
-        payload = {
-            "bench": "throughput",
+        record = {
+            "recorded_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
             "n": args.n,
             "queries": args.queries,
+            "ranges": args.ranges,
+            "smoke": args.smoke,
             "acceptance_min_speedup": ACCEPTANCE_MIN_SPEEDUP,
             "best_rmi_uniform_speedup": best,
             "all_identical": all_identical,
             "searchsorted_ops_per_sec": searchsorted_ops,
             "results": [asdict(r) for r in results],
+            "range_results": [asdict(r) for r in range_results],
+            "sorted_path": {
+                "threshold_heuristic": SORTED_BATCH_THRESHOLD,
+                "measured_crossover": crossover,
+                "results": [asdict(r) for r in sorted_results],
+            },
         }
-        args.json_path.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"wrote {args.json_path}")
+        payload = append_trajectory(args.json_path, record)
+        print(
+            f"wrote {args.json_path} "
+            f"({len(payload['trajectory'])} trajectory entries)"
+        )
 
     ok = all_identical and best >= ACCEPTANCE_MIN_SPEEDUP
     return 0 if ok else 1

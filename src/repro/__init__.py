@@ -51,6 +51,7 @@ from .core import (
     conflict_stats,
     synthesize,
 )
+from .range_scan import RangeScanResult
 from .hashmap import (
     BucketizedCuckooHashMap,
     ChainingHashMap,
@@ -83,6 +84,7 @@ __all__ = [
     "MultivariateLinearModel",
     "RMIConfig",
     "RandomHashFunction",
+    "RangeScanResult",
     "RecursiveModelIndex",
     "StringRMI",
     "conflict_stats",

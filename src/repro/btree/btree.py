@@ -34,7 +34,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..util import batch_contains, scalar_view
+from ..range_scan import (
+    RangeScanIndexMixin,
+    RangeScanResult,
+    batch_range_scan_generic,
+)
+from ..util import batch_contains_generic, scalar_view
 
 __all__ = ["BTreeIndex", "GenericBTreeIndex", "TraversalStats"]
 
@@ -58,7 +63,7 @@ class TraversalStats:
         self.extra.clear()
 
 
-class BTreeIndex:
+class BTreeIndex(RangeScanIndexMixin):
     """Bulk-loaded dense B+Tree over int/float keys in a sorted array.
 
     Parameters
@@ -204,30 +209,11 @@ class BTreeIndex:
         # correct lower bound.
         return left
 
-    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
-        """Batched lower-bound lookups via ``searchsorted``.
-
-        A B-Tree over a dense sorted array answers batches fastest by
-        skipping the tree entirely — the whole structure exists to
-        locate a page, and ``searchsorted`` does page + in-page search
-        in one vectorized pass.  Results match :meth:`lookup` exactly.
-        """
-        return np.searchsorted(self.keys, np.asarray(queries), side="left")
-
-    def contains_batch(self, queries: np.ndarray) -> np.ndarray:
-        """Batched membership: one bool per query."""
-        queries = np.asarray(queries).ravel()
-        return batch_contains(self.keys, queries, self.lookup_batch(queries))
-
-    def range_query(self, low: float, high: float) -> np.ndarray:
-        """All stored keys in ``[low, high]`` via two lower-bound descents."""
-        if high < low:
-            return self.keys[0:0]
-        start = self.lookup(low)
-        end = self.lookup(high)
-        while end < self.keys.size and self.keys[end] <= high:
-            end += 1
-        return self.keys[start:end]
+    # lookup_batch / contains_batch / the range API come from
+    # RangeScanIndexMixin: a B-Tree over a dense sorted array answers
+    # batches fastest by skipping the tree entirely — the structure
+    # exists to locate a page, and ``searchsorted`` does page + in-page
+    # search in one vectorized pass.
 
     def contains(self, key: float) -> bool:
         pos = self.lookup(key)
@@ -327,13 +313,24 @@ class GenericBTreeIndex:
 
     def contains_batch(self, queries) -> np.ndarray:
         queries = list(queries)
-        n = len(self.keys)
-        return np.array(
-            [
-                pos < n and self.keys[pos] == q
-                for pos, q in zip(self.lookup_batch(queries), queries)
-            ],
-            dtype=bool,
+        return batch_contains_generic(
+            self.keys, queries, self.lookup_batch(queries)
+        )
+
+    def upper_bound(self, key) -> int:
+        """Position one past the last stored key <= ``key``."""
+        return bisect.bisect_right(self.keys, key, self.lookup(key))
+
+    def range_query(self, low, high) -> list:
+        """All stored keys in ``[low, high]`` (closed interval)."""
+        if high < low:
+            return []
+        return self.keys[self.lookup(low):self.upper_bound(high)]
+
+    def range_query_batch(self, lows, highs) -> RangeScanResult:
+        """Batched :meth:`range_query`; values are list-backed."""
+        return batch_range_scan_generic(
+            self.keys, lows, highs, self.lookup_batch
         )
 
     def __repr__(self) -> str:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..range_scan import RangeScanIndexMixin
 from ..util import scalar_view
 from .btree import TraversalStats
 
@@ -44,7 +45,7 @@ def _next_power_of_two(x: int) -> int:
     return 1 << (x - 1).bit_length()
 
 
-class FASTTree:
+class FASTTree(RangeScanIndexMixin):
     """Static 16-ary tree with branch-free SIMD node search."""
 
     def __init__(self, keys: np.ndarray, page_size: int = 128):

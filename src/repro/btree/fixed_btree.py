@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..util import batch_contains, scalar_view
+from ..range_scan import RangeScanIndexMixin
+from ..util import scalar_view
 from .btree import TraversalStats
 from .search_baselines import Counter, interpolation_search
 
@@ -25,7 +26,7 @@ _KEY_BYTES = 8
 _POINTER_BYTES = 8
 
 
-class FixedSizeBTree:
+class FixedSizeBTree(RangeScanIndexMixin):
     """Budgeted flat separator array + interpolation search in runs."""
 
     def __init__(
@@ -126,15 +127,6 @@ class FixedSizeBTree:
     def contains(self, key: float) -> bool:
         pos = self.lookup(key)
         return pos < self.keys.size and self.keys[pos] == key
-
-    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
-        """Batched lower-bound lookups via ``searchsorted`` (the
-        separator levels only accelerate scalar descents)."""
-        return np.searchsorted(self.keys, np.asarray(queries), side="left")
-
-    def contains_batch(self, queries: np.ndarray) -> np.ndarray:
-        queries = np.asarray(queries).ravel()
-        return batch_contains(self.keys, queries, self.lookup_batch(queries))
 
     def __repr__(self) -> str:
         return (

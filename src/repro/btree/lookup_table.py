@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..util import batch_contains
+from ..range_scan import RangeScanIndexMixin
 from .btree import TraversalStats
 from .search_baselines import binary_search
 
@@ -28,7 +28,7 @@ _KEY_BYTES = 8
 _GROUP = 64
 
 
-class HierarchicalLookupTable:
+class HierarchicalLookupTable(RangeScanIndexMixin):
     """Two auxiliary arrays over the data, 64-way fan-out at each stage."""
 
     def __init__(self, keys: np.ndarray, group: int = _GROUP):
@@ -101,16 +101,6 @@ class HierarchicalLookupTable:
     def contains(self, key: float) -> bool:
         pos = self.lookup(key)
         return pos < self.keys.size and self.keys[pos] == key
-
-    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
-        """Batched lower-bound lookups via ``searchsorted`` — the
-        batch analogue of the branch-free scans, without the per-query
-        Python staging."""
-        return np.searchsorted(self.keys, np.asarray(queries), side="left")
-
-    def contains_batch(self, queries: np.ndarray) -> np.ndarray:
-        queries = np.asarray(queries).ravel()
-        return batch_contains(self.keys, queries, self.lookup_batch(queries))
 
     def __repr__(self) -> str:
         return (

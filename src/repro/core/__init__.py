@@ -18,9 +18,20 @@ from .learned_sort import (
     learned_sort,
     train_cdf_model_on_sample,
 )
+from ..range_scan import (
+    RangeScanResult,
+    batch_range_scan,
+    batch_range_scan_generic,
+    upper_bounds_batch,
+)
 from .lif import CandidateResult, default_grid, evaluate_config, synthesize
 from .paged import PagedLearnedIndex, PageStore
-from .rmi import DEFAULT_LEAF_ERROR, RecursiveModelIndex, RMIStats
+from .rmi import (
+    DEFAULT_LEAF_ERROR,
+    SORTED_BATCH_THRESHOLD,
+    RecursiveModelIndex,
+    RMIStats,
+)
 from .writable import WritableLearnedIndex
 from .search import (
     SEARCH_STRATEGIES,
@@ -35,7 +46,12 @@ __all__ = [
     "DEFAULT_LEAF_ERROR",
     "ROOT_MODEL_KINDS",
     "SEARCH_STRATEGIES",
+    "SORTED_BATCH_THRESHOLD",
     "CandidateResult",
+    "RangeScanResult",
+    "batch_range_scan",
+    "batch_range_scan_generic",
+    "upper_bounds_batch",
     "ConflictStats",
     "HybridIndex",
     "LearnedBloomFilter",

@@ -131,28 +131,32 @@ class HybridIndex(RecursiveModelIndex):
             pos = exponential_search(keys, key, min(pos, n - 1))
         return pos
 
-    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
+    def lookup_batch(
+        self, queries: np.ndarray, *, sort: bool | None = None
+    ) -> np.ndarray:
         """Batch lookups that respect the per-leaf B-Tree fallbacks.
 
         Queries routed to model-backed leaves run through the RMI's
-        vectorized engine; queries landing on replaced leaves take the
-        scalar fallback descent (they are the hard-to-learn minority by
-        construction).
+        vectorized engine (including the sorted-batch fast path);
+        queries landing on replaced leaves take the scalar fallback
+        descent (they are the hard-to-learn minority by construction).
         """
         queries = np.asarray(queries, dtype=np.float64).ravel()
         n = self.keys.size
         if n == 0:
             return np.zeros(queries.size, dtype=np.int64)
         if not self.leaf_btrees or not self._compiled:
-            return super().lookup_batch(queries)
+            return super().lookup_batch(queries, sort=sort)
         leaf, raw = self._route_batch(queries)
         replaced_ids = np.fromiter(self.leaf_btrees, dtype=np.int64)
         replaced = np.isin(leaf, replaced_ids)
         out = np.empty(queries.size, dtype=np.int64)
         modeled = ~replaced
         if np.any(modeled):
-            out[modeled] = self._lookup_batch_compiled(
-                queries[modeled], routed=(leaf[modeled], raw[modeled])
+            out[modeled] = self._lookup_batch_maybe_sorted(
+                queries[modeled],
+                routed=(leaf[modeled], raw[modeled]),
+                sort=sort,
             )
         keys = self._keys_view
         for i in np.nonzero(replaced)[0]:

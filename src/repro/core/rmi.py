@@ -50,6 +50,13 @@ supports two distinct execution modes:
   overhead across the whole query array, which is how SOSD-style
   benchmarks measure learned indexes.  ``lookup_batch_scalar`` keeps
   the per-query loop available so benchmarks can report both numbers.
+
+``range_query_batch`` builds on the same engine (one concatenated
+endpoint resolution + vectorized slice assembly, see
+:mod:`repro.range_scan`), and ``lookup_batch(sort=...)`` adds the
+sorted-batch fast path: sort + dedup once, search the unique queries,
+scatter through the inverse map — a measured win on duplicate-heavy
+(zipfian/hotspot) batches and bit-identical everywhere.
 """
 
 from __future__ import annotations
@@ -63,6 +70,7 @@ from ..btree.search_baselines import exponential_search
 from ..models.base import ConstantModel, Model
 from ..models.cdf import ErrorStats, error_stats, positions_for_keys
 from ..models.linear import LinearModel
+from ..range_scan import RangeScanResult, batch_range_scan, upper_bounds_batch
 from ..util import batch_contains, scalar_view
 from .search import (
     Counter,
@@ -76,12 +84,34 @@ __all__ = [
     "RecursiveModelIndex",
     "RMIStats",
     "DEFAULT_LEAF_ERROR",
+    "SORTED_BATCH_THRESHOLD",
     "clamp_window",
     "clamp_window_batch",
 ]
 
 #: Error assigned to untrained (empty) leaves: one page worth of slack.
 DEFAULT_LEAF_ERROR = 128
+
+#: Minimum batch size before ``lookup_batch`` even *considers* the
+#: sorted fast path (sort + dedup + engine on unique queries + inverse
+#: scatter).  Size alone is not sufficient: the argsort inside
+#: ``np.unique`` costs ~40ns/query, about half of what the engine
+#: spends per query, so sorting only pays when deduplication removes
+#: at least ~half the batch.  Above this size the heuristic therefore
+#: probes a fixed-seed random ~4k sample for duplicate density
+#: (:data:`SORTED_BATCH_MIN_DUP_FRACTION`, estimation details in
+#: ``_batch_dup_fraction``) — skewed workloads (zipfian, hotspot)
+#: qualify, uniform workloads don't.  The ``sorted_path`` section of
+#: ``benchmarks/bench_throughput.py`` measures both forced paths and
+#: records the crossover in BENCH_throughput.json.
+SORTED_BATCH_THRESHOLD = 32_768
+
+#: Estimated fraction of the batch that must be duplicates before the
+#: sorted path is chosen automatically (see above).  The estimate is
+#: noisy near the boundary, but so are the stakes: between ~30% and
+#: ~60% duplicates the sorted and unsorted paths are within ~15% of
+#: each other either way.
+SORTED_BATCH_MIN_DUP_FRACTION = 0.5
 
 
 def clamp_window(lo: int, hi: int, n: int) -> tuple[int, int]:
@@ -580,7 +610,82 @@ class RecursiveModelIndex:
                     )
         return pos
 
-    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
+    def _lookup_batch_maybe_sorted(
+        self,
+        queries: np.ndarray,
+        routed: tuple[np.ndarray, np.ndarray] | None = None,
+        sort: bool | None = None,
+    ) -> np.ndarray:
+        """Compiled engine with the sorted-batch fast path.
+
+        The fast path sorts and deduplicates the batch in one
+        ``np.unique(return_inverse=True)`` pass, runs the engine on the
+        sorted unique queries — sequential gathers, and under the
+        skewed workloads where batching matters far fewer of them —
+        then scatters positions back through the inverse map (a plain
+        gather; anything involving a per-query binary search would cost
+        as much as the engine itself).  A query's position depends only
+        on its value, so the output is bit-identical to the unsorted
+        engine (instrumentation counts the deduplicated engine work).
+
+        ``sort=None`` applies the size + duplicate-density heuristic
+        (:data:`SORTED_BATCH_THRESHOLD`,
+        :data:`SORTED_BATCH_MIN_DUP_FRACTION`); ``True``/``False``
+        force the choice (benchmarks measure both).
+        """
+        if sort is None:
+            sort = queries.size >= SORTED_BATCH_THRESHOLD and (
+                self._batch_dup_fraction(queries)
+                >= SORTED_BATCH_MIN_DUP_FRACTION
+            )
+        if not sort or queries.size <= 1:
+            return self._lookup_batch_compiled(queries, routed)
+        uniq, inverse = np.unique(queries, return_inverse=True)
+        # The engine re-routes the unique queries itself — cheaper than
+        # permuting a caller's ``routed`` arrays through the sort.
+        return self._lookup_batch_compiled(uniq)[inverse]
+
+    @staticmethod
+    def _batch_dup_fraction(queries: np.ndarray, sample: int = 4096) -> float:
+        """Estimated duplicate fraction of the *whole* batch.
+
+        The naive sample duplicate rate wildly underestimates batch
+        duplication when the hot set is larger than the sample (a 1k
+        probe of a hotspot workload drawing from 10k hot keys collides
+        rarely, yet the 256k batch is >80% duplicates).  Instead, the
+        within-sample collision count gives a birthday estimate of the
+        batch's distinct-value count D — c collisions among s draws ⇒
+        D ≈ s²/2c — from which the batch is expected to contain about
+        D·(1 - e^(-m/D)) distinct values.
+
+        The probe positions are fixed-seed random, not strided: a
+        stride sampling one element per duplicate run (e.g. a caller
+        that pre-sorted a duplicate-heavy batch) would see zero
+        collisions and skip the fast path exactly where dedup is
+        cheapest.
+        """
+        m = queries.size
+        if m <= sample:
+            # The whole batch fits in the probe: the duplicate fraction
+            # is exact, no extrapolation.
+            return float(1.0 - np.unique(queries).size / max(m, 1))
+        idx = np.random.default_rng(0x5EED).integers(0, m, sample)
+        probe = queries[idx]
+        # Sampling positions with replacement collides with itself
+        # (same index drawn twice); subtract the expectation so only
+        # genuine value collisions feed the estimate.
+        self_collisions = sample * sample / (2.0 * m)
+        s = probe.size
+        c = s - np.unique(probe).size - self_collisions
+        if c <= 0:
+            return 0.0
+        d = s * s / (2.0 * c)
+        est_unique = min(d * -np.expm1(-m / d), m)
+        return float(1.0 - est_unique / m)
+
+    def lookup_batch(
+        self, queries: np.ndarray, *, sort: bool | None = None
+    ) -> np.ndarray:
         """Lower-bound positions for a whole query batch.
 
         Compiled two-stage indexes run the vectorized engine; anything
@@ -588,6 +693,12 @@ class RecursiveModelIndex:
         per-query loop.  Results are identical to calling
         :meth:`lookup` per query — the search strategy only changes the
         scalar probe schedule, never the returned position.
+
+        ``sort`` controls the sorted-batch fast path (sort + dedup +
+        engine over the sorted unique queries + inverse-map scatter):
+        ``None`` (default) applies the size + duplicate-density
+        heuristic, ``True``/``False`` force it on/off.  All three
+        settings return bit-identical positions.
         """
         queries = np.asarray(queries, dtype=np.float64).ravel()
         n = self.keys.size
@@ -595,7 +706,7 @@ class RecursiveModelIndex:
             return np.zeros(queries.size, dtype=np.int64)
         if not self._compiled:
             return self.lookup_batch_scalar(queries)
-        return self._lookup_batch_compiled(queries)
+        return self._lookup_batch_maybe_sorted(queries, sort=sort)
 
     def lookup_batch_scalar(self, queries: np.ndarray) -> np.ndarray:
         """Per-query :meth:`lookup` loop — the interpreter-bound
@@ -609,6 +720,37 @@ class RecursiveModelIndex:
         """Vectorized membership: one bool per query."""
         queries = np.asarray(queries, dtype=np.float64).ravel()
         return batch_contains(self.keys, queries, self.lookup_batch(queries))
+
+    def upper_bound_batch(
+        self, queries: np.ndarray, *, sort: bool | None = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`upper_bound`: one position per query.
+
+        Lower bounds come from the batch engine; only queries that hit
+        a stored key pay the duplicate-run widening (one vectorized
+        ``searchsorted(side="right")`` over the hits).
+        """
+        queries = np.asarray(queries, dtype=np.float64).ravel()
+        return upper_bounds_batch(
+            self.keys, queries, self.lookup_batch(queries, sort=sort)
+        )
+
+    def range_query_batch(
+        self, lows: np.ndarray, highs: np.ndarray, *, sort: bool | None = None
+    ) -> RangeScanResult:
+        """Batched :meth:`range_query`: all stored keys in each
+        ``[lows[i], highs[i]]``.
+
+        Both endpoint arrays resolve through :meth:`lookup_batch` in a
+        single concatenated call (the sorted fast path applies to the
+        combined batch), then one vectorized gather assembles every
+        slice — see :mod:`repro.range_scan`.  ``result[i]`` is
+        bit-identical to ``range_query(lows[i], highs[i])``.
+        """
+        return batch_range_scan(
+            self.keys, lows, highs,
+            lambda q: self.lookup_batch(q, sort=sort),
+        )
 
     # -- accounting ----------------------------------------------------------------
 

@@ -30,6 +30,8 @@ import numpy as np
 
 from ..btree.btree import GenericBTreeIndex
 from ..models.cdf import ErrorStats, error_stats
+from ..range_scan import RangeScanResult, batch_range_scan_generic
+from ..util import batch_contains_generic
 from ..models.linear import LinearModel
 from ..models.nn import MLP
 from ..models.tokenization import (
@@ -391,26 +393,32 @@ class StringRMI:
     def contains_batch(self, queries: list[str]) -> np.ndarray:
         """Batched membership over the sorted string keys."""
         queries = list(queries)
-        positions = self.lookup_batch(queries)
-        n = len(self.keys)
-        return np.array(
-            [
-                pos < n and self.keys[pos] == q
-                for pos, q in zip(positions, queries)
-            ],
-            dtype=bool,
+        return batch_contains_generic(
+            self.keys, queries, self.lookup_batch(queries)
         )
+
+    def upper_bound(self, key: str) -> int:
+        """Position one past the last stored string <= ``key``."""
+        return bisect.bisect_right(self.keys, key, self.lookup(key))
 
     def range_query(self, low: str, high: str) -> list[str]:
         """All stored strings in ``[low, high]``."""
         if high < low:
             return []
-        start = self.lookup(low)
-        end = self.lookup(high)
-        n = len(self.keys)
-        while end < n and self.keys[end] <= high:
-            end += 1
-        return self.keys[start:end]
+        return self.keys[self.lookup(low):self.upper_bound(high)]
+
+    def range_query_batch(self, lows: list[str], highs: list[str]) -> RangeScanResult:
+        """Batched :meth:`range_query` over parallel endpoint lists.
+
+        Endpoint resolution runs through the vectorized
+        :meth:`lookup_batch` (featurization + root inference + leaf
+        routing amortize over ``2m`` strings); duplicate widening and
+        slice assembly are ``bisect``/list operations, since numpy
+        cannot compare Python strings.
+        """
+        return batch_range_scan_generic(
+            self.keys, lows, highs, self.lookup_batch
+        )
 
     # -- accounting ------------------------------------------------------------------
 

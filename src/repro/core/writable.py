@@ -35,6 +35,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..models.base import Model
+from ..range_scan import RangeScanResult
 from .rmi import RecursiveModelIndex
 
 __all__ = ["WritableLearnedIndex"]
@@ -257,6 +258,59 @@ class WritableLearnedIndex:
         if delta_hits.size == 0:
             return main_hits.astype(np.int64)
         return np.union1d(main_hits.astype(np.int64), delta_hits)
+
+    def range_query_batch(self, lows, highs) -> RangeScanResult:
+        """Batched :meth:`range_query`, merging main + delta + tombstones.
+
+        The main index resolves every range through its vectorized
+        ``range_query_batch``; the delta buffer is sliced with two
+        ``searchsorted`` calls over the whole batch; tombstones mask the
+        main hits.  Only the final per-range merge (two disjoint sorted
+        runs) is a Python-level loop.  ``result[i]`` is bit-identical to
+        ``range_query(lows[i], highs[i])``; ``starts``/``ends`` are
+        ``None`` because delta-merged ranges are not contiguous slices
+        of one array.
+        """
+        lows_f = np.asarray(lows, dtype=np.float64).ravel()
+        highs_f = np.asarray(highs, dtype=np.float64).ravel()
+        if lows_f.size != highs_f.size:
+            raise ValueError("lows and highs must have the same length")
+        m = lows_f.size
+        offsets = np.zeros(m + 1, dtype=np.int64)
+        if m == 0:
+            return RangeScanResult(
+                values=np.empty(0, dtype=np.int64), offsets=offsets
+            )
+        # Mirror the scalar path exactly: the main index resolves the
+        # original (float) endpoints, the delta buffer the truncated
+        # ints (``int(low)``/``int(high)``), and an inverted range is
+        # decided on the original values.
+        main = self._main.range_query_batch(lows_f, highs_f)
+        inverted = highs_f < lows_f
+        delta = np.asarray(self._delta, dtype=np.int64)
+        d_lo = np.searchsorted(delta, lows_f.astype(np.int64), side="left")
+        d_hi = np.searchsorted(delta, highs_f.astype(np.int64), side="right")
+        dead = (
+            np.fromiter(self._tombstones, dtype=np.int64)
+            if self._tombstones
+            else None
+        )
+        chunks: list[np.ndarray] = []
+        for i in range(m):
+            vals = np.asarray(main[i], dtype=np.int64)
+            if dead is not None and vals.size:
+                vals = vals[~np.isin(vals, dead)]
+            if not inverted[i] and d_hi[i] > d_lo[i]:
+                inserted = delta[d_lo[i]:d_hi[i]]
+                vals = np.union1d(vals, inserted) if vals.size else inserted
+            chunks.append(vals)
+            offsets[i + 1] = offsets[i] + vals.size
+        values = (
+            np.concatenate(chunks)
+            if offsets[-1]
+            else np.empty(0, dtype=np.int64)
+        )
+        return RangeScanResult(values=values, offsets=offsets)
 
     def __len__(self) -> int:
         return (

@@ -17,11 +17,14 @@ from .strings import document_ids, web_paths
 from .synthetic import (
     clustered_keys,
     dedupe_sorted,
+    hotspot_queries,
     lognormal_keys,
     normal_keys,
+    scan_workload,
     sequential_keys,
     uniform_keys,
     zipf_gap_keys,
+    zipfian_queries,
 )
 from .urls import benign_urls, confusable_urls, phishing_urls, url_dataset
 from .weblogs import weblog_timestamps
@@ -35,11 +38,13 @@ __all__ = [
     "confusable_urls",
     "dedupe_sorted",
     "document_ids",
+    "hotspot_queries",
     "integer_dataset",
     "lognormal_keys",
     "map_longitudes",
     "normal_keys",
     "phishing_urls",
+    "scan_workload",
     "sequential_keys",
     "string_dataset",
     "uniform_keys",
@@ -47,4 +52,5 @@ __all__ = [
     "web_paths",
     "weblog_timestamps",
     "zipf_gap_keys",
+    "zipfian_queries",
 ]

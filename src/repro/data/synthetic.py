@@ -23,6 +23,9 @@ __all__ = [
     "sequential_keys",
     "zipf_gap_keys",
     "dedupe_sorted",
+    "zipfian_queries",
+    "hotspot_queries",
+    "scan_workload",
 ]
 
 #: Paper scales lognormal values "to be integers up to 1B".
@@ -193,3 +196,115 @@ def zipf_gap_keys(
     gaps = rng.zipf(alpha, size=n).astype(np.int64)
     keys = start + np.cumsum(gaps)
     return keys.astype(np.int64)
+
+
+# -- query workloads ----------------------------------------------------------
+#
+# SOSD and "Benchmarking Learned Indexes" (Marcus et al., VLDB 2020)
+# both show that learned-vs-tree rankings change under *skewed* access
+# patterns, not uniform point queries: skew concentrates probes on a few
+# cache-resident leaves (flattering any small model) while range scans
+# amortize the descent over the scan length.  The generators below
+# produce the three canonical skewed workloads over an existing key
+# array; all return query values (not positions), mixing no absent keys
+# — callers blend in absent probes themselves when the fix-up path
+# should be exercised.
+
+
+def zipfian_queries(
+    keys: np.ndarray, n: int, *, alpha: float = 1.1, seed: int = 42
+) -> np.ndarray:
+    """``n`` point queries whose *rank* popularity is Zipf(alpha).
+
+    A random permutation maps popularity ranks onto key positions, so
+    the hot keys are scattered across the key space (the realistic
+    case) rather than clustered at one end.
+    """
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return np.empty(0, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    ranks = rng.zipf(alpha, size=n).astype(np.int64)
+    ranks = np.minimum(ranks - 1, keys.size - 1)
+    rank_to_pos = rng.permutation(keys.size)
+    return keys[rank_to_pos[ranks]].astype(np.float64)
+
+
+def hotspot_queries(
+    keys: np.ndarray,
+    n: int,
+    *,
+    hot_fraction: float = 0.01,
+    hot_weight: float = 0.9,
+    seed: int = 42,
+) -> np.ndarray:
+    """``n`` point queries, ``hot_weight`` of them inside one contiguous
+    span covering ``hot_fraction`` of the key array.
+
+    The classic YCSB "hotspot" distribution: 90% of traffic on 1% of
+    the data by default.  The hot span's placement is drawn from the
+    seed, so different seeds stress different leaves.
+    """
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return np.empty(0, dtype=np.float64)
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in (0, 1]")
+    if not 0.0 <= hot_weight <= 1.0:
+        raise ValueError("hot_weight must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    span = max(int(keys.size * hot_fraction), 1)
+    start = int(rng.integers(0, max(keys.size - span, 0) + 1))
+    hot = rng.random(n) < hot_weight
+    positions = np.where(
+        hot,
+        rng.integers(start, start + span, size=n),
+        rng.integers(0, keys.size, size=n),
+    )
+    return keys[positions].astype(np.float64)
+
+
+def scan_workload(
+    keys: np.ndarray,
+    n: int,
+    *,
+    scan_fraction: float = 0.5,
+    mean_span: int = 100,
+    skew: str = "uniform",
+    seed: int = 42,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A mixed point/range workload: ``(lows, highs)`` endpoint arrays.
+
+    ``scan_fraction`` of the ``n`` queries are range scans whose span
+    (in *positions*) is geometric with mean ``mean_span`` — short scans
+    dominate, with an exponential tail, the shape SOSD uses; the rest
+    are point queries (``low == high``).  Scan start positions follow
+    ``skew``: ``"uniform"``, ``"zipfian"`` or ``"hotspot"`` (reusing
+    the point-query generators above), so a scan-heavy *and* skewed mix
+    is one call.  Feed the result straight to ``range_query_batch``.
+    """
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        empty = np.empty(0, dtype=np.float64)
+        return empty, empty
+    if not 0.0 <= scan_fraction <= 1.0:
+        raise ValueError("scan_fraction must be in [0, 1]")
+    if mean_span < 1:
+        raise ValueError("mean_span must be >= 1")
+    rng = np.random.default_rng(seed)
+    if skew == "uniform":
+        lows = keys[rng.integers(0, keys.size, size=n)].astype(np.float64)
+    elif skew == "zipfian":
+        lows = zipfian_queries(keys, n, seed=seed + 1)
+    elif skew == "hotspot":
+        lows = hotspot_queries(keys, n, seed=seed + 1)
+    else:
+        raise ValueError(
+            f"unknown skew {skew!r}; known: uniform, zipfian, hotspot"
+        )
+    start_pos = np.searchsorted(keys, lows, side="left")
+    spans = rng.geometric(1.0 / mean_span, size=n).astype(np.int64)
+    spans[rng.random(n) >= scan_fraction] = 0
+    end_pos = np.minimum(start_pos + spans, keys.size - 1)
+    highs = keys[end_pos].astype(np.float64)
+    return lows, highs

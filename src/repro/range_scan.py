@@ -1,0 +1,283 @@
+"""Vectorized batch range-scan engine (ISSUE 2).
+
+The paper frames a range index as a CDF model precisely because real
+workloads mix point lookups with range scans (Section 3); SOSD and
+"Benchmarking Learned Indexes" both report *batched* scan throughput.
+This module is the shared engine behind every index's
+``range_query_batch``:
+
+* **bound resolution** — both endpoints of every range go through the
+  index's own ``lookup_batch`` (one concatenated call, so the model,
+  leaf routing and lock-step search amortize across ``2m`` queries);
+  the high endpoints are then widened from lower bound to upper bound
+  with one vectorized ``searchsorted(side="right")`` over just the
+  queries that hit a stored key (:func:`upper_bounds_batch`);
+* **slice assembly** — the per-range ``[start, end)`` position pairs
+  become one concatenated value array + CSR-style offsets without a
+  Python loop (:func:`assemble_slices`), so a batch of scans costs a
+  single gather regardless of how many ranges it contains.
+
+Semantics are pinned to the scalar ``range_query``: ranges are closed
+(``[low, high]``), inverted ranges (``high < low``) are empty, and the
+i-th entry of the result is bit-identical to ``range_query(lows[i],
+highs[i])``.
+
+Indexes over Python-comparable keys (strings) use the ``bisect``-based
+:func:`batch_range_scan_generic`, which keeps the same result shape
+with list-backed storage.
+
+Precision envelope: like the whole PR-1 batch engine, numeric batch
+APIs compare int64 keys against float64 queries (numpy upcasts the
+keys), so integer keys at or above 2^53 can collide after rounding
+while the scalar paths — exact Python int/float comparisons — do not.
+Every dataset generator in :mod:`repro.data` stays far below that
+(``DEFAULT_MAX_KEY`` is 1e9).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from .util import batch_contains
+
+__all__ = [
+    "RangeScanIndexMixin",
+    "RangeScanResult",
+    "assemble_slices",
+    "batch_range_scan",
+    "batch_range_scan_generic",
+    "upper_bounds_batch",
+]
+
+
+@dataclass
+class RangeScanResult:
+    """Concatenated values + CSR offsets for a batch of range scans.
+
+    ``values[offsets[i]:offsets[i+1]]`` (== ``result[i]``) holds the
+    keys of the i-th range.  ``starts``/``ends`` are the resolved
+    ``[start, end)`` positions into the index's key array when the
+    ranges are contiguous slices of it (``None`` for delta-merged
+    results, where a range's values interleave two storages).
+    """
+
+    values: np.ndarray | list
+    offsets: np.ndarray
+    starts: np.ndarray | None = None
+    ends: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return int(self.offsets.size - 1)
+
+    def __getitem__(self, i: int):
+        if not -len(self) <= i < len(self):
+            raise IndexError(i)
+        if i < 0:
+            i += len(self)
+        return self.values[int(self.offsets[i]):int(self.offsets[i + 1])]
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Number of keys in each range."""
+        return self.offsets[1:] - self.offsets[:-1]
+
+    @property
+    def total(self) -> int:
+        """Total keys across all ranges."""
+        return int(self.offsets[-1])
+
+    def __repr__(self) -> str:
+        return (
+            f"RangeScanResult(ranges={len(self)}, total={self.total})"
+        )
+
+
+def upper_bounds_batch(
+    keys: np.ndarray, highs: np.ndarray, lower_bounds: np.ndarray
+) -> np.ndarray:
+    """Upper-bound positions from already-resolved lower bounds.
+
+    ``lower_bounds[i]`` must be the lower bound of ``highs[i]`` in the
+    sorted ``keys``.  The upper bound differs only when the query hits
+    a stored key (the lower bound then sits at the *first* duplicate);
+    those hits are widened with one vectorized
+    ``searchsorted(side="right")`` — absent keys pay nothing.
+    """
+    n = keys.shape[0]
+    ub = np.asarray(lower_bounds, dtype=np.int64).copy()
+    if n == 0 or ub.size == 0:
+        return ub
+    safe = np.minimum(ub, n - 1)
+    hit = (ub < n) & (keys[safe] == highs)
+    if np.any(hit):
+        ub[hit] = np.searchsorted(keys, highs[hit], side="right")
+    return ub
+
+
+def assemble_slices(
+    values: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather ``values[starts[i]:ends[i]]`` for all i in one pass.
+
+    Returns ``(gathered, offsets)`` where ``gathered`` concatenates all
+    slices and ``offsets`` (length ``m + 1``) delimits them.  The index
+    expression builds every slice's positions at once:
+    ``arange(total) - repeat(offsets, lengths) + repeat(starts,
+    lengths)`` — each output element knows which slice it belongs to
+    and its rank inside it.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.maximum(np.asarray(ends, dtype=np.int64) - starts, 0)
+    offsets = np.zeros(starts.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    total = int(offsets[-1])
+    if total == 0:
+        return values[0:0], offsets
+    idx = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(offsets[:-1], lengths)
+        + np.repeat(starts, lengths)
+    )
+    return values[idx], offsets
+
+
+def batch_range_scan(
+    keys: np.ndarray,
+    lows: np.ndarray,
+    highs: np.ndarray,
+    lookup_batch,
+) -> RangeScanResult:
+    """The numeric engine: two lock-step bound resolutions + assembly.
+
+    ``lookup_batch`` is the owning index's batch lower-bound method;
+    both endpoint arrays are resolved in a single concatenated call so
+    model inference and the lock-step search amortize over ``2m``
+    queries.
+    """
+    lows = np.asarray(lows, dtype=np.float64).ravel()
+    highs = np.asarray(highs, dtype=np.float64).ravel()
+    if lows.size != highs.size:
+        raise ValueError("lows and highs must have the same length")
+    m = lows.size
+    if m == 0 or keys.shape[0] == 0:
+        empty = np.zeros(m, dtype=np.int64)
+        return RangeScanResult(
+            values=keys[0:0],
+            offsets=np.zeros(m + 1, dtype=np.int64),
+            starts=empty,
+            ends=empty.copy(),
+        )
+    pos = np.asarray(lookup_batch(np.concatenate([lows, highs])))
+    starts = pos[:m].astype(np.int64)
+    ends = upper_bounds_batch(keys, highs, pos[m:])
+    # Closed-interval semantics: an inverted range is empty, pinned at
+    # the low endpoint's position like the scalar path's early return.
+    inverted = highs < lows
+    if np.any(inverted):
+        ends[inverted] = starts[inverted]
+    values, offsets = assemble_slices(keys, starts, ends)
+    return RangeScanResult(
+        values=values, offsets=offsets, starts=starts, ends=ends
+    )
+
+
+class RangeScanIndexMixin:
+    """The full batch + range API for numeric sorted-array indexes.
+
+    Mixed into every tree/table baseline so the semantics live in one
+    place: hosts must expose sorted ``keys`` (numpy) and scalar
+    ``lookup`` (lower bound).  The default ``lookup_batch`` answers
+    batches with ``searchsorted`` directly — these structures only
+    accelerate scalar descents, and over a dense sorted array the
+    vectorized page + in-page search is one call; hosts with a real
+    batch engine (the RMI's, with its ``sort=`` fast path) or non-numpy
+    keys (the generic/string indexes) override the surface themselves.
+    """
+
+    def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Batched lower-bound lookups via ``searchsorted``; results
+        match per-query :meth:`lookup` exactly."""
+        return np.searchsorted(self.keys, np.asarray(queries), side="left")
+
+    def contains_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Batched membership: one bool per query."""
+        queries = np.asarray(queries).ravel()
+        return batch_contains(self.keys, queries, self.lookup_batch(queries))
+
+    def upper_bound(self, key: float) -> int:
+        """Position one past the last stored key <= ``key``.
+
+        One lower-bound descent plus a ``searchsorted(side="right")``
+        over the duplicate run — O(log d) for d duplicates.
+        """
+        pos = self.lookup(key)
+        return pos + int(np.searchsorted(self.keys[pos:], key, side="right"))
+
+    def range_query(self, low: float, high: float) -> np.ndarray:
+        """All stored keys in ``[low, high]`` (closed interval)."""
+        if high < low:
+            return self.keys[0:0]
+        return self.keys[self.lookup(low):self.upper_bound(high)]
+
+    def upper_bound_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Batched :meth:`upper_bound` via one ``searchsorted``."""
+        queries = np.asarray(queries, dtype=np.float64).ravel()
+        return upper_bounds_batch(
+            self.keys, queries, self.lookup_batch(queries)
+        )
+
+    def range_query_batch(self, lows, highs) -> RangeScanResult:
+        """Batched :meth:`range_query` over parallel endpoint arrays."""
+        return batch_range_scan(self.keys, lows, highs, self.lookup_batch)
+
+
+def batch_range_scan_generic(
+    keys: list,
+    lows,
+    highs,
+    lookup_batch,
+) -> RangeScanResult:
+    """:func:`batch_range_scan` over Python-comparable keys.
+
+    Bound resolution still goes through the index's ``lookup_batch``
+    (model-accelerated for :class:`~repro.core.string_index.StringRMI`);
+    duplicate widening and slice assembly fall back to ``bisect`` and
+    list slicing, since numpy cannot compare arbitrary objects.
+    """
+    lows = list(lows)
+    highs = list(highs)
+    if len(lows) != len(highs):
+        raise ValueError("lows and highs must have the same length")
+    m = len(lows)
+    n = len(keys)
+    offsets = np.zeros(m + 1, dtype=np.int64)
+    if m == 0 or n == 0:
+        empty = np.zeros(m, dtype=np.int64)
+        return RangeScanResult(
+            values=[], offsets=offsets, starts=empty, ends=empty.copy()
+        )
+    pos = np.asarray(lookup_batch(lows + highs), dtype=np.int64)
+    starts = pos[:m]
+    ends = pos[m:].copy()
+    values: list = []
+    for i in range(m):
+        if highs[i] < lows[i]:
+            ends[i] = starts[i]
+        else:
+            end = int(ends[i])
+            if end < n and keys[end] == highs[i]:
+                end = bisect.bisect_right(keys, highs[i], end)
+            ends[i] = end
+            if end > starts[i]:
+                values.extend(keys[int(starts[i]):end])
+        offsets[i + 1] = len(values)
+    return RangeScanResult(
+        values=values, offsets=offsets, starts=starts, ends=ends
+    )

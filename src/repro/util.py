@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["scalar_view", "batch_contains"]
+__all__ = ["scalar_view", "batch_contains", "batch_contains_generic"]
 
 _VIEWABLE = {
     np.dtype(np.int64),
@@ -58,3 +58,19 @@ def batch_contains(
         return np.zeros(positions.shape, dtype=bool)
     safe = np.minimum(positions, n - 1)
     return (positions < n) & (keys[safe] == queries)
+
+
+def batch_contains_generic(keys: list, queries, positions) -> np.ndarray:
+    """:func:`batch_contains` for Python-comparable keys (e.g. strings).
+
+    Same lower-bound-membership semantics, list indexing instead of the
+    numpy gather.
+    """
+    n = len(keys)
+    return np.array(
+        [
+            pos < n and keys[pos] == q
+            for pos, q in zip(positions, queries)
+        ],
+        dtype=bool,
+    )

@@ -4,7 +4,9 @@ The vectorized batch engine (ISSUE 1) must be a pure throughput
 optimization: for any query batch, ``lookup_batch(qs)`` returns exactly
 ``[lookup(q) for q in qs]`` — across every index type, every search
 strategy, present keys, absent keys, duplicates, the empty index and
-n=1.  Same for ``contains_batch`` / ``hash_batch``.
+n=1.  Same for ``contains_batch`` / ``hash_batch``, and (ISSUE 2) for
+``range_query_batch`` vs scalar ``range_query`` and the sorted-batch
+fast path vs the unsorted engine.
 """
 
 import numpy as np
@@ -15,6 +17,7 @@ from hypothesis import strategies as st
 from repro.bloom import BloomFilter
 from repro.btree import (
     BTreeIndex,
+    FASTTree,
     FixedSizeBTree,
     GenericBTreeIndex,
     HierarchicalLookupTable,
@@ -178,6 +181,126 @@ class TestBaselineEquivalence:
         keys = dataset(kind)
         assert_batch_matches_scalar(
             HierarchicalLookupTable(keys, group=16), query_batch(keys)
+        )
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_fast_tree(self, kind):
+        keys = dataset(kind)
+        assert_batch_matches_scalar(
+            FASTTree(keys, page_size=16), query_batch(keys)
+        )
+
+
+RANGE_FACTORIES = {
+    "rmi": lambda keys: RecursiveModelIndex(keys, stage_sizes=(1, 32)),
+    "hybrid": lambda keys: HybridIndex(keys, stage_sizes=(1, 16), threshold=4),
+    "btree": lambda keys: BTreeIndex(keys, page_size=32),
+    "fixed_btree": lambda keys: FixedSizeBTree(keys, size_budget_bytes=2_048),
+    "lookup_table": lambda keys: HierarchicalLookupTable(keys, group=16),
+    "fast_tree": lambda keys: FASTTree(keys, page_size=16),
+}
+
+
+def range_endpoints(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Mixed endpoints: ordinary, degenerate (low == high), inverted,
+    fully out-of-range, and spanning-everything ranges."""
+    lows = query_batch(keys)
+    highs = query_batch(keys)[: lows.size]
+    # force some degenerate and inverted pairs at known slots
+    highs[0] = lows[0]
+    if lows.size > 1:
+        lows[1], highs[1] = max(lows[1], highs[1]), min(lows[1], highs[1]) - 1
+    return lows, highs
+
+
+class TestRangeBatchEquivalence:
+    """range_query_batch == scalar range_query, per range, bit-identical."""
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("name", sorted(RANGE_FACTORIES))
+    def test_batch_matches_scalar(self, name, kind):
+        keys = dataset(kind)
+        index = RANGE_FACTORIES[name](keys)
+        lows, highs = range_endpoints(keys)
+        result = index.range_query_batch(lows, highs)
+        assert len(result) == lows.size
+        for i in range(lows.size):
+            expected = index.range_query(float(lows[i]), float(highs[i]))
+            np.testing.assert_array_equal(
+                np.asarray(result[i]),
+                np.asarray(expected),
+                err_msg=f"{name}/{kind} range {i}",
+            )
+        assert result.total == int(result.counts.sum())
+
+    def test_string_rmi_range_batch(self, strings_small, rng):
+        index = StringRMI(strings_small, num_leaves=50)
+        lows = list(rng.choice(strings_small, 40)) + ["", "zzz"]
+        highs = list(rng.choice(strings_small, 40)) + ["zzz", ""]
+        result = index.range_query_batch(lows, highs)
+        for i, (lo, hi) in enumerate(zip(lows, highs)):
+            assert list(result[i]) == index.range_query(lo, hi), i
+
+    def test_writable_range_batch(self):
+        index = WritableLearnedIndex(
+            np.arange(0, 4_000, 4, dtype=np.int64), merge_threshold=10_000
+        )
+        for k in range(1, 600, 6):
+            index.insert(k)
+        for k in range(0, 1_200, 8):
+            index.delete(k)
+        lows = np.arange(-10, 4_010, 97, dtype=np.int64)
+        highs = lows + np.tile([0, -5, 50, 400], lows.size)[: lows.size]
+        result = index.range_query_batch(lows, highs)
+        for i in range(lows.size):
+            np.testing.assert_array_equal(
+                result[i], index.range_query(int(lows[i]), int(highs[i]))
+            )
+
+
+class TestSortedPathEquivalence:
+    """sorted-path == unsorted-path, bit-identical, for every regime."""
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_rmi_sorted_matches_unsorted(self, kind):
+        keys = dataset(kind)
+        index = RecursiveModelIndex(keys, stage_sizes=(1, 64))
+        queries = query_batch(keys)
+        unsorted = index.lookup_batch(queries, sort=False)
+        np.testing.assert_array_equal(
+            index.lookup_batch(queries, sort=True), unsorted
+        )
+        # the heuristic default must agree with both forced paths
+        np.testing.assert_array_equal(index.lookup_batch(queries), unsorted)
+
+    def test_hybrid_sorted_matches_unsorted(self):
+        keys = dataset("lognormal")
+        index = HybridIndex(keys, stage_sizes=(1, 16), threshold=4)
+        assert index.replaced_leaf_count > 0
+        queries = query_batch(keys)
+        np.testing.assert_array_equal(
+            index.lookup_batch(queries, sort=True),
+            index.lookup_batch(queries, sort=False),
+        )
+
+    def test_range_batch_sorted_matches_unsorted(self):
+        keys = dataset("duplicates")
+        index = RecursiveModelIndex(keys, stage_sizes=(1, 32))
+        lows, highs = range_endpoints(keys)
+        a = index.range_query_batch(lows, highs, sort=True)
+        b = index.range_query_batch(lows, highs, sort=False)
+        np.testing.assert_array_equal(a.values, b.values)
+        np.testing.assert_array_equal(a.offsets, b.offsets)
+        np.testing.assert_array_equal(a.starts, b.starts)
+        np.testing.assert_array_equal(a.ends, b.ends)
+
+    def test_presorted_queries_hit_same_positions(self):
+        keys = dataset("uniform")
+        index = RecursiveModelIndex(keys, stage_sizes=(1, 64))
+        queries = np.sort(query_batch(keys))
+        np.testing.assert_array_equal(
+            index.lookup_batch(queries, sort=True),
+            np.array([index.lookup(float(q)) for q in queries]),
         )
 
 

@@ -7,11 +7,14 @@ from repro.data import synthetic
 from repro.data.synthetic import (
     clustered_keys,
     dedupe_sorted,
+    hotspot_queries,
     lognormal_keys,
     normal_keys,
+    scan_workload,
     sequential_keys,
     uniform_keys,
     zipf_gap_keys,
+    zipfian_queries,
 )
 
 
@@ -134,3 +137,67 @@ class TestFillUnique:
     def test_raises_when_space_too_small(self):
         with pytest.raises(RuntimeError):
             lognormal_keys(1_000, max_key=10, seed=1)
+
+
+class TestSkewedWorkloads:
+    KEYS = uniform_keys(3_000, seed=7)
+
+    def test_zipfian_queries_are_stored_keys_and_skewed(self):
+        qs = zipfian_queries(self.KEYS, 5_000, seed=3)
+        assert qs.size == 5_000 and qs.dtype == np.float64
+        assert np.isin(qs, self.KEYS.astype(np.float64)).all()
+        # Zipf(1.1) popularity: the single hottest key dominates far
+        # beyond the uniform expectation of 5000/3000 ≈ 1.7 hits.
+        _, counts = np.unique(qs, return_counts=True)
+        assert counts.max() > 100
+
+    def test_zipfian_deterministic_per_seed(self):
+        a = zipfian_queries(self.KEYS, 500, seed=3)
+        b = zipfian_queries(self.KEYS, 500, seed=3)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, zipfian_queries(self.KEYS, 500, seed=4))
+
+    def test_hotspot_concentration(self):
+        qs = hotspot_queries(
+            self.KEYS, 5_000, hot_fraction=0.01, hot_weight=0.9, seed=3
+        )
+        assert np.isin(qs, self.KEYS.astype(np.float64)).all()
+        # ~90% of queries land on ~1% of distinct keys.
+        _, counts = np.unique(qs, return_counts=True)
+        top = np.sort(counts)[::-1][: max(self.KEYS.size // 100, 1) + 1]
+        assert top.sum() > 0.8 * qs.size
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ValueError):
+            hotspot_queries(self.KEYS, 10, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            hotspot_queries(self.KEYS, 10, hot_weight=1.5)
+
+    @pytest.mark.parametrize("skew", ["uniform", "zipfian", "hotspot"])
+    def test_scan_workload_shape(self, skew):
+        lows, highs = scan_workload(
+            self.KEYS, 2_000, scan_fraction=0.5, mean_span=50, skew=skew,
+            seed=5,
+        )
+        assert lows.size == highs.size == 2_000
+        assert (highs >= lows).all()
+        points = (lows == highs).mean()
+        # scan_fraction=0.5: about half the queries are points.
+        assert 0.35 < points < 0.65
+        assert np.isin(lows, self.KEYS.astype(np.float64)).all()
+        assert np.isin(highs, self.KEYS.astype(np.float64)).all()
+
+    def test_scan_workload_point_only_and_validation(self):
+        lows, highs = scan_workload(self.KEYS, 100, scan_fraction=0.0, seed=5)
+        np.testing.assert_array_equal(lows, highs)
+        with pytest.raises(ValueError):
+            scan_workload(self.KEYS, 10, skew="bogus")
+        with pytest.raises(ValueError):
+            scan_workload(self.KEYS, 10, mean_span=0)
+
+    def test_empty_keys_give_empty_workloads(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert zipfian_queries(empty, 10).size == 0
+        assert hotspot_queries(empty, 10).size == 0
+        lows, highs = scan_workload(empty, 10)
+        assert lows.size == 0 and highs.size == 0
