@@ -1,10 +1,10 @@
-"""Throughput benchmark: batch lookups, range scans, sorted fast path.
+"""Throughput benchmark: batch lookups, range scans, builds, merges.
 
 SOSD (Kipf et al., 2019) and "Benchmarking Learned Indexes" (Marcus et
 al., 2020) report *batched* lookup throughput as the primary metric,
 because per-query latency in an interpreted harness is dominated by
 interpreter overhead rather than by the index.  This benchmark measures
-three things (ISSUE 1 + ISSUE 2):
+four things (ISSUE 1 + ISSUE 2 + ISSUE 3):
 
 * **point throughput** — scalar per-query loop vs the vectorized
   ``lookup_batch`` engine, per index structure, with a bit-identical
@@ -17,7 +17,12 @@ three things (ISSUE 1 + ISSUE 2):
   engine over the sorted unique queries + inverse-map scatter) vs
   ``sort=False`` vs the auto heuristic, across batch sizes *and*
   workload skews, reporting the measured crossover that justifies
-  :data:`repro.core.SORTED_BATCH_THRESHOLD`.
+  :data:`repro.core.SORTED_BATCH_THRESHOLD`;
+* **construction & retrain** — ``build_mode="vectorized"`` (segmented
+  least-squares build) vs ``build_mode="scalar"`` (per-leaf fit loop)
+  per dataset and leaf count, plus the writable index's write path:
+  bulk ``insert_batch`` vs the per-key insert loop and the merge
+  (rebuild) latency under both build modes.
 
 Run standalone (it is not a pytest file):
 
@@ -49,7 +54,11 @@ from repro.btree import (  # noqa: E402
     FixedSizeBTree,
     HierarchicalLookupTable,
 )
-from repro.core import SORTED_BATCH_THRESHOLD, RecursiveModelIndex  # noqa: E402
+from repro.core import (  # noqa: E402
+    SORTED_BATCH_THRESHOLD,
+    RecursiveModelIndex,
+    WritableLearnedIndex,
+)
 from repro.data import (  # noqa: E402
     hotspot_queries,
     lognormal_keys,
@@ -61,6 +70,12 @@ from repro.data import (  # noqa: E402
 #: The acceptance configuration from ISSUE 1: 1M uniform keys, 100k
 #: queries, RMI batch >= 20x the scalar loop.
 ACCEPTANCE_MIN_SPEEDUP = 20.0
+
+#: The acceptance configuration from ISSUE 3: at 1M uniform keys /
+#: (1, 10000) stages, the vectorized build >= 10x the scalar build,
+#: with bit-identical lookups.
+BUILD_MIN_SPEEDUP = 10.0
+BUILD_ACCEPTANCE_LEAVES = 10_000
 
 #: Ranges whose scalar loop is timed (and equality-checked) per row;
 #: the batch path always runs the full workload.
@@ -415,6 +430,182 @@ def render_sorted(
     return out
 
 
+# -- construction & retrain (ISSUE 3) -----------------------------------------
+
+
+@dataclass(frozen=True)
+class BuildResult:
+    dataset: str
+    n: int
+    leaves: int
+    scalar_build_s: float
+    vectorized_build_s: float
+    speedup: float
+    lookups_identical: bool
+
+
+def run_builds(n: int, seed: int = 42) -> list[BuildResult]:
+    """Time full RMI construction under both build modes.
+
+    The scalar build runs once (it is the slow reference); the
+    vectorized build takes best-of-3.  Each row also pins lookups
+    bit-identical between the two freshly built indexes on a mixed
+    present/absent probe batch.
+    """
+    rng = np.random.default_rng(seed)
+    datasets = {
+        "uniform": uniform_keys(n, seed=seed),
+        "lognormal": lognormal_keys(n, seed=seed + 1),
+    }
+    results: list[BuildResult] = []
+    for ds_name, keys in datasets.items():
+        probes = rng.choice(keys, size=20_000).astype(np.float64)
+        probes[:2_000] = rng.integers(
+            int(keys.min()) - 100, int(keys.max()) + 100, 2_000
+        ).astype(np.float64)
+        for leaves in (1_000, BUILD_ACCEPTANCE_LEAVES):
+            scalar_s, scalar_index = _time_once(
+                lambda: RecursiveModelIndex(
+                    keys, stage_sizes=(1, leaves), build_mode="scalar"
+                )
+            )
+            vector_s = float("inf")
+            vector_index = None
+            for _ in range(3):
+                elapsed, vector_index = _time_once(
+                    lambda: RecursiveModelIndex(
+                        keys, stage_sizes=(1, leaves),
+                        build_mode="vectorized",
+                    )
+                )
+                vector_s = min(vector_s, elapsed)
+            identical = bool(
+                np.array_equal(
+                    scalar_index.lookup_batch(probes),
+                    vector_index.lookup_batch(probes),
+                )
+            )
+            results.append(
+                BuildResult(
+                    dataset=ds_name,
+                    n=n,
+                    leaves=leaves,
+                    scalar_build_s=scalar_s,
+                    vectorized_build_s=vector_s,
+                    speedup=scalar_s / vector_s,
+                    lookups_identical=identical,
+                )
+            )
+    return results
+
+
+def render_builds(results: list[BuildResult]) -> str:
+    table = Table(
+        "RMI construction: scalar per-leaf build vs segmented-fit build",
+        [
+            "dataset",
+            "n",
+            "leaves",
+            "scalar build",
+            "vectorized build",
+            "speedup",
+            "lookups identical",
+        ],
+    )
+    for r in results:
+        table.add_row(
+            r.dataset,
+            f"{r.n:,}",
+            f"{r.leaves:,}",
+            f"{r.scalar_build_s * 1e3:,.1f}ms",
+            f"{r.vectorized_build_s * 1e3:,.1f}ms",
+            f"{r.speedup:.1f}x",
+            "yes" if r.lookups_identical else "NO",
+        )
+    return table.render()
+
+
+@dataclass(frozen=True)
+class WritePathResult:
+    n: int
+    batch_size: int
+    build_mode: str
+    scalar_insert_keys_per_sec: float
+    batch_insert_keys_per_sec: float
+    merge_seconds: float
+
+
+def run_write_path(n: int, seed: int = 42) -> list[WritePathResult]:
+    """Writable-index write path: bulk inserts and merge latency.
+
+    Per build mode: fill a fresh index's delta with ``n // 20`` keys —
+    once via the per-key ``insert`` loop (timed on a 2k-key sample;
+    sorted-list insertion is quadratic in the delta size, so the full
+    loop would dominate the benchmark) and once via one
+    ``insert_batch`` — then time the explicit ``merge``, which is
+    rebuild-bound and shows what the vectorized build buys write-heavy
+    workloads.
+    """
+    rng = np.random.default_rng(seed + 7)
+    keys = uniform_keys(n, seed=seed)
+    batch = rng.integers(0, int(keys.max()), n // 20).astype(np.int64)
+    sample = batch[:2_000]
+    results: list[WritePathResult] = []
+    for build_mode in ("scalar", "vectorized"):
+        index = WritableLearnedIndex(
+            keys,
+            stage_sizes=(1, BUILD_ACCEPTANCE_LEAVES),
+            merge_threshold=10**15,
+            build_mode=build_mode,
+        )
+        scalar_s, _ = _time_once(
+            lambda: [index.insert(int(k)) for k in sample]
+        )
+        index = WritableLearnedIndex(
+            keys,
+            stage_sizes=(1, BUILD_ACCEPTANCE_LEAVES),
+            merge_threshold=10**15,
+            build_mode=build_mode,
+        )
+        batch_s, _ = _time_once(lambda: index.insert_batch(batch))
+        merge_s, _ = _time_once(index.merge)
+        results.append(
+            WritePathResult(
+                n=n,
+                batch_size=int(batch.size),
+                build_mode=build_mode,
+                scalar_insert_keys_per_sec=sample.size / scalar_s,
+                batch_insert_keys_per_sec=batch.size / batch_s,
+                merge_seconds=merge_s,
+            )
+        )
+    return results
+
+
+def render_write_path(results: list[WritePathResult]) -> str:
+    table = Table(
+        "Writable write path: per-key inserts vs insert_batch, merge latency",
+        [
+            "rebuild mode",
+            "n",
+            "batch",
+            "scalar insert keys/s",
+            "insert_batch keys/s",
+            "merge",
+        ],
+    )
+    for r in results:
+        table.add_row(
+            r.build_mode,
+            f"{r.n:,}",
+            f"{r.batch_size:,}",
+            f"{r.scalar_insert_keys_per_sec:,.0f}",
+            f"{r.batch_insert_keys_per_sec:,.0f}",
+            f"{r.merge_seconds * 1e3:,.1f}ms",
+        )
+    return table.render()
+
+
 def render(results: list[ThroughputResult]) -> str:
     table = Table(
         "Batch throughput: scalar loop vs vectorized lookup_batch",
@@ -535,6 +726,14 @@ def main(argv: list[str] | None = None) -> int:
     print()
     print(render_sorted(sorted_results, crossover))
 
+    build_results = run_builds(args.n)
+    print()
+    print(render_builds(build_results))
+
+    write_results = run_write_path(args.n)
+    print()
+    print(render_write_path(write_results))
+
     rmi_uniform = [
         r for r in results
         if r.dataset == "uniform" and r.name.startswith("rmi")
@@ -544,10 +743,19 @@ def main(argv: list[str] | None = None) -> int:
         all(r.identical for r in results)
         and all(r.identical for r in range_results)
         and all(r.identical for r in sorted_results)
+        and all(r.lookups_identical for r in build_results)
+    )
+    build_acceptance = next(
+        r.speedup
+        for r in build_results
+        if r.dataset == "uniform" and r.leaves == BUILD_ACCEPTANCE_LEAVES
     )
     print(
         f"\nbest RMI batch speedup on uniform: {best:.1f}x "
         f"(acceptance floor {ACCEPTANCE_MIN_SPEEDUP:.0f}x); "
+        f"vectorized build speedup at 1M-scale config: "
+        f"{build_acceptance:.1f}x "
+        f"(acceptance floor {BUILD_MIN_SPEEDUP:.0f}x at n=1M); "
         f"batch == scalar on every row: {all_identical}"
     )
 
@@ -571,6 +779,13 @@ def main(argv: list[str] | None = None) -> int:
                 "measured_crossover": crossover,
                 "results": [asdict(r) for r in sorted_results],
             },
+            "build": {
+                "min_speedup": BUILD_MIN_SPEEDUP,
+                "acceptance_leaves": BUILD_ACCEPTANCE_LEAVES,
+                "acceptance_speedup": build_acceptance,
+                "results": [asdict(r) for r in build_results],
+            },
+            "write_path": [asdict(r) for r in write_results],
         }
         payload = append_trajectory(args.json_path, record)
         print(
@@ -579,6 +794,10 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     ok = all_identical and best >= ACCEPTANCE_MIN_SPEEDUP
+    if args.n >= 1_000_000:
+        # The ISSUE 3 build floor is defined at 1M keys; smaller (e.g.
+        # smoke) runs report the number but don't gate on it.
+        ok = ok and build_acceptance >= BUILD_MIN_SPEEDUP
     return 0 if ok else 1
 
 

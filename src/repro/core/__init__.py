@@ -27,6 +27,7 @@ from ..range_scan import (
 from .lif import CandidateResult, default_grid, evaluate_config, synthesize
 from .paged import PagedLearnedIndex, PageStore
 from .rmi import (
+    BUILD_MODES,
     DEFAULT_LEAF_ERROR,
     SORTED_BATCH_THRESHOLD,
     RecursiveModelIndex,
@@ -43,6 +44,7 @@ from .search import (
 from .string_index import StringRMI
 
 __all__ = [
+    "BUILD_MODES",
     "DEFAULT_LEAF_ERROR",
     "ROOT_MODEL_KINDS",
     "SEARCH_STRATEGIES",

@@ -65,6 +65,7 @@ class HybridIndex(RecursiveModelIndex):
         search_strategy: str = "binary",
         threshold: int = 128,
         btree_page_size: int = 128,
+        build_mode: str = "vectorized",
     ):
         if threshold < 0:
             raise ValueError("threshold must be non-negative")
@@ -76,6 +77,7 @@ class HybridIndex(RecursiveModelIndex):
             stage_sizes=stage_sizes,
             model_factories=model_factories,
             search_strategy=search_strategy,
+            build_mode=build_mode,
         )
         self._replace_bad_leaves()
 

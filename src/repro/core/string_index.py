@@ -29,10 +29,10 @@ import bisect
 import numpy as np
 
 from ..btree.btree import GenericBTreeIndex
-from ..models.cdf import ErrorStats, error_stats
+from ..models.cdf import ErrorStats, segmented_error_stats
 from ..range_scan import RangeScanResult, batch_range_scan_generic
 from ..util import batch_contains_generic
-from ..models.linear import LinearModel
+from ..models.linear import LinearModel, segmented_linear_fit
 from ..models.nn import MLP
 from ..models.tokenization import (
     lexicographic_scalar,
@@ -178,45 +178,48 @@ class StringRMI:
 
         scalars = lexicographic_scalar_batch(self.keys, self.max_length)
         self._scalars = scalars
-        leaf_models: list[LinearModel] = []
-        leaf_stats: list[ErrorStats] = []
-        predictions = np.zeros(n)
-        order = np.argsort(assignment, kind="stable")
-        sorted_assign = assignment[order]
-        boundaries = np.searchsorted(sorted_assign, np.arange(m + 1), "left")
         default = ErrorStats(-self.btree_page_size, self.btree_page_size, 0, 0, 0)
-        for j in range(m):
-            members = order[boundaries[j]:boundaries[j + 1]]
-            model = LinearModel()
-            if members.size:
-                model.fit(scalars[members], positions[members])
-                pred = model.predict_batch(scalars[members])
-                predictions[members] = pred
-                leaf_stats.append(error_stats(pred, positions[members]))
-            else:
-                model.intercept = (j + 0.5) * n / m
-                leaf_stats.append(default)
-            leaf_models.append(model)
-        self.leaf_models = leaf_models
+        # Leaves are always plain linear models over the lexicographic
+        # scalar, so the whole stage fits in one segmented
+        # least-squares pass — same math as the integer RMI's
+        # vectorized build (see repro.core.rmi).
+        slopes, intercepts, counts = segmented_linear_fit(
+            scalars, positions, assignment, m
+        )
+        # Empty leaves predict their slot's midpoint, like the scalar
+        # loop's ``(j + 0.5) * n / m`` fallback.
+        empty = counts == 0
+        if np.any(empty):
+            slots = np.nonzero(empty)[0]
+            intercepts[slots] = (slots + 0.5) * n / m
+        if n:
+            predictions = slopes[assignment] * scalars + intercepts[assignment]
+        else:
+            predictions = np.zeros(0)
+        self._leaf_slopes = slopes.tolist()
+        self._leaf_intercepts = intercepts.tolist()
+        self.leaf_models = list(
+            map(LinearModel, self._leaf_slopes, self._leaf_intercepts)
+        )
+        leaf_stats, lo_offsets, hi_offsets = segmented_error_stats(
+            predictions, positions, assignment, m,
+            default=default, with_bounds=True,
+        )
         self.leaf_errors = leaf_stats
-        self._leaf_slopes = [mdl.slope for mdl in leaf_models]
-        self._leaf_intercepts = [mdl.intercept for mdl in leaf_models]
         # Flat arrays for the vectorized batch path (the scalar path
         # keeps the Python lists above — see repro.core.rmi._compile).
-        self._leaf_slopes_arr = np.array(self._leaf_slopes, dtype=np.float64)
-        self._leaf_intercepts_arr = np.array(
-            self._leaf_intercepts, dtype=np.float64
-        )
-        self._leaf_lo_offsets = np.array(
-            [float(s.max_error) for s in leaf_stats], dtype=np.float64
-        )
-        self._leaf_hi_offsets = np.array(
-            [float(s.min_error) for s in leaf_stats], dtype=np.float64
-        )
+        self._leaf_slopes_arr = slopes
+        self._leaf_intercepts_arr = intercepts
+        self._leaf_lo_offsets = lo_offsets
+        self._leaf_hi_offsets = hi_offsets
 
         # Hybrid replacement (Algorithm 1 lines 11-14) on string leaves.
         self.leaf_btrees: dict[int, tuple[int, GenericBTreeIndex]] = {}
         if self.hybrid_threshold is not None:
+            order = np.argsort(assignment, kind="stable")
+            boundaries = np.searchsorted(
+                assignment[order], np.arange(m + 1), "left"
+            )
             for j in range(m):
                 stats = leaf_stats[j]
                 if stats.count == 0 or stats.max_absolute <= self.hybrid_threshold:

@@ -16,7 +16,18 @@ design:
 * when the buffer exceeds ``merge_threshold`` (or on explicit
   :meth:`merge`), the buffer is merged into the main array and the RMI
   retrained — cheap, because linear leaves train in closed form
-  (Section 3.6).
+  (Section 3.6) and the rebuild takes the RMI's vectorized
+  ``build_mode``: one ``np.union1d`` merge plus the segmented
+  least-squares build, so a merge is memcpy-plus-array-math instead of
+  ten thousand Python model fits;
+* bulk loads go through :meth:`insert_batch`, which sorts and
+  deduplicates the whole batch in one NumPy pass, drops keys already
+  present in the main index with one ``lookup_batch``, merges the rest
+  into the delta buffer with a single ``np.union1d``, and triggers at
+  most one merge — no per-key scalar inserts;
+* :meth:`range_query_batch` merges main and delta hits for the whole
+  batch with one k-way vectorized merge (``np.lexsort`` on
+  (range id, key)) instead of a per-range Python loop.
 
 It also demonstrates the paper's append observation: "for an index over
 the timestamps of web-logs ... most if not all inserts will be appends
@@ -35,7 +46,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..models.base import Model
-from ..range_scan import RangeScanResult
+from ..range_scan import RangeScanResult, assemble_slices
 from .rmi import RecursiveModelIndex
 
 __all__ = ["WritableLearnedIndex"]
@@ -52,6 +63,7 @@ class WritableLearnedIndex:
         model_factories: Sequence[Callable[[], Model]] | None = None,
         merge_threshold: int = 4_096,
         append_fast_path: bool = True,
+        build_mode: str = "vectorized",
     ):
         if merge_threshold < 1:
             raise ValueError("merge_threshold must be >= 1")
@@ -64,6 +76,7 @@ class WritableLearnedIndex:
             raise ValueError("initial keys must be sorted and unique")
         self._stage_sizes = tuple(stage_sizes)
         self._model_factories = model_factories
+        self.build_mode = str(build_mode)
         self.merge_threshold = int(merge_threshold)
         self.append_fast_path = bool(append_fast_path)
         self.merges = 0
@@ -80,6 +93,7 @@ class WritableLearnedIndex:
             keys,
             stage_sizes=self._stage_sizes,
             model_factories=self._model_factories,
+            build_mode=self.build_mode,
         )
         self.retrains += 1
 
@@ -104,8 +118,40 @@ class WritableLearnedIndex:
             self.merge()
 
     def insert_batch(self, keys) -> None:
-        for key in keys:
-            self.insert(int(key))
+        """Bulk insert: one NumPy pass over the whole batch.
+
+        Semantically a loop of :meth:`insert` — tombstoned keys are
+        resurrected, keys already in the main index or the delta are
+        no-ops — but executed as sort + dedup (``np.unique``), one
+        ``lookup_batch`` membership probe against the main index, and
+        a single sorted merge into the delta buffer.  At most one merge
+        fires, after the whole batch lands, so bulk loads pay one
+        retrain instead of one per ``merge_threshold`` keys.
+        """
+        batch = np.unique(np.asarray(keys, dtype=np.int64).ravel())
+        if batch.size == 0:
+            return
+        if self._tombstones:
+            dead = np.fromiter(self._tombstones, dtype=np.int64)
+            self._tombstones.difference_update(
+                int(k) for k in batch[np.isin(batch, dead)]
+            )
+        main_keys = self._main.keys
+        if main_keys.size:
+            pos = self._main.lookup_batch(batch.astype(np.float64))
+            safe = np.minimum(pos, main_keys.size - 1)
+            in_main = (pos < main_keys.size) & (main_keys[safe] == batch)
+            batch = batch[~in_main]
+        if batch.size:
+            if self._delta:
+                merged = np.union1d(
+                    np.asarray(self._delta, dtype=np.int64), batch
+                )
+            else:
+                merged = batch
+            self._delta = merged.tolist()
+        if len(self._delta) >= self.merge_threshold:
+            self.merge()
 
     def delete(self, key: int) -> bool:
         """Delete ``key``; returns whether it was present."""
@@ -178,31 +224,75 @@ class WritableLearnedIndex:
 
         candidate.keys = merged
         candidate._keys_view = scalar_view(merged)
+        # Probe through the compiled arrays when available: touching
+        # _leaf_for or max_error_window would materialize the lazily
+        # deferred per-leaf objects, costing O(leaves) on an append
+        # path that promises O(appended).
+        if candidate._compiled:
+            m = candidate.stage_sizes[1]
+            n_merged = int(merged.size)
+            slopes = candidate._leaf_slopes_list
+            intercepts = candidate._leaf_intercepts_list
+            root_predict = candidate._root_predict
+
+            def predict_raw(key: float) -> float:
+                j = int(root_predict(key) * m / n_merged)
+                j = 0 if j < 0 else (m - 1 if j >= m else j)
+                return slopes[j] * key + intercepts[j]
+
+        else:
+            def predict_raw(key: float) -> float:
+                return candidate._leaf_for(key)[1]
+
         new_keys = merged[-appended:]
         worst = 0
         for key in new_keys[:: max(appended // 64, 1)]:
             true_pos = int(np.searchsorted(merged, key))
-            _leaf, raw = candidate._leaf_for(float(key))
+            raw = predict_raw(float(key))
             worst = max(worst, abs(int(raw) - true_pos))
-        budget = max(old.max_error_window, 64) * 4
+        bound_arrays = old.__dict__.get("_leaf_bound_arrays")
+        if bound_arrays is not None:
+            # window = max_error - min_error = lo_offset - hi_offset.
+            lo, hi = bound_arrays
+            worst_window = int((lo - hi).max()) if lo.size else 0
+        else:
+            worst_window = old.max_error_window
+        budget = max(worst_window, 64) * 4
         if worst > budget:
             self._rebuild(merged)
             return False
         # Widen every leaf's stored bounds by the observed append error
         # so the guarantee stays honest without retraining.
-        from ..models.cdf import ErrorStats
-
         slack = worst + 1
-        candidate.leaf_errors = [
-            ErrorStats(
-                stats.min_error - slack,
-                stats.max_error + slack,
-                stats.mean_absolute,
-                stats.std,
-                stats.count,
+        stat_arrays = old.__dict__.get("_leaf_error_stat_arrays")
+        if stat_arrays is not None:
+            # Vectorized build: widen the flat stat arrays and drop any
+            # materialized ErrorStats view copied from ``old`` — the
+            # candidate stays lazy, keeping the append path O(appended).
+            mn, mx, ma, sd, cnt = stat_arrays
+            candidate.__dict__.pop("leaf_errors", None)
+            candidate._leaf_error_stat_arrays = (
+                mn - slack, mx + slack, ma, sd, cnt,
             )
-            for stats in old.leaf_errors
-        ]
+        else:
+            from ..models.cdf import ErrorStats
+
+            candidate.leaf_errors = [
+                ErrorStats(
+                    stats.min_error - slack,
+                    stats.max_error + slack,
+                    stats.mean_absolute,
+                    stats.std,
+                    stats.count,
+                )
+                for stats in old.leaf_errors
+            ]
+        # The compiled window offsets (lo = max_error, hi = min_error)
+        # widen by the same slack; recompute them so _compile's array
+        # fast path doesn't reuse the stale cache shared with ``old``.
+        if old._leaf_bound_arrays is not None:
+            lo, hi = old._leaf_bound_arrays
+            candidate._leaf_bound_arrays = (lo + slack, hi - slack)
         candidate._compile()
         self._main = candidate
         return True
@@ -265,8 +355,11 @@ class WritableLearnedIndex:
         The main index resolves every range through its vectorized
         ``range_query_batch``; the delta buffer is sliced with two
         ``searchsorted`` calls over the whole batch; tombstones mask the
-        main hits.  Only the final per-range merge (two disjoint sorted
-        runs) is a Python-level loop.  ``result[i]`` is bit-identical to
+        main hits with one ``np.isin``.  The per-range merge of the two
+        sorted runs is a single k-way vectorized merge: every surviving
+        key is tagged with its range id and one ``np.lexsort`` on
+        (range id, key) interleaves all ``m`` merges at once — no
+        Python-level loop anywhere.  ``result[i]`` is bit-identical to
         ``range_query(lows[i], highs[i])``; ``starts``/``ends`` are
         ``None`` because delta-merged ranges are not contiguous slices
         of one array.
@@ -276,40 +369,52 @@ class WritableLearnedIndex:
         if lows_f.size != highs_f.size:
             raise ValueError("lows and highs must have the same length")
         m = lows_f.size
-        offsets = np.zeros(m + 1, dtype=np.int64)
         if m == 0:
             return RangeScanResult(
-                values=np.empty(0, dtype=np.int64), offsets=offsets
+                values=np.empty(0, dtype=np.int64),
+                offsets=np.zeros(1, dtype=np.int64),
             )
         # Mirror the scalar path exactly: the main index resolves the
         # original (float) endpoints, the delta buffer the truncated
         # ints (``int(low)``/``int(high)``), and an inverted range is
         # decided on the original values.
         main = self._main.range_query_batch(lows_f, highs_f)
-        inverted = highs_f < lows_f
-        delta = np.asarray(self._delta, dtype=np.int64)
-        d_lo = np.searchsorted(delta, lows_f.astype(np.int64), side="left")
-        d_hi = np.searchsorted(delta, highs_f.astype(np.int64), side="right")
-        dead = (
-            np.fromiter(self._tombstones, dtype=np.int64)
-            if self._tombstones
-            else None
-        )
-        chunks: list[np.ndarray] = []
-        for i in range(m):
-            vals = np.asarray(main[i], dtype=np.int64)
-            if dead is not None and vals.size:
-                vals = vals[~np.isin(vals, dead)]
-            if not inverted[i] and d_hi[i] > d_lo[i]:
-                inserted = delta[d_lo[i]:d_hi[i]]
-                vals = np.union1d(vals, inserted) if vals.size else inserted
-            chunks.append(vals)
-            offsets[i + 1] = offsets[i] + vals.size
-        values = (
-            np.concatenate(chunks)
-            if offsets[-1]
-            else np.empty(0, dtype=np.int64)
-        )
+        range_ids = np.arange(m, dtype=np.int64)
+        values = np.asarray(main.values, dtype=np.int64)
+        ids = np.repeat(range_ids, main.counts)
+        if self._tombstones and values.size:
+            dead = np.fromiter(self._tombstones, dtype=np.int64)
+            keep = ~np.isin(values, dead)
+            values = values[keep]
+            ids = ids[keep]
+        if self._delta:
+            delta = np.asarray(self._delta, dtype=np.int64)
+            d_lo = np.searchsorted(delta, lows_f.astype(np.int64), "left")
+            d_hi = np.searchsorted(delta, highs_f.astype(np.int64), "right")
+            d_hi = np.where(highs_f < lows_f, d_lo, d_hi)
+            delta_vals, d_offsets = assemble_slices(delta, d_lo, d_hi)
+            if delta_vals.size:
+                ids = np.concatenate(
+                    [ids, np.repeat(range_ids, d_offsets[1:] - d_offsets[:-1])]
+                )
+                values = np.concatenate([values, delta_vals])
+                # The k-way merge: sorting by (range id, key)
+                # interleaves both runs of every range at once.
+                order = np.lexsort((values, ids))
+                values = values[order]
+                ids = ids[order]
+                # Inserts never duplicate main keys, so main and delta
+                # are disjoint by invariant — but the scalar path's
+                # np.union1d dedups regardless, so mirror it (one
+                # vectorized pass) rather than silently depend on it.
+                dup = np.zeros(values.size, dtype=bool)
+                dup[1:] = (values[1:] == values[:-1]) & (ids[1:] == ids[:-1])
+                if dup.any():
+                    keep = ~dup
+                    values = values[keep]
+                    ids = ids[keep]
+        offsets = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(np.bincount(ids, minlength=m), out=offsets[1:])
         return RangeScanResult(values=values, offsets=offsets)
 
     def __len__(self) -> int:

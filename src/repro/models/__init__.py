@@ -11,10 +11,18 @@ from .cdf import (
     ErrorStats,
     empirical_cdf,
     error_stats,
+    error_stats_list_from_arrays,
     positions_for_keys,
+    segmented_error_arrays,
+    segmented_error_stats,
 )
 from .gru import CharVocabulary, GRUClassifier
-from .linear import LinearModel, SplineSegmentModel
+from .linear import (
+    LinearModel,
+    SplineSegmentModel,
+    fit_linear_cdf_root,
+    segmented_linear_fit,
+)
 from .multivariate import FEATURE_LIBRARY, MultivariateLinearModel
 from .nn import MLP, FrameworkModel, NeuralRegressionModel
 from .tokenization import (
@@ -40,9 +48,14 @@ __all__ = [
     "SplineSegmentModel",
     "empirical_cdf",
     "error_stats",
+    "error_stats_list_from_arrays",
+    "fit_linear_cdf_root",
     "lexicographic_scalar",
     "lexicographic_scalar_batch",
     "positions_for_keys",
+    "segmented_error_arrays",
+    "segmented_error_stats",
+    "segmented_linear_fit",
     "tokenize",
     "tokenize_batch",
 ]

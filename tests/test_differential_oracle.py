@@ -238,6 +238,9 @@ class SetOracle:
     def insert(self, k):
         self.live.add(int(k))
 
+    def insert_batch(self, keys):
+        self.live.update(int(k) for k in keys)
+
     def delete(self, k):
         self.live.discard(int(k))
 
@@ -265,26 +268,37 @@ def crosscheck_writable(index: WritableLearnedIndex, oracle: SetOracle, rng):
         assert list(index.range_query(int(lows[i]), int(highs[i]))) == expected
 
 
-def test_writable_randomized_round_trip():
-    """Interleaved inserts/deletes/merges vs the set oracle.
+@pytest.mark.parametrize("build_mode", ["vectorized", "scalar"])
+def test_writable_randomized_round_trip(build_mode):
+    """Interleaved inserts/batch-inserts/deletes/merges vs the oracle.
 
     The full read surface (``contains_batch`` + ``range_query_batch``
     + scalar ``range_query``) is cross-checked after every merge and at
-    the end, so a stale delta slice, a leaked tombstone, or a fast-path
-    append that corrupts the error bounds all surface immediately.
+    the end, so a stale delta slice, a leaked tombstone, a bulk insert
+    that loses keys, or a fast-path append that corrupts the error
+    bounds all surface immediately.  Parametrized over ``build_mode``
+    so every merge's rebuild is exercised under both the segmented fast
+    build and the per-leaf reference loop.
     """
     rng = np.random.default_rng(SEED + 2)
     base = np.unique(rng.integers(0, 20_000, 1_200)).astype(np.int64)
     index = WritableLearnedIndex(
-        base, stage_sizes=(1, 32), merge_threshold=10**9
+        base,
+        stage_sizes=(1, 32),
+        merge_threshold=10**9,
+        build_mode=build_mode,
     )
     oracle = SetOracle(base)
     for step in range(1_000):
         op = rng.random()
         key = int(rng.integers(-50, 20_050))
-        if op < 0.55:
+        if op < 0.45:
             index.insert(key)
             oracle.insert(key)
+        elif op < 0.55:
+            batch = rng.integers(-50, 20_050, int(rng.integers(1, 60)))
+            index.insert_batch(batch)
+            oracle.insert_batch(batch)
         elif op < 0.9:
             index.delete(key)
             oracle.delete(key)
@@ -308,9 +322,16 @@ def test_writable_auto_merge_round_trip():
     merges_seen = index.merges
     for _ in range(600):
         key = int(rng.integers(-50, 20_050))
-        if rng.random() < 0.7:
+        op = rng.random()
+        if op < 0.6:
             index.insert(key)
             oracle.insert(key)
+        elif op < 0.7:
+            # Bulk inserts can blow straight past the threshold; the
+            # single trailing merge must still leave state consistent.
+            batch = rng.integers(-50, 20_050, int(rng.integers(1, 90)))
+            index.insert_batch(batch)
+            oracle.insert_batch(batch)
         else:
             index.delete(key)
             oracle.delete(key)

@@ -61,11 +61,22 @@ class TestInsert:
             base_keys, stage_sizes=(1, 64), merge_threshold=50
         )
         rng = np.random.default_rng(0)
-        fresh = rng.integers(0, base_keys.max(), size=120)
-        index.insert_batch(fresh)
+        for key in rng.integers(0, base_keys.max(), size=120):
+            index.insert(int(key))
         assert index.merges >= 2
         assert index.delta_size < 50
-        for key in np.unique(fresh)[:50]:
+
+    def test_insert_batch_merges_at_most_once(self, base_keys):
+        """A bulk load lands the whole batch, then merges once."""
+        index = WritableLearnedIndex(
+            base_keys, stage_sizes=(1, 64), merge_threshold=50
+        )
+        rng = np.random.default_rng(0)
+        fresh = rng.integers(0, base_keys.max(), size=120)
+        index.insert_batch(fresh)
+        assert index.merges == 1
+        assert index.delta_size == 0
+        for key in np.unique(fresh):
             assert index.contains(int(key))
 
 
