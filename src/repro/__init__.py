@@ -17,6 +17,10 @@ every substrate its evaluation depends on:
   overflow filter) and :class:`ModelHashBloomFilter` (Appendix E) over
   :class:`BloomFilter`, with the paper's character-level
   :class:`GRUClassifier`.
+* **Storage engine** — :class:`LearnedLSMStore` (Appendix D.1 at
+  system scale): tiered immutable runs, each indexed by a vectorized
+  RMI and guarded by a bloom filter, behind an O(1) memtable with
+  size-tiered or leveled compaction.
 
 Quickstart::
 
@@ -51,6 +55,11 @@ from .core import (
     conflict_stats,
     synthesize,
 )
+from .lsm import (
+    LearnedLSMStore,
+    LeveledCompaction,
+    SizeTieredCompaction,
+)
 from .range_scan import RangeScanResult
 from .hashmap import (
     BucketizedCuckooHashMap,
@@ -78,6 +87,8 @@ __all__ = [
     "InPlaceChainedHashMap",
     "LearnedBloomFilter",
     "LearnedHashFunction",
+    "LearnedLSMStore",
+    "LeveledCompaction",
     "LinearModel",
     "MLP",
     "ModelHashBloomFilter",
@@ -86,6 +97,7 @@ __all__ = [
     "RandomHashFunction",
     "RangeScanResult",
     "RecursiveModelIndex",
+    "SizeTieredCompaction",
     "StringRMI",
     "conflict_stats",
     "synthesize",

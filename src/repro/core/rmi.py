@@ -805,6 +805,23 @@ class RecursiveModelIndex:
         raw = self._leaf_slopes[j] * queries + self._leaf_intercepts[j]
         return j, raw
 
+    def _window_batch(
+        self,
+        queries: np.ndarray,
+        routed: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Clamped per-query search windows from the compiled arrays.
+
+        The single batch-path source of the Section 3.4 window formula
+        (leaf-relative error offsets with the conservative -1/+2
+        floor/ceil slack); the paged index builds its page fetch plans
+        from the same windows.
+        """
+        leaf, raw = routed if routed is not None else self._route_batch(queries)
+        lo = (raw - self._leaf_lo_offsets[leaf]).astype(np.int64) - 1
+        hi = (raw - self._leaf_hi_offsets[leaf]).astype(np.int64) + 2
+        return clamp_window_batch(lo, hi, self.keys.size)
+
     def _lookup_batch_compiled(
         self,
         queries: np.ndarray,
@@ -819,10 +836,7 @@ class RecursiveModelIndex:
         n = self.keys.size
         keys = self.keys
         stats = self.stats
-        leaf, raw = routed if routed is not None else self._route_batch(queries)
-        lo = (raw - self._leaf_lo_offsets[leaf]).astype(np.int64) - 1
-        hi = (raw - self._leaf_hi_offsets[leaf]).astype(np.int64) + 2
-        lo, hi = clamp_window_batch(lo, hi, n)
+        lo, hi = self._window_batch(queries, routed)
         stats.lookups += int(queries.size)
         stats.window_total += int((hi - lo).sum())
         counter = Counter()

@@ -7,11 +7,15 @@ of the model.  This approach is already widely used, for example in
 Bigtable."
 
 :class:`WritableLearnedIndex` implements exactly that LSM-flavoured
-design:
+design — one buffer in front of one immutable run, the *single-run
+reference* that :class:`repro.lsm.store.LearnedLSMStore` generalizes to
+tiered runs:
 
-* reads consult the (immutable) learned main index and a small sorted
-  delta buffer, merging their results;
-* inserts go to the delta buffer (O(log d) into a sorted list);
+* reads consult the (immutable) learned main index and a small delta
+  buffer (a :class:`repro.lsm.memtable.Memtable`, the same buffer an
+  LSM seals into runs), merging their results;
+* inserts go to the delta buffer (O(1) dict put; sorted views
+  materialize lazily per read burst);
 * deletes are tombstones in the same buffer;
 * when the buffer exceeds ``merge_threshold`` (or on explicit
   :meth:`merge`), the buffer is merged into the main array and the RMI
@@ -22,12 +26,19 @@ design:
   ten thousand Python model fits;
 * bulk loads go through :meth:`insert_batch`, which sorts and
   deduplicates the whole batch in one NumPy pass, drops keys already
-  present in the main index with one ``lookup_batch``, merges the rest
-  into the delta buffer with a single ``np.union1d``, and triggers at
-  most one merge — no per-key scalar inserts;
+  present in the main index with one ``lookup_batch``, lands the rest
+  in the buffer with one dict update, and triggers at most one merge —
+  no per-key scalar inserts;
+* the full ordered-index surface (``lookup`` / ``upper_bound`` /
+  ``contains`` / ``range_query`` and their batch forms) is delta-merge
+  aware: positions are ranks in the *live* merged key set, computed
+  from the main index's answer plus two ``searchsorted`` corrections
+  (tombstones below, delta keys below) — no merged array is ever
+  materialized;
 * :meth:`range_query_batch` merges main and delta hits for the whole
-  batch with one k-way vectorized merge (``np.lexsort`` on
-  (range id, key)) instead of a per-range Python loop.
+  batch with one multi-source k-way merge
+  (:func:`repro.range_scan.merge_scan_results`) instead of a per-range
+  Python loop.
 
 It also demonstrates the paper's append observation: "for an index over
 the timestamps of web-logs ... most if not all inserts will be appends
@@ -40,13 +51,13 @@ model and only extends the array, re-checking the last leaf's bound).
 
 from __future__ import annotations
 
-import bisect
 from typing import Callable, Sequence
 
 import numpy as np
 
+from ..lsm.memtable import Memtable
 from ..models.base import Model
-from ..range_scan import RangeScanResult, assemble_slices
+from ..range_scan import RangeScanResult, assemble_slices, merge_scan_results
 from .rmi import RecursiveModelIndex
 
 __all__ = ["WritableLearnedIndex"]
@@ -82,8 +93,7 @@ class WritableLearnedIndex:
         self.merges = 0
         self.retrains = 0
         self.fast_appends = 0
-        self._delta: list[int] = []        # sorted inserted keys
-        self._tombstones: set[int] = set()  # deleted main-index keys
+        self._mem = Memtable()  # delta puts + main-key tombstones
         self._rebuild(base)
 
     # -- construction helpers -----------------------------------------------
@@ -102,19 +112,16 @@ class WritableLearnedIndex:
     def insert(self, key: int) -> None:
         """Insert ``key``; duplicate inserts are idempotent."""
         key = int(key)
-        self._tombstones.discard(key)
+        self._mem.discard_tombstone(key)
         main_pos = self._main.lookup(float(key))
         in_main = (
             main_pos < self._main.keys.size
             and int(self._main.keys[main_pos]) == key
         )
-        if in_main:
+        if in_main or self._mem.has_put(key):
             return
-        spot = bisect.bisect_left(self._delta, key)
-        if spot < len(self._delta) and self._delta[spot] == key:
-            return
-        self._delta.insert(spot, key)
-        if len(self._delta) >= self.merge_threshold:
+        self._mem.put(key, key)
+        if self._mem.num_puts >= self.merge_threshold:
             self.merge()
 
     def insert_batch(self, keys) -> None:
@@ -124,18 +131,14 @@ class WritableLearnedIndex:
         resurrected, keys already in the main index or the delta are
         no-ops — but executed as sort + dedup (``np.unique``), one
         ``lookup_batch`` membership probe against the main index, and
-        a single sorted merge into the delta buffer.  At most one merge
+        one dict update into the delta buffer.  At most one merge
         fires, after the whole batch lands, so bulk loads pay one
         retrain instead of one per ``merge_threshold`` keys.
         """
         batch = np.unique(np.asarray(keys, dtype=np.int64).ravel())
         if batch.size == 0:
             return
-        if self._tombstones:
-            dead = np.fromiter(self._tombstones, dtype=np.int64)
-            self._tombstones.difference_update(
-                int(k) for k in batch[np.isin(batch, dead)]
-            )
+        self._mem.discard_tombstones(batch)
         main_keys = self._main.keys
         if main_keys.size:
             pos = self._main.lookup_batch(batch.astype(np.float64))
@@ -143,30 +146,25 @@ class WritableLearnedIndex:
             in_main = (pos < main_keys.size) & (main_keys[safe] == batch)
             batch = batch[~in_main]
         if batch.size:
-            if self._delta:
-                merged = np.union1d(
-                    np.asarray(self._delta, dtype=np.int64), batch
-                )
-            else:
-                merged = batch
-            self._delta = merged.tolist()
-        if len(self._delta) >= self.merge_threshold:
+            # Tombstones were swept above and only ever cover main
+            # keys, which the membership probe just filtered out — the
+            # remaining batch cannot resurrect anything.
+            self._mem.put_batch(batch, batch, clear_tombstones=False)
+        if self._mem.num_puts >= self.merge_threshold:
             self.merge()
 
     def delete(self, key: int) -> bool:
         """Delete ``key``; returns whether it was present."""
         key = int(key)
-        spot = bisect.bisect_left(self._delta, key)
-        if spot < len(self._delta) and self._delta[spot] == key:
-            del self._delta[spot]
+        if self._mem.remove_put(key):
             return True
         main_pos = self._main.lookup(float(key))
         if (
             main_pos < self._main.keys.size
             and int(self._main.keys[main_pos]) == key
-            and key not in self._tombstones
+            and not self._mem.is_tombstone(key)
         ):
-            self._tombstones.add(key)
+            self._mem.add_tombstone(key)
             return True
         return False
 
@@ -174,19 +172,17 @@ class WritableLearnedIndex:
 
     def merge(self) -> None:
         """Fold the delta buffer and tombstones into the main index."""
-        if not self._delta and not self._tombstones:
+        if len(self._mem) == 0:
             return
         self.merges += 1
         main_keys = self._main.keys
-        if self._tombstones:
-            keep = ~np.isin(
-                main_keys, np.fromiter(self._tombstones, dtype=np.int64)
-            )
-            main_keys = main_keys[keep]
+        tombs = self._mem.tombstone_keys()
+        if tombs.size:
+            main_keys = main_keys[~np.isin(main_keys, tombs)]
             tombstoned = True
         else:
             tombstoned = False
-        delta = np.array(self._delta, dtype=np.int64)
+        delta = self._mem.put_keys()
         is_pure_append = (
             self.append_fast_path
             and not tombstoned
@@ -199,8 +195,7 @@ class WritableLearnedIndex:
             if is_pure_append
             else np.union1d(main_keys, delta)
         )
-        self._delta.clear()
-        self._tombstones.clear()
+        self._mem.clear()
         if is_pure_append and self._try_fast_append(merged, delta.size):
             self.fast_appends += 1
             return
@@ -299,12 +294,70 @@ class WritableLearnedIndex:
 
     # -- read path ----------------------------------------------------------------
 
+    def lookup(self, key) -> int:
+        """Lower bound of ``key`` among the *live* merged keys.
+
+        The rank in the (never materialized) sorted array of live keys:
+        the main index's lower bound, minus the tombstoned main keys
+        below ``key``, plus the delta keys below ``key`` — two
+        ``searchsorted`` corrections around the learned lookup.
+        """
+        main_lb = self._main.lookup(float(key))
+        tombs = self._mem.tombstone_keys()
+        delta = self._mem.put_keys()
+        return (
+            main_lb
+            - int(np.searchsorted(tombs, key, side="left"))
+            + int(np.searchsorted(delta, key, side="left"))
+        )
+
+    def upper_bound(self, key) -> int:
+        """Position one past the last live key <= ``key``."""
+        main_ub = self._main.upper_bound(float(key))
+        tombs = self._mem.tombstone_keys()
+        delta = self._mem.put_keys()
+        return (
+            main_ub
+            - int(np.searchsorted(tombs, key, side="right"))
+            + int(np.searchsorted(delta, key, side="right"))
+        )
+
+    def lookup_batch(self, queries, *, sort: bool | None = None) -> np.ndarray:
+        """Batched :meth:`lookup`: live-rank lower bounds.
+
+        The main index runs its vectorized engine (``sort`` forwards to
+        the sorted-batch fast path); the delta/tombstone corrections
+        are two whole-batch ``searchsorted`` calls.
+        """
+        queries = np.asarray(queries, dtype=np.float64).ravel()
+        pos = self._main.lookup_batch(queries, sort=sort).astype(np.int64)
+        tombs = self._mem.tombstone_keys()
+        delta = self._mem.put_keys()
+        if tombs.size:
+            pos -= np.searchsorted(tombs, queries, side="left")
+        if delta.size:
+            pos += np.searchsorted(delta, queries, side="left")
+        return pos
+
+    def upper_bound_batch(
+        self, queries, *, sort: bool | None = None
+    ) -> np.ndarray:
+        """Batched :meth:`upper_bound` with the same corrections."""
+        queries = np.asarray(queries, dtype=np.float64).ravel()
+        pos = self._main.upper_bound_batch(queries, sort=sort).astype(np.int64)
+        tombs = self._mem.tombstone_keys()
+        delta = self._mem.put_keys()
+        if tombs.size:
+            pos -= np.searchsorted(tombs, queries, side="right")
+        if delta.size:
+            pos += np.searchsorted(delta, queries, side="right")
+        return pos
+
     def contains(self, key: int) -> bool:
         key = int(key)
-        if key in self._tombstones:
+        if self._mem.is_tombstone(key):
             return False
-        spot = bisect.bisect_left(self._delta, key)
-        if spot < len(self._delta) and self._delta[spot] == key:
+        if self._mem.has_put(key):
             return True
         pos = self._main.lookup(float(key))
         return pos < self._main.keys.size and int(self._main.keys[pos]) == key
@@ -319,17 +372,17 @@ class WritableLearnedIndex:
         """
         queries = np.asarray(keys, dtype=np.int64).ravel()
         hit = np.zeros(queries.size, dtype=bool)
-        if self._delta:
-            delta = np.asarray(self._delta, dtype=np.int64)
+        delta = self._mem.put_keys()
+        if delta.size:
             spot = np.searchsorted(delta, queries)
             safe = np.minimum(spot, delta.size - 1)
             hit |= (spot < delta.size) & (delta[safe] == queries)
         main_keys = self._main.keys
         if main_keys.size:
             hit |= self._main.contains_batch(queries.astype(np.float64))
-        if self._tombstones:
-            dead = np.fromiter(self._tombstones, dtype=np.int64)
-            hit &= ~np.isin(queries, dead)
+        tombs = self._mem.tombstone_keys()
+        if tombs.size:
+            hit &= ~np.isin(queries, tombs)
         return hit
 
     def range_query(self, low: int, high: int) -> np.ndarray:
@@ -337,14 +390,13 @@ class WritableLearnedIndex:
         if high < low:
             return np.empty(0, dtype=np.int64)
         main_hits = self._main.range_query(float(low), float(high))
-        if self._tombstones:
-            keep = ~np.isin(
-                main_hits, np.fromiter(self._tombstones, dtype=np.int64)
-            )
-            main_hits = main_hits[keep]
-        lo = bisect.bisect_left(self._delta, int(low))
-        hi = bisect.bisect_right(self._delta, int(high))
-        delta_hits = np.array(self._delta[lo:hi], dtype=np.int64)
+        tombs = self._mem.tombstone_keys()
+        if tombs.size:
+            main_hits = main_hits[~np.isin(main_hits, tombs)]
+        delta = self._mem.put_keys()
+        lo = int(np.searchsorted(delta, int(low), side="left"))
+        hi = int(np.searchsorted(delta, int(high), side="right"))
+        delta_hits = delta[lo:hi]
         if delta_hits.size == 0:
             return main_hits.astype(np.int64)
         return np.union1d(main_hits.astype(np.int64), delta_hits)
@@ -356,13 +408,13 @@ class WritableLearnedIndex:
         ``range_query_batch``; the delta buffer is sliced with two
         ``searchsorted`` calls over the whole batch; tombstones mask the
         main hits with one ``np.isin``.  The per-range merge of the two
-        sorted runs is a single k-way vectorized merge: every surviving
-        key is tagged with its range id and one ``np.lexsort`` on
-        (range id, key) interleaves all ``m`` merges at once — no
-        Python-level loop anywhere.  ``result[i]`` is bit-identical to
-        ``range_query(lows[i], highs[i])``; ``starts``/``ends`` are
-        ``None`` because delta-merged ranges are not contiguous slices
-        of one array.
+        sorted sources is one multi-source k-way merge
+        (:func:`repro.range_scan.merge_scan_results`: one ``np.lexsort``
+        on (range id, key) interleaves all ``m`` merges at once, and its
+        dedup mirrors the scalar path's ``np.union1d``).  ``result[i]``
+        is bit-identical to ``range_query(lows[i], highs[i])``;
+        ``starts``/``ends`` are ``None`` because delta-merged ranges are
+        not contiguous slices of one array.
         """
         lows_f = np.asarray(lows, dtype=np.float64).ravel()
         highs_f = np.asarray(highs, dtype=np.float64).ravel()
@@ -379,59 +431,52 @@ class WritableLearnedIndex:
         # ints (``int(low)``/``int(high)``), and an inverted range is
         # decided on the original values.
         main = self._main.range_query_batch(lows_f, highs_f)
-        range_ids = np.arange(m, dtype=np.int64)
         values = np.asarray(main.values, dtype=np.int64)
-        ids = np.repeat(range_ids, main.counts)
-        if self._tombstones and values.size:
-            dead = np.fromiter(self._tombstones, dtype=np.int64)
-            keep = ~np.isin(values, dead)
+        offsets = main.offsets
+        tombs = self._mem.tombstone_keys()
+        if tombs.size and values.size:
+            keep = ~np.isin(values, tombs)
+            ids = np.repeat(np.arange(m, dtype=np.int64), main.counts)[keep]
             values = values[keep]
-            ids = ids[keep]
-        if self._delta:
-            delta = np.asarray(self._delta, dtype=np.int64)
-            d_lo = np.searchsorted(delta, lows_f.astype(np.int64), "left")
-            d_hi = np.searchsorted(delta, highs_f.astype(np.int64), "right")
-            d_hi = np.where(highs_f < lows_f, d_lo, d_hi)
-            delta_vals, d_offsets = assemble_slices(delta, d_lo, d_hi)
-            if delta_vals.size:
-                ids = np.concatenate(
-                    [ids, np.repeat(range_ids, d_offsets[1:] - d_offsets[:-1])]
-                )
-                values = np.concatenate([values, delta_vals])
-                # The k-way merge: sorting by (range id, key)
-                # interleaves both runs of every range at once.
-                order = np.lexsort((values, ids))
-                values = values[order]
-                ids = ids[order]
-                # Inserts never duplicate main keys, so main and delta
-                # are disjoint by invariant — but the scalar path's
-                # np.union1d dedups regardless, so mirror it (one
-                # vectorized pass) rather than silently depend on it.
-                dup = np.zeros(values.size, dtype=bool)
-                dup[1:] = (values[1:] == values[:-1]) & (ids[1:] == ids[:-1])
-                if dup.any():
-                    keep = ~dup
-                    values = values[keep]
-                    ids = ids[keep]
-        offsets = np.zeros(m + 1, dtype=np.int64)
-        np.cumsum(np.bincount(ids, minlength=m), out=offsets[1:])
-        return RangeScanResult(values=values, offsets=offsets)
+            offsets = np.zeros(m + 1, dtype=np.int64)
+            np.cumsum(np.bincount(ids, minlength=m), out=offsets[1:])
+        main_live = RangeScanResult(values=values, offsets=offsets)
+        delta = self._mem.put_keys()
+        if not delta.size:
+            return main_live
+        d_lo = np.searchsorted(delta, lows_f.astype(np.int64), "left")
+        d_hi = np.searchsorted(delta, highs_f.astype(np.int64), "right")
+        d_hi = np.where(highs_f < lows_f, d_lo, d_hi)
+        delta_vals, d_offsets = assemble_slices(delta, d_lo, d_hi)
+        merged = merge_scan_results(
+            [
+                RangeScanResult(values=delta_vals, offsets=d_offsets),
+                main_live,
+            ]
+        )
+        return RangeScanResult(
+            values=np.asarray(merged.values, dtype=np.int64),
+            offsets=merged.offsets,
+        )
 
     def __len__(self) -> int:
         return (
-            self._main.keys.size - len(self._tombstones) + len(self._delta)
+            self._main.keys.size
+            - self._mem.num_tombstones
+            + self._mem.num_puts
         )
 
     @property
     def delta_size(self) -> int:
-        return len(self._delta)
+        return self._mem.num_puts
 
     def size_bytes(self) -> int:
-        return self._main.size_bytes() + len(self._delta) * 8
+        return self._main.size_bytes() + self._mem.num_puts * 8
 
     def __repr__(self) -> str:
         return (
-            f"WritableLearnedIndex(n={len(self)}, delta={len(self._delta)}, "
-            f"tombstones={len(self._tombstones)}, merges={self.merges}, "
+            f"WritableLearnedIndex(n={len(self)}, "
+            f"delta={self._mem.num_puts}, "
+            f"tombstones={self._mem.num_tombstones}, merges={self.merges}, "
             f"fast_appends={self.fast_appends})"
         )

@@ -1,0 +1,29 @@
+"""Learned LSM storage engine (Appendix D.1 at system scale).
+
+Tiered immutable sorted runs, each indexed by a vectorized RMI and
+guarded by a bloom filter, behind an O(1) memtable and pluggable
+compaction — the Bigtable-shaped insert design the paper sketches,
+composed from the repo's learned-index substrate.
+"""
+
+from .compaction import (
+    CompactionPolicy,
+    LeveledCompaction,
+    SizeTieredCompaction,
+    merge_runs,
+)
+from .memtable import Memtable
+from .run import SortedRun
+from .store import LearnedLSMStore, LSMReadStats, LSMWriteStats
+
+__all__ = [
+    "CompactionPolicy",
+    "LearnedLSMStore",
+    "LeveledCompaction",
+    "LSMReadStats",
+    "LSMWriteStats",
+    "Memtable",
+    "merge_runs",
+    "SizeTieredCompaction",
+    "SortedRun",
+]

@@ -1,0 +1,186 @@
+"""Immutable sorted runs: per-run RMI + bloom guard (Appendix D.1).
+
+"Learned Indexes for a Google-scale Disk-based Database" (Abu-Libdeh
+et al.) and "Evaluating Learned Indexes in LSM-tree Systems" (Liu et
+al.) converge on the same production shape the paper's Bigtable remark
+points at: writes land in a buffer, seals produce *immutable* sorted
+runs, and each run carries its own learned index — immutability is
+precisely what makes learned indexes practical here, because a run's
+model is trained once at seal/compaction time and never invalidated.
+
+A :class:`SortedRun` is that unit: a sorted unique key array (with
+parallel values and a tombstone mask), indexed by a
+:class:`~repro.core.rmi.RecursiveModelIndex` built with
+``build_mode="vectorized"`` — so sealing costs one segmented
+least-squares pass (PR 3), not ten thousand Python model fits — and
+guarded by a bloom filter over its keys, so point probes for keys the
+run cannot hold skip the model entirely.
+
+The bloom filter defaults to :class:`repro.bloom.BloomFilter`; any
+object with ``add_batch`` / ``contains_batch`` / ``size_bytes`` fits
+the ``bloom_factory`` slot (e.g. an adapter over
+:class:`repro.core.learned_bloom.LearnedBloomFilter` when key
+distributions are learnable).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..bloom.standard import BloomFilter
+from ..core.rmi import RecursiveModelIndex
+from ..range_scan import RangeScanResult, assemble_slices
+
+__all__ = ["SortedRun", "DEFAULT_LEAF_TARGET"]
+
+#: Target keys per RMI leaf when sealing a run; leaves scale with run
+#: size so error windows stay page-sized from 4k-key seals to
+#: million-key compacted runs.
+DEFAULT_LEAF_TARGET = 256
+
+
+def _default_bloom(n: int, fpr: float) -> BloomFilter:
+    return BloomFilter.for_capacity(max(n, 1), fpr)
+
+
+class SortedRun:
+    """One immutable level of an LSM store.
+
+    Parameters
+    ----------
+    keys:
+        Sorted unique int64 keys — both live entries and tombstones.
+    values:
+        Parallel payloads (ignored for tombstone entries).
+    tombstones:
+        Parallel bool mask; True marks a delete marker that shadows any
+        older run's version of the key.
+    bloom_fpr / bloom_factory:
+        Target false-positive rate, and the filter constructor
+        ``(n, fpr) -> filter``.
+    leaf_target:
+        Keys per RMI leaf (the run's model granularity).
+    sequence / level:
+        Bookkeeping: seal sequence number (larger = newer) and the
+        compaction level the run currently occupies.
+    """
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray | None = None,
+        tombstones: np.ndarray | None = None,
+        *,
+        bloom_fpr: float = 0.01,
+        bloom_factory: Callable[[int, float], object] | None = None,
+        leaf_target: int = DEFAULT_LEAF_TARGET,
+        sequence: int = 0,
+        level: int = 0,
+    ):
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size and np.any(keys[1:] <= keys[:-1]):
+            raise ValueError("run keys must be sorted and unique")
+        self.keys = keys
+        self.values = (
+            np.asarray(values, dtype=np.int64)
+            if values is not None
+            else keys.copy()
+        )
+        self.tombstones = (
+            np.asarray(tombstones, dtype=bool)
+            if tombstones is not None
+            else np.zeros(keys.size, dtype=bool)
+        )
+        if self.values.size != keys.size or self.tombstones.size != keys.size:
+            raise ValueError("values/tombstones must parallel keys")
+        self.sequence = int(sequence)
+        self.level = int(level)
+        self.leaf_target = int(leaf_target)
+        leaves = max(1, -(-keys.size // max(leaf_target, 1)))
+        self.rmi = RecursiveModelIndex(
+            keys, stage_sizes=(1, leaves), build_mode="vectorized"
+        )
+        factory = bloom_factory or _default_bloom
+        self.bloom = factory(keys.size, bloom_fpr)
+        if keys.size:
+            self.bloom.add_batch(keys)
+
+    # -- point reads -----------------------------------------------------------
+
+    def bloom_contains_batch(self, queries: np.ndarray) -> np.ndarray:
+        """One bool per query: may this run hold an entry for it?"""
+        return np.asarray(self.bloom.contains_batch(queries), dtype=bool)
+
+    def probe(self, key: int) -> tuple[bool, bool, int]:
+        """(entry present, entry is tombstone, value) — scalar probe.
+
+        The caller is expected to have consulted the bloom filter; this
+        runs the RMI's scalar latency path.
+        """
+        pos = self.rmi.lookup(float(key))
+        if pos < self.keys.size and int(self.keys[pos]) == key:
+            return True, bool(self.tombstones[pos]), int(self.values[pos])
+        return False, False, 0
+
+    def probe_batch(
+        self, queries: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(entry mask, tombstone mask, values) for a query batch.
+
+        One vectorized ``lookup_batch`` against the run's RMI; the
+        masks tell the store which queries this run *answers* (present
+        or deleted) versus which fall through to older runs.
+        """
+        n = self.keys.size
+        if n == 0:
+            empty = np.zeros(queries.size, dtype=bool)
+            return empty, empty.copy(), np.zeros(queries.size, dtype=np.int64)
+        pos = self.rmi.lookup_batch(queries.astype(np.float64))
+        safe = np.minimum(pos, n - 1)
+        hit = (pos < n) & (self.keys[safe] == queries)
+        dead = hit & self.tombstones[safe]
+        return hit, dead, self.values[safe]
+
+    # -- range reads -----------------------------------------------------------
+
+    def range_scan_batch(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> tuple[RangeScanResult, np.ndarray]:
+        """(per-range entries, tombstone flags aligned to the values).
+
+        The run's RMI resolves all bounds vectorized; the tombstone
+        flags for every returned entry assemble in the same one-gather
+        pass the values do.
+        """
+        result = self.rmi.range_query_batch(lows, highs)
+        flags, _ = assemble_slices(self.tombstones, result.starts, result.ends)
+        return result, flags
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def num_tombstones(self) -> int:
+        return int(np.count_nonzero(self.tombstones))
+
+    @property
+    def live_count(self) -> int:
+        return self.keys.size - self.num_tombstones
+
+    def __len__(self) -> int:
+        return int(self.keys.size)
+
+    def size_bytes(self) -> int:
+        """Data (keys + values + mask) plus index overhead (RMI + bloom)."""
+        return (
+            self.keys.size * 17
+            + self.rmi.size_bytes()
+            + int(self.bloom.size_bytes())
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SortedRun(n={self.keys.size}, level={self.level}, "
+            f"seq={self.sequence}, tombstones={self.num_tombstones})"
+        )

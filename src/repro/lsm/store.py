@@ -1,0 +1,475 @@
+"""LearnedLSMStore — tiered runs of learned indexes (Appendix D.1).
+
+The paper: "all inserts are kept in buffer and from time to time
+merged ... already widely used, for example in Bigtable."  This module
+is that design at system scale: a :class:`~repro.lsm.memtable.Memtable`
+absorbs writes in O(1), seals into immutable
+:class:`~repro.lsm.run.SortedRun` levels (each indexed by a vectorized
+RMI and guarded by a bloom filter), and a
+:class:`~repro.lsm.compaction.CompactionPolicy` bounds the run count in
+the background of the write path.  The result is the trade-off triangle
+the single-run :class:`~repro.core.writable.WritableLearnedIndex`
+cannot express:
+
+* **write amplification** — a write is rewritten once per tier it
+  passes through (policy-controlled), never O(N) per merge;
+* **read amplification** — point reads fan out newest-first across
+  runs, with per-run bloom filters short-circuiting the runs that
+  cannot hold the key (:attr:`LSMReadStats` meters exactly how many
+  negative probes the guards eliminate);
+* **retrain cost** — every seal/compaction builds its run's RMI with
+  the PR 3 segmented least-squares pass, so model maintenance rides
+  the merge's array math.
+
+Point reads return *values* (the store maps int64 keys to int64
+payloads; key-only callers let values default to the keys); range
+reads return live keys, k-way merged across memtable + runs with
+newest-wins dedup and tombstone shadowing via
+:func:`repro.range_scan.merge_scan_results`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..range_scan import RangeScanResult, assemble_slices, merge_scan_results
+from .compaction import (
+    CompactionPolicy,
+    LeveledCompaction,
+    SizeTieredCompaction,
+    merge_runs,
+    newest_versions,
+)
+from .memtable import Memtable
+from .run import DEFAULT_LEAF_TARGET, SortedRun
+
+__all__ = ["LearnedLSMStore", "LSMReadStats", "LSMWriteStats"]
+
+#: name -> zero-argument policy factory for the ``compaction=`` string
+#: shorthand.
+COMPACTION_POLICIES: dict[str, Callable[[], CompactionPolicy]] = {
+    "size_tiered": SizeTieredCompaction,
+    "leveled": LeveledCompaction,
+}
+
+
+@dataclass
+class LSMReadStats:
+    """Read-amplification instrumentation.
+
+    A *run probe* is one (query, run) RMI lookup actually executed; a
+    *bloom reject* is a (query, run) pair the filter short-circuited
+    before the model ran.  ``probe_misses`` counts executed probes that
+    found no entry — i.e. bloom false positives.  The fraction of
+    negative-run probes the guards eliminate is
+    ``bloom_rejects / (bloom_rejects + probe_misses)``.
+    """
+
+    lookups: int = 0
+    memtable_hits: int = 0
+    run_probes: int = 0
+    probe_misses: int = 0
+    bloom_rejects: int = 0
+
+    def reset(self) -> None:
+        self.lookups = 0
+        self.memtable_hits = 0
+        self.run_probes = 0
+        self.probe_misses = 0
+        self.bloom_rejects = 0
+
+    @property
+    def negative_probes_eliminated(self) -> float:
+        total = self.bloom_rejects + self.probe_misses
+        return self.bloom_rejects / total if total else 0.0
+
+
+@dataclass
+class LSMWriteStats:
+    """Write-amplification instrumentation.
+
+    ``keys_written`` counts every entry landed in the memtable;
+    ``entries_sealed`` / ``entries_compacted`` count entries rewritten
+    into runs, so ``write_amplification`` is (sealed + compacted) /
+    written — the LSM's defining cost curve.
+    """
+
+    keys_written: int = 0
+    seals: int = 0
+    entries_sealed: int = 0
+    compactions: int = 0
+    entries_compacted: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def write_amplification(self) -> float:
+        if not self.keys_written:
+            return 0.0
+        return (self.entries_sealed + self.entries_compacted) / (
+            self.keys_written
+        )
+
+
+class LearnedLSMStore:
+    """Tiered LSM key-value store whose every run is RMI-indexed.
+
+    Parameters
+    ----------
+    keys / values:
+        Optional bulk load; keys are deduplicated (last value wins) and
+        sealed directly into a single bottom run — no write
+        amplification for the initial load.
+    memtable_capacity:
+        Buffered entries (puts + tombstones) per seal.
+    compaction:
+        ``"size_tiered"`` (default), ``"leveled"``, or any
+        :class:`~repro.lsm.compaction.CompactionPolicy` instance.
+    bloom_fpr / bloom_factory / leaf_target:
+        Per-run knobs, forwarded to :class:`~repro.lsm.run.SortedRun`.
+    """
+
+    def __init__(
+        self,
+        keys=None,
+        values=None,
+        *,
+        memtable_capacity: int = 8_192,
+        compaction: str | CompactionPolicy = "size_tiered",
+        bloom_fpr: float = 0.01,
+        bloom_factory=None,
+        leaf_target: int = DEFAULT_LEAF_TARGET,
+    ):
+        if memtable_capacity < 1:
+            raise ValueError("memtable_capacity must be >= 1")
+        if isinstance(compaction, str):
+            try:
+                compaction = COMPACTION_POLICIES[compaction]()
+            except KeyError:
+                known = ", ".join(sorted(COMPACTION_POLICIES))
+                raise ValueError(
+                    f"unknown compaction policy {compaction!r}; "
+                    f"known: {known}"
+                ) from None
+        self.policy = compaction
+        self.memtable_capacity = int(memtable_capacity)
+        self.policy.configure(self.memtable_capacity)
+        self._run_kwargs = dict(
+            bloom_fpr=bloom_fpr,
+            bloom_factory=bloom_factory,
+            leaf_target=leaf_target,
+        )
+        self.memtable = Memtable()
+        self.runs: list[SortedRun] = []
+        self._sequence = 0
+        self.read_stats = LSMReadStats()
+        self.write_stats = LSMWriteStats()
+        if keys is not None:
+            keys = np.asarray(keys, dtype=np.int64).ravel()
+            if values is None:
+                vals = keys.copy()
+            else:
+                vals = np.asarray(values, dtype=np.int64).ravel()
+                if vals.size != keys.size:
+                    raise ValueError("values must parallel keys")
+            if keys.size:
+                # Last value wins on duplicate keys, like a put loop.
+                uniq, last = np.unique(keys[::-1], return_index=True)
+                self.runs.append(
+                    SortedRun(
+                        uniq,
+                        vals[::-1][last],
+                        sequence=self._next_sequence(),
+                        level=self.policy.initial_level(uniq.size),
+                        **self._run_kwargs,
+                    )
+                )
+
+    def _next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    # -- write path ------------------------------------------------------------
+
+    def insert(self, key: int, value: int | None = None) -> None:
+        """Write ``key -> value`` (value defaults to the key)."""
+        key = int(key)
+        self.memtable.put(key, key if value is None else int(value))
+        self.write_stats.keys_written += 1
+        self._maybe_seal()
+
+    def insert_batch(self, keys, values=None) -> None:
+        """Bulk insert: one memtable update, at most one seal after.
+
+        Duplicate keys within the batch resolve last-wins, matching a
+        put loop.
+        """
+        keys = np.asarray(keys, dtype=np.int64).ravel()
+        if values is None:
+            values = keys
+        self.memtable.put_batch(keys, values)
+        self.write_stats.keys_written += int(keys.size)
+        self._maybe_seal()
+
+    def delete(self, key: int) -> None:
+        """Blind delete: a tombstone shadows every older version.
+
+        No read is performed (the LSM discipline — presence is resolved
+        at read/compaction time), so unlike
+        ``WritableLearnedIndex.delete`` there is no return value.
+        """
+        self.memtable.delete(int(key))
+        self.write_stats.keys_written += 1
+        self._maybe_seal()
+
+    def _maybe_seal(self) -> None:
+        if len(self.memtable) >= self.memtable_capacity:
+            self.flush()
+
+    def flush(self) -> None:
+        """Seal the memtable into a fresh L0 run, then let the policy
+        compact until the layout is stable."""
+        if len(self.memtable) == 0:
+            return
+        keys, values, dead = self.memtable.snapshot()
+        self.memtable.clear()
+        tombstones: np.ndarray | None = dead
+        if not self.runs and dead.any():
+            # Nothing older to shadow: garbage-collect immediately.
+            live = ~dead
+            keys, values, tombstones = keys[live], values[live], None
+            if keys.size == 0:
+                return
+        run = SortedRun(
+            keys,
+            values,
+            tombstones,
+            sequence=self._next_sequence(),
+            level=0,
+            **self._run_kwargs,
+        )
+        self.runs.insert(0, run)
+        self.write_stats.seals += 1
+        self.write_stats.entries_sealed += len(run)
+        self._compact()
+
+    def _compact(self) -> None:
+        while (selection := self.policy.select(self.runs)) is not None:
+            start, stop, new_level = selection
+            window = self.runs[start:stop]
+            merged = merge_runs(
+                window,
+                # The merge output becomes the oldest data exactly when
+                # the window reaches the end of the list — only then is
+                # dropping tombstones safe.
+                drop_tombstones=stop == len(self.runs),
+                **self._run_kwargs,
+            )
+            merged.level = new_level
+            self.runs[start:stop] = [merged]
+            self.write_stats.compactions += 1
+            self.write_stats.entries_compacted += len(merged)
+
+    def compact(self) -> None:
+        """Force a full compaction: flush, then fold everything into
+        one bottom run with tombstones garbage-collected."""
+        self.flush()
+        if len(self.runs) > 1:
+            merged = merge_runs(
+                self.runs, drop_tombstones=True, **self._run_kwargs
+            )
+            merged.level = max(r.level for r in self.runs)
+            self.write_stats.compactions += 1
+            self.write_stats.entries_compacted += len(merged)
+            self.runs = [merged]
+
+    # -- point reads -----------------------------------------------------------
+
+    def lookup(self, key: int):
+        """The live value for ``key``, or None — scalar read path.
+
+        Memtable first (O(1) dict), then runs newest-first; each run's
+        bloom filter is consulted before its RMI runs.
+        """
+        key = int(key)
+        stats = self.read_stats
+        stats.lookups += 1
+        if self.memtable.is_tombstone(key):
+            stats.memtable_hits += 1
+            return None
+        if self.memtable.has_put(key):
+            stats.memtable_hits += 1
+            return self.memtable.get(key)
+        for run in self.runs:
+            if key not in run.bloom:
+                stats.bloom_rejects += 1
+                continue
+            stats.run_probes += 1
+            hit, dead, value = run.probe(key)
+            if hit:
+                return None if dead else value
+            stats.probe_misses += 1
+        return None
+
+    def lookup_batch(self, keys) -> tuple[np.ndarray, np.ndarray]:
+        """(values, found) for a whole key batch.
+
+        One ``lookup_batch`` fans newest-first across runs: each run
+        sees only the queries still unresolved, its bloom filter drops
+        the ones it cannot hold, and its RMI probes the survivors —
+        the batch analogue of the scalar walk, with identical results.
+        ``values[i]`` is 0 wherever ``found[i]`` is False.
+        """
+        queries = np.asarray(keys, dtype=np.int64).ravel()
+        m = queries.size
+        values = np.zeros(m, dtype=np.int64)
+        found = np.zeros(m, dtype=bool)
+        if m == 0:
+            return values, found
+        stats = self.read_stats
+        stats.lookups += m
+        resolved = np.zeros(m, dtype=bool)
+        put_keys = self.memtable.put_keys()
+        if put_keys.size:
+            pos = np.searchsorted(put_keys, queries)
+            safe = np.minimum(pos, put_keys.size - 1)
+            hit = (pos < put_keys.size) & (put_keys[safe] == queries)
+            values[hit] = self.memtable.put_values()[safe[hit]]
+            found |= hit
+            resolved |= hit
+        tombs = self.memtable.tombstone_keys()
+        if tombs.size:
+            pos = np.searchsorted(tombs, queries)
+            safe = np.minimum(pos, tombs.size - 1)
+            dead = (pos < tombs.size) & (tombs[safe] == queries)
+            resolved |= dead
+        stats.memtable_hits += int(np.count_nonzero(resolved))
+        for run in self.runs:
+            open_idx = np.nonzero(~resolved)[0]
+            if open_idx.size == 0:
+                break
+            sub = queries[open_idx]
+            passed = run.bloom_contains_batch(sub)
+            stats.bloom_rejects += int(sub.size - np.count_nonzero(passed))
+            cand_idx = open_idx[passed]
+            if cand_idx.size == 0:
+                continue
+            hit, dead, vals = run.probe_batch(queries[cand_idx])
+            stats.run_probes += int(cand_idx.size)
+            stats.probe_misses += int(np.count_nonzero(~hit))
+            live = hit & ~dead
+            values[cand_idx[live]] = vals[live]
+            found[cand_idx[live]] = True
+            resolved[cand_idx[hit]] = True
+        return values, found
+
+    def contains(self, key: int) -> bool:
+        """Does a live (non-tombstoned) entry exist for ``key``?"""
+        return self.lookup(key) is not None
+
+    def contains_batch(self, keys) -> np.ndarray:
+        """One bool per key: does a live (non-tombstoned) entry exist?"""
+        _values, found = self.lookup_batch(keys)
+        return found
+
+    # -- range reads -----------------------------------------------------------
+
+    def _memtable_source(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> tuple[RangeScanResult, np.ndarray]:
+        keys, _values, dead = self.memtable.snapshot()
+        lo = np.searchsorted(keys, lows, side="left")
+        hi = np.searchsorted(keys, highs, side="right")
+        hi = np.maximum(hi, lo)
+        values, offsets = assemble_slices(keys, lo, hi)
+        flags, _ = assemble_slices(dead, lo, hi)
+        return RangeScanResult(values=values, offsets=offsets), flags
+
+    def range_query_batch(self, lows, highs) -> RangeScanResult:
+        """Live keys in each closed range ``[lows[i], highs[i]]``.
+
+        Every source — memtable snapshot plus each run's vectorized
+        range scan — contributes its entries; one
+        :func:`~repro.range_scan.merge_scan_results` pass interleaves
+        them newest-first, deduplicates to the newest version per key,
+        and drops keys whose newest version is a tombstone.
+        """
+        lows_f = np.asarray(lows, dtype=np.float64).ravel()
+        highs_f = np.asarray(highs, dtype=np.float64).ravel()
+        if lows_f.size != highs_f.size:
+            raise ValueError("lows and highs must have the same length")
+        if lows_f.size == 0:
+            return RangeScanResult(
+                values=np.empty(0, dtype=np.int64),
+                offsets=np.zeros(1, dtype=np.int64),
+            )
+        # Inverted ranges come out empty in every source: the run RMIs
+        # pin them (closed-interval semantics shared with the whole
+        # repo) and the memtable's hi = max(hi, lo) clamp does the same.
+        sources: list[RangeScanResult] = []
+        masks: list[np.ndarray | None] = []
+        if len(self.memtable):
+            mem, mem_flags = self._memtable_source(lows_f, highs_f)
+            sources.append(mem)
+            masks.append(mem_flags)
+        for run in self.runs:
+            result, flags = run.range_scan_batch(lows_f, highs_f)
+            sources.append(result)
+            masks.append(flags)
+        if not sources:
+            return RangeScanResult(
+                values=np.empty(0, dtype=np.int64),
+                offsets=np.zeros(lows_f.size + 1, dtype=np.int64),
+            )
+        merged = merge_scan_results(sources, drop_masks=masks)
+        return RangeScanResult(
+            values=np.asarray(merged.values, dtype=np.int64),
+            offsets=merged.offsets,
+        )
+
+    def range_query(self, low, high) -> np.ndarray:
+        """Scalar range read: all live keys in ``[low, high]``."""
+        result = self.range_query_batch([low], [high])
+        return np.asarray(result[0], dtype=np.int64)
+
+    # -- accounting ------------------------------------------------------------
+
+    def live_keys(self) -> np.ndarray:
+        """All live keys, merged and deduplicated — O(N log N)."""
+        mem_keys, _mem_values, mem_dead = self.memtable.snapshot()
+        parts = [mem_keys] + [r.keys for r in self.runs]
+        dead_parts = [mem_dead] + [r.tombstones for r in self.runs]
+        keys = np.concatenate(parts)
+        dead = np.concatenate(dead_parts)
+        if keys.size == 0:
+            return keys
+        rank = np.repeat(
+            np.arange(len(parts), dtype=np.int64),
+            [p.size for p in parts],
+        )
+        order, newest = newest_versions(keys, rank)
+        return keys[order][newest & ~dead[order]]
+
+    def __len__(self) -> int:
+        """Exact live key count (O(N log N) — see :meth:`live_keys`)."""
+        return int(self.live_keys().size)
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.runs)
+
+    def size_bytes(self) -> int:
+        return self.memtable.size_bytes() + sum(
+            r.size_bytes() for r in self.runs
+        )
+
+    def __repr__(self) -> str:
+        levels = [r.level for r in self.runs]
+        return (
+            f"LearnedLSMStore(runs={len(self.runs)}, levels={levels}, "
+            f"memtable={len(self.memtable)}, "
+            f"seals={self.write_stats.seals}, "
+            f"compactions={self.write_stats.compactions})"
+        )

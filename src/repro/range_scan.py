@@ -49,6 +49,7 @@ __all__ = [
     "assemble_slices",
     "batch_range_scan",
     "batch_range_scan_generic",
+    "merge_scan_results",
     "upper_bounds_batch",
 ]
 
@@ -146,6 +147,66 @@ def assemble_slices(
         + np.repeat(starts, lengths)
     )
     return values[idx], offsets
+
+
+def merge_scan_results(
+    results,
+    *,
+    drop_masks=None,
+    dedup: bool = True,
+) -> RangeScanResult:
+    """K-way merge of per-range results from priority-ordered sources.
+
+    Every ``results[s]`` must cover the same ``m`` ranges (numeric
+    values).  One ``np.lexsort`` on (range id, key, source rank)
+    interleaves all sources' hits for all ranges at once — the
+    multi-source analogue of the writable index's delta merge, and the
+    engine behind LSM reads that must merge a memtable and many runs.
+
+    Sources are ordered newest-first: with ``dedup=True`` (the
+    default), equal keys within a range collapse to the entry from the
+    lowest-indexed source that holds them — LSM "newest version wins"
+    semantics, and a superset of ``np.union1d`` deduplication for
+    disjoint sources.  ``drop_masks[s]`` (optional, aligned to
+    ``results[s].values``) flags entries such as tombstones: when a
+    flagged entry wins its key, the key is suppressed from the merged
+    output entirely, shadowing every older source.
+    """
+    if not results:
+        return RangeScanResult(
+            values=np.empty(0, dtype=np.int64),
+            offsets=np.zeros(1, dtype=np.int64),
+        )
+    m = len(results[0])
+    if any(len(r) != m for r in results):
+        raise ValueError("all sources must cover the same ranges")
+    range_ids = np.arange(m, dtype=np.int64)
+    ids_parts, key_parts, rank_parts, dead_parts = [], [], [], []
+    for s, result in enumerate(results):
+        values = np.asarray(result.values)
+        ids_parts.append(np.repeat(range_ids, result.counts))
+        key_parts.append(values)
+        rank_parts.append(np.full(values.size, s, dtype=np.int64))
+        if drop_masks is not None and drop_masks[s] is not None:
+            dead_parts.append(np.asarray(drop_masks[s], dtype=bool))
+        else:
+            dead_parts.append(np.zeros(values.size, dtype=bool))
+    ids = np.concatenate(ids_parts)
+    keys = np.concatenate(key_parts)
+    rank = np.concatenate(rank_parts)
+    dead = np.concatenate(dead_parts)
+    order = np.lexsort((rank, keys, ids))
+    ids, keys, dead = ids[order], keys[order], dead[order]
+    if dedup:
+        first = np.ones(keys.size, dtype=bool)
+        first[1:] = (keys[1:] != keys[:-1]) | (ids[1:] != ids[:-1])
+        keep = first & ~dead
+    else:
+        keep = ~dead
+    ids, keys = ids[keep], keys[keep]
+    offsets = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(np.bincount(ids, minlength=m), out=offsets[1:])
+    return RangeScanResult(values=keys, offsets=offsets)
 
 
 def batch_range_scan(

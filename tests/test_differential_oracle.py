@@ -31,6 +31,7 @@ from repro.core import (
     StringRMI,
     WritableLearnedIndex,
 )
+from repro.lsm import LearnedLSMStore
 
 SEED = 0xD1FF
 
@@ -259,6 +260,19 @@ def crosscheck_writable(index: WritableLearnedIndex, oracle: SetOracle, rng):
         index.contains_batch(probes),
         np.array([oracle.contains(int(q)) for q in probes]),
     )
+    # Live-rank lower/upper bounds (delta-merge aware lookup surface).
+    live = sorted(oracle.live)
+    np.testing.assert_array_equal(
+        index.lookup_batch(probes.astype(np.float64)),
+        np.array([bisect.bisect_left(live, int(q)) for q in probes]),
+    )
+    np.testing.assert_array_equal(
+        index.upper_bound_batch(probes.astype(np.float64)),
+        np.array([bisect.bisect_right(live, int(q)) for q in probes]),
+    )
+    for q in probes[:20]:
+        assert index.lookup(int(q)) == bisect.bisect_left(live, int(q))
+        assert index.upper_bound(int(q)) == bisect.bisect_right(live, int(q))
     lows = rng.integers(-100, 20_100, 40)
     highs = lows + rng.integers(-50, 2_000, 40)
     result = index.range_query_batch(lows, highs)
@@ -340,3 +354,140 @@ def test_writable_auto_merge_round_trip():
             crosscheck_writable(index, oracle, rng)
     assert merges_seen > 0, "threshold never tripped; test is vacuous"
     crosscheck_writable(index, oracle, rng)
+
+
+# -- LSM store round-trip --------------------------------------------------------
+
+class KVOracle:
+    """Reference for the LSM store: a dict plus a sorted key list."""
+
+    def __init__(self):
+        self.live: dict[int, int] = {}
+
+    def insert(self, k, v):
+        self.live[int(k)] = int(v)
+
+    def delete(self, k):
+        self.live.pop(int(k), None)
+
+    def lookup(self, k):
+        return self.live.get(int(k))
+
+    def sorted_keys(self) -> list:
+        return sorted(self.live)
+
+    def range_query(self, lo, hi) -> list:
+        if hi < lo:
+            return []
+        keys = self.sorted_keys()
+        return keys[bisect.bisect_left(keys, lo):bisect.bisect_right(keys, hi)]
+
+
+def crosscheck_lsm(store: LearnedLSMStore, oracle: KVOracle, rng):
+    probes = rng.integers(-100, 30_100, 400)
+    values, found = store.lookup_batch(probes)
+    expected_found = np.array([oracle.lookup(int(q)) is not None for q in probes])
+    np.testing.assert_array_equal(found, expected_found)
+    hits = np.nonzero(expected_found)[0]
+    np.testing.assert_array_equal(
+        values[hits],
+        np.array([oracle.lookup(int(probes[i])) for i in hits], dtype=np.int64),
+    )
+    np.testing.assert_array_equal(store.contains_batch(probes), expected_found)
+    for q in probes[:25]:
+        assert store.lookup(int(q)) == oracle.lookup(int(q))
+    lows = rng.integers(-100, 30_100, 50)
+    highs = lows + rng.integers(-50, 3_000, 50)
+    result = store.range_query_batch(lows, highs)
+    assert len(result) == 50
+    for i in range(50):
+        expected = oracle.range_query(int(lows[i]), int(highs[i]))
+        assert list(result[i]) == expected, i
+        if i < 10:
+            assert list(store.range_query(int(lows[i]), int(highs[i]))) == expected
+
+
+@pytest.mark.parametrize("policy", ["size_tiered", "leveled"])
+def test_lsm_store_randomized_round_trip(policy):
+    """Interleaved put/batch-put/delete/flush ops vs the dict oracle.
+
+    The memtable is small enough that seals and policy compactions fire
+    constantly mid-sequence; the full read surface is cross-checked
+    after every compaction the policy triggers (so a merge that loses a
+    key, resurrects a tombstoned one, or mis-orders newest-wins
+    surfaces immediately) and again at the end, after an explicit full
+    compaction.
+    """
+    rng = np.random.default_rng(SEED + 4)
+    store = LearnedLSMStore(
+        np.unique(rng.integers(0, 30_000, 2_000)).astype(np.int64),
+        memtable_capacity=200,
+        compaction=policy,
+    )
+    oracle = KVOracle()
+    for k in store.runs[0].keys.tolist():
+        oracle.insert(k, k)
+    compactions_seen = store.write_stats.compactions
+    for step in range(2_000):
+        op = rng.random()
+        key = int(rng.integers(-50, 30_050))
+        if op < 0.4:
+            value = int(rng.integers(0, 10**9))
+            store.insert(key, value)
+            oracle.insert(key, value)
+        elif op < 0.5:
+            batch = rng.integers(-50, 30_050, int(rng.integers(1, 80)))
+            values = rng.integers(0, 10**9, batch.size)
+            store.insert_batch(batch, values)
+            for k, v in zip(batch.tolist(), values.tolist()):
+                oracle.insert(k, v)
+        elif op < 0.55:
+            # Delete-then-reinsert: the resurrection case compaction
+            # newest-wins ordering must get right.
+            store.delete(key)
+            store.insert(key, key)
+            oracle.insert(key, key)
+        elif op < 0.9:
+            store.delete(key)
+            oracle.delete(key)
+        else:
+            store.flush()
+        if store.write_stats.compactions != compactions_seen:
+            compactions_seen = store.write_stats.compactions
+            crosscheck_lsm(store, oracle, rng)
+    assert compactions_seen > 0, "no compaction fired; test is vacuous"
+    crosscheck_lsm(store, oracle, rng)
+    assert len(store) == len(oracle.live)
+    store.compact()
+    crosscheck_lsm(store, oracle, rng)
+    assert len(store) == len(oracle.live)
+
+
+@pytest.mark.parametrize("policy", ["size_tiered", "leveled"])
+def test_lsm_matches_writable_reference(policy):
+    """Key-only workloads: the LSM store and the single-run writable
+    index are interchangeable (same live key sets, same range answers)."""
+    rng = np.random.default_rng(SEED + 5)
+    base = np.unique(rng.integers(0, 50_000, 3_000)).astype(np.int64)
+    store = LearnedLSMStore(base, memtable_capacity=300, compaction=policy)
+    reference = WritableLearnedIndex(
+        base, stage_sizes=(1, 64), merge_threshold=500
+    )
+    for _ in range(1_500):
+        key = int(rng.integers(0, 50_000))
+        if rng.random() < 0.7:
+            store.insert(key)
+            reference.insert(key)
+        else:
+            store.delete(key)
+            reference.delete(key)
+    probes = rng.integers(-100, 50_100, 500)
+    np.testing.assert_array_equal(
+        store.contains_batch(probes), reference.contains_batch(probes)
+    )
+    lows = rng.integers(0, 50_000, 30)
+    highs = lows + rng.integers(0, 2_000, 30)
+    got = store.range_query_batch(lows, highs)
+    expected = reference.range_query_batch(lows, highs)
+    for i in range(30):
+        np.testing.assert_array_equal(got[i], expected[i])

@@ -1,0 +1,416 @@
+"""Unit tests for the learned LSM storage engine (Appendix D.1)."""
+
+import numpy as np
+import pytest
+
+from repro.bloom import BloomFilter
+from repro.lsm import (
+    LearnedLSMStore,
+    LeveledCompaction,
+    Memtable,
+    SizeTieredCompaction,
+    SortedRun,
+    merge_runs,
+)
+from repro.range_scan import RangeScanResult, merge_scan_results
+
+
+# -- memtable ------------------------------------------------------------------
+
+class TestMemtable:
+    def test_put_get_delete(self):
+        mem = Memtable()
+        mem.put(5, 50)
+        assert mem.get(5) == 50
+        assert mem.has_put(5)
+        mem.put(5, 51)
+        assert mem.get(5) == 51
+        assert len(mem) == 1
+        mem.delete(5)
+        assert not mem.has_put(5)
+        assert mem.is_tombstone(5)
+        assert len(mem) == 1  # the tombstone is an entry
+
+    def test_put_overrides_tombstone(self):
+        mem = Memtable()
+        mem.delete(9)
+        mem.put(9, 90)
+        assert not mem.is_tombstone(9)
+        assert mem.get(9) == 90
+
+    def test_put_batch_last_wins(self):
+        mem = Memtable()
+        mem.put_batch([3, 1, 3], [30, 10, 31])
+        assert mem.get(3) == 31
+        np.testing.assert_array_equal(mem.put_keys(), [1, 3])
+        np.testing.assert_array_equal(mem.put_values(), [10, 31])
+
+    def test_sorted_views_track_mutations(self):
+        mem = Memtable()
+        mem.put_batch([5, 2, 9], [1, 2, 3])
+        np.testing.assert_array_equal(mem.put_keys(), [2, 5, 9])
+        mem.delete(5)
+        np.testing.assert_array_equal(mem.put_keys(), [2, 9])
+        np.testing.assert_array_equal(mem.tombstone_keys(), [5])
+
+    def test_snapshot_interleaves_tombstones(self):
+        mem = Memtable()
+        mem.put_batch([2, 8], [20, 80])
+        mem.delete(5)
+        keys, values, dead = mem.snapshot()
+        np.testing.assert_array_equal(keys, [2, 5, 8])
+        np.testing.assert_array_equal(dead, [False, True, False])
+        np.testing.assert_array_equal(values[~dead], [20, 80])
+
+    def test_remove_put_primitive(self):
+        mem = Memtable()
+        mem.put(4, 40)
+        assert mem.remove_put(4)
+        assert not mem.remove_put(4)
+        assert not mem.is_tombstone(4)  # remove_put never tombstones
+
+
+# -- sorted runs ---------------------------------------------------------------
+
+class TestSortedRun:
+    def test_seal_roundtrip(self):
+        """A sealed memtable answers exactly what was buffered."""
+        rng = np.random.default_rng(1)
+        mem = Memtable()
+        keys = rng.choice(10_000, 2_000, replace=False)
+        vals = rng.integers(0, 10**6, 2_000)
+        mem.put_batch(keys, vals)
+        for k in keys[:100]:
+            mem.delete(int(k))
+        run = SortedRun(*mem.snapshot())
+        hit, dead, got = run.probe_batch(np.sort(keys))
+        assert hit.all()
+        assert int(dead.sum()) == len(set(keys[:100].tolist()))
+        lookup = dict(zip(keys.tolist(), vals.tolist()))
+        order = np.argsort(keys)
+        expected = np.array([lookup[int(k)] for k in np.sort(keys)])
+        live = ~dead
+        np.testing.assert_array_equal(got[live], expected[live])
+
+    def test_rejects_unsorted_or_duplicate(self):
+        with pytest.raises(ValueError):
+            SortedRun(np.array([3, 1]))
+        with pytest.raises(ValueError):
+            SortedRun(np.array([1, 1]))
+
+    def test_bloom_has_no_false_negatives(self):
+        keys = np.arange(0, 50_000, 7, dtype=np.int64)
+        run = SortedRun(keys)
+        assert run.bloom_contains_batch(keys).all()
+
+    def test_bloom_rejects_most_absent(self):
+        keys = np.arange(0, 50_000, 7, dtype=np.int64)
+        run = SortedRun(keys, bloom_fpr=0.01)
+        absent = np.arange(1, 50_000, 7, dtype=np.int64)
+        assert run.bloom_contains_batch(absent).mean() < 0.05
+
+    def test_range_scan_flags_tombstones(self):
+        keys = np.arange(10, dtype=np.int64)
+        dead = np.zeros(10, dtype=bool)
+        dead[3] = dead[7] = True
+        run = SortedRun(keys, tombstones=dead)
+        result, flags = run.range_scan_batch([0.0, 6.0], [5.0, 20.0])
+        np.testing.assert_array_equal(result[0], [0, 1, 2, 3, 4, 5])
+        np.testing.assert_array_equal(
+            flags[:6], [False, False, False, True, False, False]
+        )
+
+
+# -- compaction ----------------------------------------------------------------
+
+def _run(keys, dead=(), level=0, seq=0):
+    keys = np.asarray(keys, dtype=np.int64)
+    mask = np.isin(keys, np.asarray(list(dead), dtype=np.int64))
+    return SortedRun(keys, tombstones=mask, level=level, sequence=seq)
+
+
+class TestMergeRuns:
+    def test_newest_wins(self):
+        new = SortedRun(np.array([1, 5]), np.array([100, 500]))
+        old = SortedRun(np.array([1, 9]), np.array([-1, 900]))
+        merged = merge_runs([new, old], drop_tombstones=False)
+        np.testing.assert_array_equal(merged.keys, [1, 5, 9])
+        np.testing.assert_array_equal(merged.values, [100, 500, 900])
+
+    def test_tombstone_shadows_older_key(self):
+        new = _run([5], dead=[5])
+        old = _run([1, 5])
+        kept = merge_runs([new, old], drop_tombstones=False)
+        np.testing.assert_array_equal(kept.keys, [1, 5])
+        assert kept.tombstones[1]  # marker survives for deeper runs
+        gc = merge_runs([new, old], drop_tombstones=True)
+        np.testing.assert_array_equal(gc.keys, [1])
+        assert gc.num_tombstones == 0
+
+    def test_put_resurrects_tombstoned_key(self):
+        newest = _run([5])           # re-insert
+        middle = _run([5], dead=[5])  # older delete
+        oldest = _run([5, 6])
+        merged = merge_runs([newest, middle, oldest], drop_tombstones=True)
+        np.testing.assert_array_equal(merged.keys, [5, 6])
+
+
+class TestPolicies:
+    def test_size_tiered_waits_for_min_runs(self):
+        policy = SizeTieredCompaction(min_runs=4)
+        runs = [_run(np.arange(100)) for _ in range(3)]
+        assert policy.select(runs) is None
+        runs.insert(0, _run(np.arange(100)))
+        assert policy.select(runs) == (0, 4, 0)
+
+    def test_size_tiered_ignores_mixed_buckets(self):
+        policy = SizeTieredCompaction(min_runs=2)
+        runs = [_run(np.arange(100)), _run(np.arange(10_000))]
+        assert policy.select(runs) is None
+
+    def test_size_tiered_backstop_bounds_run_count(self):
+        """Alternating buckets can never form a streak; the max_runs
+        backstop must still merge the oldest window (regression for a
+        degenerate workload that stranded hundreds of runs)."""
+        policy = SizeTieredCompaction(min_runs=2, max_runs=4)
+        runs = [
+            _run(np.arange(100 if i % 2 else 10_000)) for i in range(4)
+        ]
+        assert policy.select(runs) == (2, 4, 0)
+        # And end-to-end: a confined keyspace with heavy deletes keeps
+        # the run count bounded by the backstop.
+        rng = np.random.default_rng(6)
+        store = LearnedLSMStore(
+            memtable_capacity=7,
+            compaction=SizeTieredCompaction(min_runs=2, max_runs=8),
+        )
+        for _ in range(1_500):
+            if rng.random() < 0.5:
+                store.insert(int(rng.integers(0, 500)))
+            else:
+                store.delete(int(rng.integers(0, 500)))
+        assert store.num_runs < 8
+
+    def test_leveled_folds_l0_into_l1(self):
+        policy = LeveledCompaction(level0_runs=2, fanout=10, base_size=100)
+        runs = [
+            _run(np.arange(50), level=0),
+            _run(np.arange(50, 100), level=0),
+            _run(np.arange(1_000), level=1),
+        ]
+        assert policy.select(runs) == (0, 3, 1)
+
+    def test_leveled_cascades_oversized_level(self):
+        policy = LeveledCompaction(level0_runs=4, fanout=10, base_size=10)
+        runs = [_run(np.arange(5_000), level=1)]
+        start, stop, new_level = policy.select(runs)
+        assert (start, stop, new_level) == (0, 1, 2)
+
+
+# -- the store -----------------------------------------------------------------
+
+@pytest.fixture(params=["size_tiered", "leveled"])
+def policy(request):
+    return request.param
+
+
+class TestLearnedLSMStore:
+    def test_bulk_load_then_read(self, policy):
+        keys = np.arange(0, 30_000, 3, dtype=np.int64)
+        store = LearnedLSMStore(keys, compaction=policy)
+        assert store.num_runs == 1
+        assert store.lookup(300) == 300
+        assert store.lookup(301) is None
+        np.testing.assert_array_equal(
+            store.range_query(10, 20), [12, 15, 18]
+        )
+        assert len(store) == keys.size
+
+    def test_values_roundtrip(self, policy):
+        store = LearnedLSMStore(
+            memtable_capacity=100, compaction=policy
+        )
+        rng = np.random.default_rng(5)
+        keys = rng.choice(10**6, 1_000, replace=False)
+        vals = rng.integers(0, 10**9, 1_000)
+        store.insert_batch(keys, vals)
+        values, found = store.lookup_batch(keys)
+        assert found.all()
+        np.testing.assert_array_equal(values, vals)
+
+    def test_seal_fires_at_capacity(self, policy):
+        store = LearnedLSMStore(memtable_capacity=64, compaction=policy)
+        for k in range(200):
+            store.insert(k)
+        assert store.write_stats.seals >= 2
+        assert len(store.memtable) < 64
+        assert store.contains(0) and store.contains(199)
+
+    def test_delete_shadows_sealed_key(self, policy):
+        store = LearnedLSMStore(
+            np.arange(1_000, dtype=np.int64),
+            memtable_capacity=10**9,
+            compaction=policy,
+        )
+        store.delete(500)
+        assert not store.contains(500)
+        assert store.lookup(500) is None
+        assert 500 not in store.range_query(490, 510)
+        assert len(store) == 999
+
+    def test_tombstone_resurrection(self, policy):
+        store = LearnedLSMStore(
+            np.arange(100, dtype=np.int64),
+            memtable_capacity=4,
+            compaction=policy,
+        )
+        store.delete(50)
+        store.flush()
+        assert not store.contains(50)
+        store.insert(50, 5050)
+        store.flush()
+        assert store.contains(50)
+        assert store.lookup(50) == 5050
+
+    def test_full_compaction_garbage_collects(self, policy):
+        store = LearnedLSMStore(memtable_capacity=32, compaction=policy)
+        store.insert_batch(np.arange(500, dtype=np.int64))
+        for k in range(0, 500, 2):
+            store.delete(k)
+        store.compact()
+        assert store.num_runs == 1
+        assert store.runs[0].num_tombstones == 0
+        assert len(store.runs[0]) == 250
+        np.testing.assert_array_equal(
+            store.runs[0].keys, np.arange(1, 500, 2)
+        )
+
+    def test_bloom_short_circuits_negative_probes(self):
+        """On a many-run store, absent-key reads mostly skip the RMIs."""
+        rng = np.random.default_rng(9)
+        store = LearnedLSMStore(
+            memtable_capacity=2_000,
+            compaction=SizeTieredCompaction(min_runs=32),  # keep runs
+        )
+        for _ in range(10):
+            store.insert_batch(rng.integers(0, 10**9, 2_000))
+        assert store.num_runs == 10
+        absent = rng.integers(2 * 10**9, 3 * 10**9, 5_000)
+        store.read_stats.reset()
+        _, found = store.lookup_batch(absent)
+        assert not found.any()
+        stats = store.read_stats
+        assert stats.bloom_rejects + stats.probe_misses == 10 * 5_000
+        assert stats.negative_probes_eliminated >= 0.8
+
+    def test_read_short_circuits_on_newest_hit(self, policy):
+        store = LearnedLSMStore(
+            memtable_capacity=100,
+            compaction=SizeTieredCompaction(min_runs=100),
+        )
+        store.insert_batch(np.arange(100, dtype=np.int64))   # older run
+        store.insert_batch(np.arange(100, dtype=np.int64))   # newer run
+        assert store.num_runs == 2
+        store.read_stats.reset()
+        _, found = store.lookup_batch(np.arange(100, dtype=np.int64))
+        assert found.all()
+        # Every query resolved in the newest run: one probe each.
+        assert store.read_stats.run_probes == 100
+
+    def test_write_amplification_metered(self, policy):
+        store = LearnedLSMStore(memtable_capacity=256, compaction=policy)
+        rng = np.random.default_rng(3)
+        for _ in range(40):
+            store.insert_batch(rng.integers(0, 10**8, 200))
+        wa = store.write_stats.write_amplification
+        assert wa >= 1.0
+        assert wa < 30.0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            LearnedLSMStore(compaction="lazy")
+
+    def test_empty_store(self, policy):
+        store = LearnedLSMStore(compaction=policy)
+        assert len(store) == 0
+        assert store.lookup(5) is None
+        values, found = store.lookup_batch([1, 2, 3])
+        assert not found.any()
+        assert store.range_query(0, 10).size == 0
+        result = store.range_query_batch([0], [10])
+        assert len(result) == 1 and result.total == 0
+
+
+# -- the multi-source merge helper ---------------------------------------------
+
+def _rsr(values, offsets):
+    return RangeScanResult(
+        values=np.asarray(values, dtype=np.int64),
+        offsets=np.asarray(offsets, dtype=np.int64),
+    )
+
+
+class TestMergeScanResults:
+    def test_interleaves_sorted(self):
+        a = _rsr([1, 5], [0, 2])
+        b = _rsr([2, 9], [0, 2])
+        merged = merge_scan_results([a, b])
+        np.testing.assert_array_equal(merged[0], [1, 2, 5, 9])
+
+    def test_dedup_keeps_newest_source(self):
+        a = _rsr([5], [0, 1])
+        b = _rsr([5], [0, 1])
+        merged = merge_scan_results([a, b])
+        np.testing.assert_array_equal(merged[0], [5])
+
+    def test_drop_mask_shadows_older_sources(self):
+        newest = _rsr([5], [0, 1])
+        oldest = _rsr([5, 6], [0, 2])
+        merged = merge_scan_results(
+            [newest, oldest],
+            drop_masks=[np.array([True]), None],
+        )
+        np.testing.assert_array_equal(merged[0], [6])
+
+    def test_per_range_independence(self):
+        a = _rsr([1, 1], [0, 1, 2])   # key 1 in both ranges
+        b = _rsr([1], [0, 0, 1])      # key 1 only in range 1
+        merged = merge_scan_results([a, b])
+        np.testing.assert_array_equal(merged[0], [1])
+        np.testing.assert_array_equal(merged[1], [1])
+
+    def test_mismatched_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            merge_scan_results([_rsr([], [0]), _rsr([], [0, 0])])
+
+    def test_empty_sources(self):
+        merged = merge_scan_results([])
+        assert len(merged) == 0
+
+
+# -- vectorized bloom batch path ----------------------------------------------
+
+class TestBloomBatchEquivalence:
+    def test_add_batch_bit_exact(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(-(10**12), 10**12, 3_000)
+        scalar = BloomFilter.for_capacity(3_000, 0.01)
+        batch = BloomFilter.for_capacity(3_000, 0.01)
+        for k in keys:
+            scalar.add(int(k))
+        batch.add_batch(keys)
+        np.testing.assert_array_equal(scalar._bits, batch._bits)
+        assert scalar.count == batch.count
+
+    def test_contains_batch_matches_scalar(self):
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 10**9, 2_000)
+        bloom = BloomFilter.for_capacity(2_000, 0.02)
+        bloom.add_batch(keys)
+        probes = np.concatenate(
+            [keys[:500], rng.integers(0, 10**9, 2_000)]
+        )
+        expected = np.array([int(p) in bloom for p in probes])
+        np.testing.assert_array_equal(
+            bloom.contains_batch(probes), expected
+        )
