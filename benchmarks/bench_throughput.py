@@ -28,7 +28,13 @@ five things (ISSUE 1 + ISSUE 2 + ISSUE 3 + ISSUE 4):
   writable index at N resident keys (reads pinned identical), bloom
   guard effectiveness on a 10-run store (negative-run probes
   eliminated), and a YCSB-style mixed read/write workload under
-  uniform and zipfian skew.
+  uniform and zipfian skew;
+* **unified query core** (ISSUE 5) — exact 64-bit batch lookups on the
+  ``u64_dense`` dataset (adjacent keys straddling 2^53 and crossing
+  2^63), the count of answers the old float64-upcast baseline would
+  get wrong on the same workload, and a regression gate: the
+  1M-uniform batch path must stay within 10% of the previous
+  trajectory entry.
 
 Run standalone (it is not a pytest file):
 
@@ -69,6 +75,7 @@ from repro.data import (  # noqa: E402
     hotspot_queries,
     lognormal_keys,
     scan_workload,
+    u64_dense,
     uniform_keys,
     zipfian_queries,
 )
@@ -864,6 +871,148 @@ def render_lsm(
     return out + "\n" + mixed_table.render()
 
 
+# -- unified query core (ISSUE 5) ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryCoreResult:
+    dataset: str
+    n: int
+    num_queries: int
+    batch_ops_per_sec: float
+    searchsorted_ops_per_sec: float
+    scalar_sample_identical: bool
+    float64_baseline_mismatches: int
+
+
+def run_query_core(
+    n: int, num_queries: int, seed: int = 42
+) -> QueryCoreResult:
+    """Shared-kernel throughput on int64/uint64 keys beyond 2^53.
+
+    The dataset is ``u64_dense`` — adjacent 64-bit keys straddling 2^53
+    and crossing 2^63, the SOSD osm_cellids shape — which the pre-PR-5
+    float64 batch paths could not answer correctly at all.  Reported:
+    the exact engine's batch throughput, the native-dtype
+    ``searchsorted`` reference, a scalar-sample bit-identity check, and
+    how many queries the old float64-upcast baseline would have gotten
+    *wrong* on this workload (the correctness gap the query core
+    closes).
+    """
+    rng = np.random.default_rng(seed + 23)
+    keys = u64_dense(n, seed=seed)
+    picks = rng.choice(keys, num_queries)
+    # Half the probes are +-1 neighbours: absent keys one unit away
+    # from stored ones, unresolvable in float64.
+    offsets = rng.integers(0, 2, num_queries).astype(np.uint64)
+    queries = picks + offsets
+    index = RecursiveModelIndex(keys, stage_sizes=(1, 10_000))
+    batch_s = float("inf")
+    batch_out = None
+    for _ in range(3):
+        elapsed, batch_out = _time_once(lambda: index.lookup_batch(queries))
+        batch_s = min(batch_s, elapsed)
+    ss_s = min(
+        _time_once(lambda: np.searchsorted(keys, queries))[0]
+        for _ in range(3)
+    )
+    exact = np.searchsorted(keys, queries)
+    sample = queries[:2_000]
+    scalar = np.array([index.lookup(q) for q in sample.tolist()])
+    identical = bool(
+        np.array_equal(batch_out, exact)
+        and np.array_equal(scalar, exact[:sample.size])
+    )
+    # The old engine compared int keys upcast to float64; replay that
+    # comparison to count the collisions the exact core eliminates.
+    float_pos = np.searchsorted(
+        keys.astype(np.float64), queries.astype(np.float64)
+    )
+    mismatches = int(np.count_nonzero(float_pos != exact))
+    return QueryCoreResult(
+        dataset="u64_dense",
+        n=int(keys.size),
+        num_queries=int(queries.size),
+        batch_ops_per_sec=queries.size / batch_s,
+        searchsorted_ops_per_sec=queries.size / ss_s,
+        scalar_sample_identical=identical,
+        float64_baseline_mismatches=mismatches,
+    )
+
+
+#: Allowed slowdown of the 1M-uniform RMI batch path vs the previous
+#: trajectory entry at the same configuration (the ISSUE 5 gate: the
+#: dtype-exact engine must not cost more than 10%).
+QUERY_CORE_MAX_REGRESSION = 0.10
+
+
+def previous_uniform_batch_ops(
+    path: Path, n: int, num_queries: int
+) -> float | None:
+    """The most recent trajectory entry's 1M-uniform RMI-10k batch
+    throughput at a matching configuration, or None."""
+    if not path.exists():
+        return None
+    try:
+        existing = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    trajectory = (
+        existing.get("trajectory") if isinstance(existing, dict) else None
+    )
+    if not isinstance(trajectory, list):
+        return None
+    for record in reversed(trajectory):
+        if record.get("n") != n or record.get("queries") != num_queries:
+            continue
+        for row in record.get("results", []):
+            if (
+                row.get("name") == "rmi leaves=10000"
+                and row.get("dataset") == "uniform"
+            ):
+                return float(row["batch_ops_per_sec"])
+    return None
+
+
+def render_query_core(
+    result: QueryCoreResult, previous_ops: float | None, current_ops: float
+) -> str:
+    table = Table(
+        "Unified query core: exact 64-bit batch lookups (keys beyond 2^53)",
+        [
+            "dataset",
+            "n",
+            "queries",
+            "batch ops/s",
+            "searchsorted ops/s",
+            "scalar sample identical",
+            "float64-baseline wrong answers",
+        ],
+    )
+    table.add_row(
+        result.dataset,
+        f"{result.n:,}",
+        f"{result.num_queries:,}",
+        f"{result.batch_ops_per_sec:,.0f}",
+        f"{result.searchsorted_ops_per_sec:,.0f}",
+        "yes" if result.scalar_sample_identical else "NO",
+        f"{result.float64_baseline_mismatches:,}",
+    )
+    out = table.render()
+    if previous_ops is not None:
+        ratio = current_ops / previous_ops
+        out += (
+            f"\n1M-uniform batch path vs previous trajectory entry: "
+            f"{ratio:.2f}x (gate: >= {1.0 - QUERY_CORE_MAX_REGRESSION:.2f}x)"
+        )
+    else:
+        out += (
+            "\n1M-uniform regression gate: no matching previous "
+            "trajectory entry (first run at this configuration)"
+        )
+    return out
+
+
 def render(results: list[ThroughputResult]) -> str:
     table = Table(
         "Batch throughput: scalar loop vs vectorized lookup_batch",
@@ -998,6 +1147,22 @@ def main(argv: list[str] | None = None) -> int:
     print()
     print(render_lsm(lsm_writes, lsm_speedup, lsm_bloom, lsm_mixed))
 
+    # Query-core section (ISSUE 5): exact 64-bit throughput plus the
+    # no->10%-regression gate on the 1M-uniform batch path, judged
+    # against the previous trajectory entry at the same configuration
+    # (read before --json appends this run's record).
+    query_core = run_query_core(args.n, args.queries)
+    current_uniform_ops = next(
+        r.batch_ops_per_sec
+        for r in results
+        if r.dataset == "uniform" and r.name == "rmi leaves=10000"
+    )
+    previous_ops = previous_uniform_batch_ops(
+        args.json_path, args.n, args.queries
+    )
+    print()
+    print(render_query_core(query_core, previous_ops, current_uniform_ops))
+
     rmi_uniform = [
         r for r in results
         if r.dataset == "uniform" and r.name.startswith("rmi")
@@ -1009,6 +1174,7 @@ def main(argv: list[str] | None = None) -> int:
         and all(r.identical for r in sorted_results)
         and all(r.lookups_identical for r in build_results)
         and all(r.reads_identical for r in lsm_writes)
+        and query_core.scalar_sample_identical
     )
     build_acceptance = next(
         r.speedup
@@ -1059,6 +1225,12 @@ def main(argv: list[str] | None = None) -> int:
                 "bloom": asdict(lsm_bloom),
                 "mixed": [asdict(r) for r in lsm_mixed],
             },
+            "query_core": {
+                "max_regression": QUERY_CORE_MAX_REGRESSION,
+                "uniform_batch_ops_per_sec": current_uniform_ops,
+                "previous_uniform_batch_ops_per_sec": previous_ops,
+                "result": asdict(query_core),
+            },
         }
         payload = append_trajectory(args.json_path, record)
         print(
@@ -1070,12 +1242,20 @@ def main(argv: list[str] | None = None) -> int:
         all_identical
         and best >= ACCEPTANCE_MIN_SPEEDUP
         and lsm_bloom.eliminated_fraction >= LSM_MIN_BLOOM_ELIMINATION
+        and query_core.float64_baseline_mismatches > 0
     )
     if args.n >= 1_000_000:
         # The ISSUE 3 build and ISSUE 4 insert floors are defined at 1M
         # keys; smaller (e.g. smoke) runs report but don't gate on them.
         ok = ok and build_acceptance >= BUILD_MIN_SPEEDUP
         ok = ok and lsm_speedup >= LSM_MIN_INSERT_SPEEDUP
+        # ISSUE 5 gate: the exact engine costs <= 10% on the 1M-uniform
+        # batch path vs the previous trajectory entry (shared runners
+        # at smoke scale are too noisy to gate on).
+        if previous_ops is not None:
+            ok = ok and current_uniform_ops >= previous_ops * (
+                1.0 - QUERY_CORE_MAX_REGRESSION
+            )
     return 0 if ok else 1
 
 

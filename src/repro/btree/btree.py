@@ -89,7 +89,9 @@ class BTreeIndex(RangeScanIndexMixin):
         keys = np.asarray(keys)
         if keys.ndim != 1:
             raise ValueError("keys must be one-dimensional")
-        if keys.size and np.any(np.diff(keys) < 0):
+        # Comparison instead of np.diff: no int64 difference overflow
+        # on huge key spans and no full-width temporary.
+        if keys.size and np.any(keys[:-1] > keys[1:]):
             raise ValueError("keys must be sorted ascending")
         if page_size < 1:
             raise ValueError("page_size must be >= 1")
@@ -106,11 +108,14 @@ class BTreeIndex(RangeScanIndexMixin):
     def _build(self) -> None:
         n = self.keys.size
         # One separator key per logical page (first key of the page).
+        # Separators stay in the key's native dtype: a float64 copy
+        # would round int64 separators at or beyond 2^53, and a descent
+        # through rounded separators can pick the wrong page (ISSUE 5).
         page_starts = np.arange(0, n, self.page_size, dtype=np.int64)
         leaf_keys = (
-            self.keys[page_starts].astype(np.float64)
+            self.keys[page_starts]
             if n
-            else np.empty(0, dtype=np.float64)
+            else np.empty(0, dtype=self.keys.dtype)
         )
         self._page_starts = page_starts
         # levels[0] = leaf separator array; levels[i>0] = first key of

@@ -50,7 +50,7 @@ class FASTTree(RangeScanIndexMixin):
 
     def __init__(self, keys: np.ndarray, page_size: int = 128):
         keys = np.asarray(keys)
-        if keys.size and np.any(np.diff(keys) < 0):
+        if keys.size and np.any(keys[:-1] > keys[1:]):
             raise ValueError("keys must be sorted ascending")
         if page_size < 1:
             raise ValueError("page_size must be >= 1")
@@ -62,17 +62,27 @@ class FASTTree(RangeScanIndexMixin):
     def _build(self) -> None:
         n = self.keys.size
         page_starts = np.arange(0, n, self.page_size, dtype=np.int64)
+        # Separators keep the key's native dtype (a float64 copy would
+        # round >= 2^53 int separators and misroute the descent); the
+        # +inf padding of the original becomes the dtype's maximum for
+        # integer keys — the descent only ever compares separators with
+        # strictly-less, so a never-less sentinel behaves identically.
         separators = (
-            self.keys[page_starts].astype(np.float64)
+            self.keys[page_starts]
             if n
-            else np.empty(0, dtype=np.float64)
+            else np.empty(0, dtype=self.keys.dtype)
+        )
+        pad_value = (
+            np.inf
+            if self.keys.dtype.kind not in "iu"
+            else np.iinfo(self.keys.dtype).max
         )
         self._page_starts = page_starts
-        # Leaf separator level, padded with +inf to a power of two and to
-        # whole SIMD groups (the FAST alignment requirement).
+        # Leaf separator level, padded to a power of two and to whole
+        # SIMD groups (the FAST alignment requirement).
         occupancy = max(int(separators.size), 1)
         padded = max(_next_power_of_two(occupancy), SIMD_WIDTH)
-        leaf = np.full(padded, np.inf)
+        leaf = np.full(padded, pad_value, dtype=separators.dtype)
         leaf[:separators.size] = separators
         levels = [leaf]
         while levels[-1].size > SIMD_WIDTH:
@@ -81,7 +91,8 @@ class FASTTree(RangeScanIndexMixin):
             pad_to = max(_next_power_of_two(level.size), SIMD_WIDTH)
             if pad_to > level.size:
                 level = np.concatenate(
-                    [level, np.full(pad_to - level.size, np.inf)]
+                    [level, np.full(pad_to - level.size, pad_value,
+                                    dtype=level.dtype)]
                 )
             levels.append(level)
         levels.reverse()

@@ -36,7 +36,7 @@ class FixedSizeBTree(RangeScanIndexMixin):
         fanout: int = 64,
     ):
         keys = np.asarray(keys)
-        if keys.size and np.any(np.diff(keys) < 0):
+        if keys.size and np.any(keys[:-1] > keys[1:]):
             raise ValueError("keys must be sorted ascending")
         if size_budget_bytes < (_KEY_BYTES + _POINTER_BYTES):
             raise ValueError("size budget smaller than one entry")
@@ -59,10 +59,12 @@ class FixedSizeBTree(RangeScanIndexMixin):
         bottom = min(bottom, max(n, 1))
         starts = np.linspace(0, max(n - 1, 0), bottom).astype(np.int64)
         starts = np.unique(starts)
+        # Native-dtype separators: float64 copies would round >= 2^53
+        # integer keys and misroute the descent (ISSUE 5).
         separators = (
-            self.keys[starts].astype(np.float64)
+            self.keys[starts]
             if n
-            else np.empty(0, dtype=np.float64)
+            else np.empty(0, dtype=self.keys.dtype)
         )
         self._run_starts = starts
         levels = [separators]

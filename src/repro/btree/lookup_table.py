@@ -33,7 +33,7 @@ class HierarchicalLookupTable(RangeScanIndexMixin):
 
     def __init__(self, keys: np.ndarray, group: int = _GROUP):
         keys = np.asarray(keys)
-        if keys.size and np.any(np.diff(keys) < 0):
+        if keys.size and np.any(keys[:-1] > keys[1:]):
             raise ValueError("keys must be sorted ascending")
         if group < 2:
             raise ValueError("group must be >= 2")
@@ -44,12 +44,24 @@ class HierarchicalLookupTable(RangeScanIndexMixin):
 
     def _build(self) -> None:
         g = self.group
-        data = self.keys.astype(np.float64)
+        # Auxiliary tables keep the key's native dtype (a float64 copy
+        # would round >= 2^53 integer keys and misroute the scans); the
+        # +inf padding of the original becomes the dtype maximum for
+        # integer keys — pads are only ever compared strictly-less, so
+        # a never-less sentinel behaves identically.
+        data = self.keys
+        pad_value = (
+            np.inf
+            if data.dtype.kind not in "iu"
+            else np.iinfo(data.dtype).max
+        )
         # Second table: every g-th key, padded to a multiple of g.
         second = data[::g].copy()
         pad = (-second.size) % g
         if pad:
-            second = np.concatenate([second, np.full(pad, np.inf)])
+            second = np.concatenate(
+                [second, np.full(pad, pad_value, dtype=second.dtype)]
+            )
         # Top table: every g-th key of the second table, no padding.
         top = second[::g].copy()
         self._second = second

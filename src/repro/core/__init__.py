@@ -24,12 +24,18 @@ from ..range_scan import (
     batch_range_scan_generic,
     upper_bounds_batch,
 )
+from .engine import (
+    SORTED_BATCH_MIN_DUP_FRACTION,
+    SORTED_BATCH_THRESHOLD,
+    CompiledPlan,
+    QueryBatch,
+    SortedKeyColumn,
+)
 from .lif import CandidateResult, default_grid, evaluate_config, synthesize
 from .paged import PagedLearnedIndex, PageStore
 from .rmi import (
     BUILD_MODES,
     DEFAULT_LEAF_ERROR,
-    SORTED_BATCH_THRESHOLD,
     RecursiveModelIndex,
     RMIStats,
 )
@@ -48,8 +54,12 @@ __all__ = [
     "DEFAULT_LEAF_ERROR",
     "ROOT_MODEL_KINDS",
     "SEARCH_STRATEGIES",
+    "SORTED_BATCH_MIN_DUP_FRACTION",
     "SORTED_BATCH_THRESHOLD",
     "CandidateResult",
+    "CompiledPlan",
+    "QueryBatch",
+    "SortedKeyColumn",
     "RangeScanResult",
     "batch_range_scan",
     "batch_range_scan_generic",

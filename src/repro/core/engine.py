@@ -1,0 +1,624 @@
+"""Unified dtype-aware batch query core (ISSUE 5).
+
+Every ordered index in this repository ultimately answers queries
+against one sorted key column, yet after PRs 1-4 the vectorized batch
+engine was re-implemented (with small drifts) inside ~10 index types —
+and all of them compared int64 keys in float64, so keys >= 2^53 could
+round together where the scalar paths (exact Python comparisons) do
+not.  SOSD (Kipf et al. 2019) and "Benchmarking Learned Indexes"
+(Marcus et al. 2020) evaluate on real 64-bit domains (osm_cellids,
+amzn) whose keys exceed 2^53, so the float64 batch paths could not
+serve the standard benchmark datasets correctly.
+
+This module is the single shared implementation both problems point
+at:
+
+* :class:`SortedKeyColumn` — a dtype-preserving sorted key column with
+  exact search primitives.  Queries are *prepared* once into a
+  :class:`QueryBatch` whose ``compare`` array is in the **key's native
+  dtype** (exact int64/uint64 paths; float64 only for float keys);
+  every comparison downstream — the lock-step bounded search, boundary
+  verification, the scalar exponential fix-up, ``searchsorted``
+  corrections, membership equality, duplicate-run widening — runs on
+  that native array.  Model predictions stay float64 (they are
+  approximate by construction), but window arithmetic is int64 and
+  verification compares integers as integers.
+* :class:`CompiledPlan` — the flat leaf tables every compiled learned
+  index reduces to (slopes, intercepts, error-bound window offsets,
+  window clamp) plus the batch point engine built on them: route →
+  window → lock-step bounded search → boundary-only verification →
+  scalar exponential fix-up, and the sorted-batch dedup fast path.
+
+Dtype contract
+--------------
+* integer key columns (int64/uint64/int32/...): batch results are
+  **exact** for integer query arrays of any integer dtype (cross-dtype
+  bounds are clamped, out-of-range queries resolve to the correct
+  boundary positions) and for float64 query arrays (a float query
+  ``q`` is compared as ``ceil(q)`` — the lower bound of ``q`` among
+  integers — with equality allowed only where ``q`` is integral and
+  representable);
+* float key columns: queries are compared in float64, which is the
+  key's own precision — integer queries above 2^53 cannot be
+  distinguished by float keys in the first place.
+
+The float->integer preparation is what closes the 2^53 follow-up: the
+query value that actually reaches a comparison is always a value of
+the key's dtype, never an upcast of the keys to float64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..btree.search_baselines import Counter, exponential_search
+from ..util import scalar_view
+from .search import vectorized_bounded_search, verify_lower_bound_batch
+
+__all__ = [
+    "QueryBatch",
+    "SortedKeyColumn",
+    "CompiledPlan",
+    "SORTED_BATCH_THRESHOLD",
+    "SORTED_BATCH_MIN_DUP_FRACTION",
+    "batch_dup_fraction",
+    "clamp_window",
+    "clamp_window_batch",
+    "upper_bounds_batch",
+]
+
+#: Minimum batch size before the engine even *considers* the sorted
+#: fast path (sort + dedup + engine on unique queries + inverse
+#: scatter).  Size alone is not sufficient: the argsort inside
+#: ``np.unique`` costs ~40ns/query, about half of what the engine
+#: spends per query, so sorting only pays when deduplication removes
+#: at least ~half the batch.  Above this size the heuristic therefore
+#: probes a fixed-seed random ~4k sample for duplicate density
+#: (:data:`SORTED_BATCH_MIN_DUP_FRACTION`, estimation details in
+#: :func:`batch_dup_fraction`) — skewed workloads (zipfian, hotspot)
+#: qualify, uniform workloads don't.  The ``sorted_path`` section of
+#: ``benchmarks/bench_throughput.py`` measures both forced paths and
+#: records the crossover in BENCH_throughput.json.
+SORTED_BATCH_THRESHOLD = 32_768
+
+#: Estimated fraction of the batch that must be duplicates before the
+#: sorted path is chosen automatically (see above).  The estimate is
+#: noisy near the boundary, but so are the stakes: between ~30% and
+#: ~60% duplicates the sorted and unsorted paths are within ~15% of
+#: each other either way.
+SORTED_BATCH_MIN_DUP_FRACTION = 0.5
+
+
+def clamp_window(lo: int, hi: int, n: int) -> tuple[int, int]:
+    """Clamp a raw search window to ``[0, n]`` with ``hi`` exclusive.
+
+    The single source of truth for window semantics: degenerate windows
+    (``hi <= lo`` after clamping) collapse to the one-element window at
+    ``min(lo, max(hi - 1, 0))``, staying empty only when ``n == 0``.
+    """
+    if lo < 0:
+        lo = 0
+    elif lo > n:
+        lo = n
+    if hi > n:
+        hi = n
+    if hi <= lo:
+        lo = min(lo, max(hi - 1, 0))
+        hi = min(lo + 1, n)
+    return lo, hi
+
+
+def clamp_window_batch(
+    lo: np.ndarray, hi: np.ndarray, n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`clamp_window` over parallel int64 arrays."""
+    np.clip(lo, 0, n, out=lo)
+    np.clip(hi, None, n, out=hi)
+    degenerate = hi <= lo
+    if np.any(degenerate):
+        collapsed = np.minimum(
+            lo[degenerate], np.maximum(hi[degenerate] - 1, 0)
+        )
+        lo[degenerate] = collapsed
+        hi[degenerate] = np.minimum(collapsed + 1, n)
+    return lo, hi
+
+
+def batch_dup_fraction(queries: np.ndarray, sample: int = 4096) -> float:
+    """Estimated duplicate fraction of the *whole* batch.
+
+    The naive sample duplicate rate wildly underestimates batch
+    duplication when the hot set is larger than the sample (a 1k probe
+    of a hotspot workload drawing from 10k hot keys collides rarely,
+    yet the 256k batch is >80% duplicates).  Instead, the within-sample
+    collision count gives a birthday estimate of the batch's
+    distinct-value count D — c collisions among s draws ⇒ D ≈ s²/2c —
+    from which the batch is expected to contain about
+    D·(1 - e^(-m/D)) distinct values.
+
+    The probe positions are fixed-seed random, not strided: a stride
+    sampling one element per duplicate run (e.g. a caller that
+    pre-sorted a duplicate-heavy batch) would see zero collisions and
+    skip the fast path exactly where dedup is cheapest.
+    """
+    m = queries.size
+    if m <= sample:
+        # The whole batch fits in the probe: the duplicate fraction
+        # is exact, no extrapolation.
+        return float(1.0 - np.unique(queries).size / max(m, 1))
+    idx = np.random.default_rng(0x5EED).integers(0, m, sample)
+    probe = queries[idx]
+    # Sampling positions with replacement collides with itself (same
+    # index drawn twice); subtract the expectation so only genuine
+    # value collisions feed the estimate.
+    self_collisions = sample * sample / (2.0 * m)
+    s = probe.size
+    c = s - np.unique(probe).size - self_collisions
+    if c <= 0:
+        return 0.0
+    d = s * s / (2.0 * c)
+    est_unique = min(d * -np.expm1(-m / d), m)
+    return float(1.0 - est_unique / m)
+
+
+class QueryBatch:
+    """Queries prepared for exact comparison against one key column.
+
+    * ``compare`` — the values every comparison uses, in the key
+      column's native dtype.  For integer columns and float queries
+      this is ``ceil(q)`` (the integer lower bound of ``q`` equals the
+      lower bound of ``ceil(q)``), clamped into the dtype's range.
+    * ``exactable`` — bool mask (or None ≡ all True): the query value
+      is exactly representable as ``compare``, i.e. equality with a
+      stored key is possible.  Non-integral floats and range-clamped
+      queries are never equal to any stored key.
+    * ``oob_high`` — bool mask (or None ≡ all False): the query lies
+      strictly above the dtype's maximum, so its lower bound is ``n``
+      regardless of what the clamped ``compare`` value finds.
+      (Queries below the dtype minimum need no mask: their clamped
+      ``compare`` already resolves to position 0.)
+    * ``float64`` — lazily materialized float64 view for model
+      inference only; for float query arrays it is the *original*
+      values so batch predictions mirror the scalar path bit-for-bit.
+    """
+
+    __slots__ = ("compare", "exactable", "oob_high", "_float64")
+
+    def __init__(
+        self,
+        compare: np.ndarray,
+        exactable: np.ndarray | None = None,
+        oob_high: np.ndarray | None = None,
+        float64: np.ndarray | None = None,
+    ):
+        self.compare = compare
+        self.exactable = exactable
+        self.oob_high = oob_high
+        self._float64 = float64
+
+    @property
+    def size(self) -> int:
+        return int(self.compare.size)
+
+    @property
+    def float64(self) -> np.ndarray:
+        f = self._float64
+        if f is None:
+            f = self.compare.astype(np.float64)
+            self._float64 = f
+        return f
+
+    def take(self, idx: np.ndarray) -> "QueryBatch":
+        """Sub-batch at ``idx`` (indices or bool mask), masks included."""
+        return QueryBatch(
+            self.compare[idx],
+            None if self.exactable is None else self.exactable[idx],
+            None if self.oob_high is None else self.oob_high[idx],
+            None if self._float64 is None else self._float64[idx],
+        )
+
+
+class SortedKeyColumn:
+    """A sorted key array plus the exact search primitives over it.
+
+    The column does not copy or validate ``keys`` (owners already
+    enforce sortedness); it contributes the *dtype discipline*: every
+    query batch is normalized once by :meth:`prepare` and every
+    comparison primitive consumes the prepared native-dtype values.
+    """
+
+    __slots__ = ("keys", "dtype", "_view")
+
+    def __init__(self, keys: np.ndarray):
+        self.keys = keys
+        self.dtype = keys.dtype
+        self._view = None
+
+    @property
+    def size(self) -> int:
+        return int(self.keys.shape[0])
+
+    @property
+    def view(self):
+        """Native-scalar random-access view for scalar fix-up probes."""
+        v = self._view
+        if v is None:
+            v = scalar_view(self.keys)
+            self._view = v
+        return v
+
+    # -- query preparation ---------------------------------------------------
+
+    def prepare(self, queries) -> QueryBatch:
+        """Normalize a query array into a :class:`QueryBatch`.
+
+        Idempotent: an already-prepared batch passes through.  Object
+        arrays (e.g. lists holding Python ints beyond int64) fall back
+        to float64, the best numpy can do with them.
+        """
+        if isinstance(queries, QueryBatch):
+            return queries
+        q = np.asarray(queries)
+        if q.ndim != 1:
+            q = q.ravel()
+        if q.dtype == object:
+            q = q.astype(np.float64)
+        if self.dtype.kind not in "iu":
+            # Float (or other) columns: compare at the column's own
+            # precision — it cannot distinguish finer values anyway.
+            if q.dtype == self.dtype:
+                return QueryBatch(q, float64=q if q.dtype == np.float64 else None)
+            compare = q.astype(self.dtype)
+            return QueryBatch(
+                compare,
+                float64=q.astype(np.float64) if q.dtype.kind == "f" else None,
+            )
+        if q.dtype == self.dtype:
+            return QueryBatch(q)
+        if q.dtype.kind in "iu":
+            return self._prepare_int_queries(q)
+        return self._prepare_float_queries(q.astype(np.float64, copy=False))
+
+    def _prepare_int_queries(self, q: np.ndarray) -> QueryBatch:
+        """Cross-dtype integer queries: clamp into the column's range."""
+        if np.can_cast(q.dtype, self.dtype, "safe"):
+            return QueryBatch(q.astype(self.dtype))
+        info = np.iinfo(self.dtype)
+        qi = np.iinfo(q.dtype)
+        # Bounds representable in the query dtype by construction, so
+        # the comparisons below are exact (no float promotion).
+        lo_bound = max(int(info.min), int(qi.min))
+        hi_bound = min(int(info.max), int(qi.max))
+        oob_high = (q > hi_bound) if qi.max > info.max else None
+        clipped = np.clip(q, lo_bound, hi_bound).astype(self.dtype)
+        exactable = None
+        if oob_high is not None and oob_high.any():
+            exactable = ~oob_high
+        else:
+            oob_high = None
+        if qi.min < info.min:
+            low = q < lo_bound
+            if low.any():
+                exactable = ~low if exactable is None else exactable & ~low
+        return QueryBatch(clipped, exactable, oob_high)
+
+    def _prepare_float_queries(self, qf: np.ndarray) -> QueryBatch:
+        """Float queries against an integer column, compared exactly.
+
+        The lower bound of a real ``q`` among integers is the lower
+        bound of ``ceil(q)``; equality is only possible where ``q`` is
+        integral and inside the dtype's range.  NaN lanes prepare as
+        never-equal, never-out-of-bounds probes (their position is
+        unspecified, matching the scalar paths).
+        """
+        info = np.iinfo(self.dtype)
+        ceil = np.ceil(qf)
+        min_f = float(info.min)  # powers of two: always exact
+        max_f = float(info.max)
+        if int(max_f) == info.max:
+            # max is exactly representable (e.g. int32).
+            in_high = ceil <= max_f
+            oob_high = ceil > max_f
+        else:
+            # max rounded up to the next power of two (int64/uint64):
+            # any float >= max_f already exceeds the integer max.
+            in_high = ceil < max_f
+            oob_high = ceil >= max_f
+        in_range = (ceil >= min_f) & in_high  # NaN fails both
+        compare = np.full(qf.shape, info.min, dtype=self.dtype)
+        compare[in_range] = ceil[in_range].astype(self.dtype)
+        exactable = in_range & (qf == ceil)
+        return QueryBatch(
+            compare,
+            exactable,
+            oob_high if oob_high.any() else None,
+            float64=qf,
+        )
+
+    # -- exact search primitives ----------------------------------------------
+
+    def rank_in(
+        self, sorted_values: np.ndarray, qb: QueryBatch, side: str = "left"
+    ) -> np.ndarray:
+        """Exact ``searchsorted`` of prepared queries into an auxiliary
+        sorted array of the column's dtype (delta buffers, tombstone
+        lists, ...), preserving bisect semantics for float queries:
+        for a non-integral ``q``, ``bisect_right == bisect_left`` at
+        ``ceil(q)``."""
+        if side == "right" and qb.exactable is not None:
+            left = np.searchsorted(
+                sorted_values, qb.compare, side="left"
+            ).astype(np.int64)
+            right = np.searchsorted(
+                sorted_values, qb.compare, side="right"
+            ).astype(np.int64)
+            pos = np.where(qb.exactable, right, left)
+        else:
+            pos = np.searchsorted(sorted_values, qb.compare, side=side).astype(
+                np.int64
+            )
+        if qb.oob_high is not None:
+            pos[qb.oob_high] = len(sorted_values)
+        return pos
+
+    def lower_bounds(self, queries) -> np.ndarray:
+        """Whole-column exact lower bounds (the model-free batch path
+        every dense tree baseline answers batches with)."""
+        return self.rank_in(self.keys, self.prepare(queries), side="left")
+
+    def bounded_lower_bounds(
+        self,
+        qb: QueryBatch,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        *,
+        counter: Counter | None = None,
+    ) -> tuple[np.ndarray, int]:
+        """The batch point engine's last mile, hosted exactly once.
+
+        Lock-step bounded binary search inside the per-query windows,
+        boundary-only verification (interior results are proven by the
+        search's own probes — see
+        :func:`repro.core.search.vectorized_bounded_search`), scalar
+        exponential fix-up for the rare Section 3.4 misses, and the
+        out-of-dtype-range clamp resolution.  Returns ``(positions,
+        number of fix-ups)``.
+        """
+        keys = self.keys
+        compare = qb.compare
+        pos = vectorized_bounded_search(keys, compare, lo, hi, counter=counter)
+        fixups = 0
+        suspects = np.nonzero((pos == lo) | (pos == hi))[0]
+        if suspects.size:
+            ok = verify_lower_bound_batch(
+                keys, compare[suspects], pos[suspects]
+            )
+            misses = suspects[~ok]
+            if misses.size:
+                fixups = int(misses.size)
+                view = self.view
+                for i in misses:
+                    # .item() yields a native Python scalar (int for
+                    # integer columns), so the fix-up compares exactly.
+                    pos[i] = exponential_search(
+                        view, compare[i].item(), int(pos[i])
+                    )
+        if qb.oob_high is not None:
+            pos[qb.oob_high] = keys.shape[0]
+        return pos, fixups
+
+    def contains_at(self, qb: QueryBatch, positions: np.ndarray) -> np.ndarray:
+        """Membership mask from lower-bound positions, dtype-exact.
+
+        ``positions[i]`` must be the lower bound of query ``i``; the
+        query is present iff the position is in range, the key there
+        equals the prepared compare value, and the query was exactly
+        representable in the first place.
+        """
+        n = self.size
+        positions = np.asarray(positions, dtype=np.int64)
+        if n == 0:
+            return np.zeros(positions.shape, dtype=bool)
+        safe = np.minimum(positions, n - 1)
+        hit = (positions < n) & (self.keys[safe] == qb.compare)
+        if qb.exactable is not None:
+            hit &= qb.exactable
+        return hit
+
+    def upper_bounds(
+        self, qb: QueryBatch, lower_bounds: np.ndarray
+    ) -> np.ndarray:
+        """Upper-bound positions from already-resolved lower bounds.
+
+        The single implementation of duplicate-run widening: the upper
+        bound differs from the lower bound only when the query hits a
+        stored key (the lower bound then sits at the *first*
+        duplicate); those hits widen with one vectorized
+        ``searchsorted(side="right")`` — absent keys pay nothing.
+        """
+        n = self.size
+        ub = np.asarray(lower_bounds, dtype=np.int64).copy()
+        if n == 0 or ub.size == 0:
+            return ub
+        hit = self.contains_at(qb, ub)
+        if np.any(hit):
+            ub[hit] = np.searchsorted(
+                self.keys, qb.compare[hit], side="right"
+            )
+        return ub
+
+
+def upper_bounds_batch(
+    keys: np.ndarray, highs: np.ndarray, lower_bounds: np.ndarray
+) -> np.ndarray:
+    """Functional form of :meth:`SortedKeyColumn.upper_bounds` for
+    callers holding a bare key array."""
+    column = SortedKeyColumn(np.asarray(keys))
+    return column.upper_bounds(column.prepare(highs), lower_bounds)
+
+
+class CompiledPlan:
+    """Flat leaf tables + the batch point engine over one key column.
+
+    The LIF analogue (Section 3.1) taken to its conclusion: a compiled
+    two-stage learned index *is* four flat arrays — per-leaf
+    ``slopes``/``intercepts`` and the Section 3.4 error-bound window
+    offsets — plus a root predictor.  Every consumer
+    (:class:`~repro.core.rmi.RecursiveModelIndex`, the hybrid index's
+    modeled leaves, the paged index's page planner, every LSM run)
+    adapts over one of these instead of carrying its own copy of the
+    routing/window/search pipeline.
+
+    ``lo_offsets``/``hi_offsets`` are the per-leaf ``max_error`` /
+    ``min_error`` (the window is ``[raw - lo_offset - 1,
+    raw - hi_offset + 2)`` clamped — the conservative floor/ceil slack
+    of the scalar path, preserved bit-for-bit).
+    """
+
+    __slots__ = (
+        "column",
+        "root_predict_batch",
+        "leaf_count",
+        "slopes",
+        "intercepts",
+        "lo_offsets",
+        "hi_offsets",
+    )
+
+    def __init__(
+        self,
+        column: SortedKeyColumn,
+        root_predict_batch,
+        leaf_count: int,
+        slopes: np.ndarray,
+        intercepts: np.ndarray,
+        lo_offsets: np.ndarray,
+        hi_offsets: np.ndarray,
+    ):
+        self.column = column
+        self.root_predict_batch = root_predict_batch
+        self.leaf_count = int(leaf_count)
+        self.slopes = slopes
+        self.intercepts = intercepts
+        self.lo_offsets = lo_offsets
+        self.hi_offsets = hi_offsets
+
+    # -- routing & windows -----------------------------------------------------
+
+    def route(self, qb: QueryBatch) -> tuple[np.ndarray, np.ndarray]:
+        """(leaf indices, leaf raw predictions) for a prepared batch.
+
+        Mirrors the scalar routing exactly: truncated ``pred * m / n``
+        clamped to ``[0, m)``, then the gathered per-leaf affine model.
+        Predictions are float64 by contract — only comparisons are
+        dtype-native.
+        """
+        n = self.column.size
+        m = self.leaf_count
+        qf = qb.float64
+        root = np.asarray(self.root_predict_batch(qf), dtype=np.float64)
+        leaf = (root * m / n).astype(np.int64)
+        np.clip(leaf, 0, m - 1, out=leaf)
+        return leaf, self.leaf_predict(leaf, qf)
+
+    def leaf_predict(
+        self, leaf: np.ndarray, encoded: np.ndarray
+    ) -> np.ndarray:
+        """Gathered per-leaf affine predictions over any float64
+        encoding of the queries (identity for numeric keys; e.g. the
+        lexicographic scalar for string keys)."""
+        return self.slopes[leaf] * encoded + self.intercepts[leaf]
+
+    def windows_from_raw(
+        self, leaf: np.ndarray, raw: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Clamped per-query search windows from raw leaf predictions.
+
+        The single batch-path source of the Section 3.4 window formula
+        (leaf-relative error offsets with the conservative -1/+2
+        floor/ceil slack); the paged index builds its page fetch plans
+        from the same windows.
+        """
+        lo = (raw - self.lo_offsets[leaf]).astype(np.int64) - 1
+        hi = (raw - self.hi_offsets[leaf]).astype(np.int64) + 2
+        return clamp_window_batch(lo, hi, self.column.size)
+
+    def windows(
+        self,
+        qb: QueryBatch,
+        routed: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        leaf, raw = routed if routed is not None else self.route(qb)
+        return self.windows_from_raw(leaf, raw)
+
+    # -- the batch point engine ------------------------------------------------
+
+    def _engine(
+        self,
+        qb: QueryBatch,
+        routed: tuple[np.ndarray, np.ndarray] | None,
+        stats,
+    ) -> np.ndarray:
+        """Route → window → lock-step bounded search → verify → fix up."""
+        lo, hi = self.windows(qb, routed)
+        counter = None
+        if stats is not None:
+            stats.lookups += qb.size
+            stats.window_total += int((hi - lo).sum())
+            counter = Counter()
+        # Unlike the scalar path, no +1 window extension: a result at
+        # the exclusive end is caught by the boundary verification
+        # inside bounded_lower_bounds, and the narrower window saves a
+        # lock-step round.
+        pos, fixups = self.column.bounded_lower_bounds(
+            qb, lo, hi, counter=counter
+        )
+        if stats is not None:
+            stats.comparisons += counter.comparisons
+            stats.fixups += fixups
+        return pos
+
+    def lookup_batch(
+        self,
+        qb: QueryBatch,
+        *,
+        sort: bool | None = None,
+        routed: tuple[np.ndarray, np.ndarray] | None = None,
+        stats=None,
+    ) -> np.ndarray:
+        """Lower-bound positions for a prepared batch.
+
+        ``sort`` controls the sorted-batch fast path: sort + dedup the
+        compare values in one ``np.unique(return_inverse=True)`` pass,
+        run the engine on the sorted unique queries — sequential
+        gathers, and under the skewed workloads where batching matters
+        far fewer of them — then scatter positions back through the
+        inverse map.  A query's position depends only on its compare
+        value (the engine verifies every boundary), so the output is
+        bit-identical to the unsorted engine; instrumentation counts
+        the deduplicated engine work.  ``sort=None`` applies the size +
+        duplicate-density heuristic (:data:`SORTED_BATCH_THRESHOLD`,
+        :data:`SORTED_BATCH_MIN_DUP_FRACTION`); ``True``/``False``
+        force the choice (benchmarks measure both).
+
+        ``routed`` lets callers that already ran :meth:`route` (e.g.
+        the hybrid index) pass (leaf, raw) instead of paying the root
+        inference twice.
+        """
+        compare = qb.compare
+        if sort is None:
+            sort = compare.size >= SORTED_BATCH_THRESHOLD and (
+                batch_dup_fraction(compare) >= SORTED_BATCH_MIN_DUP_FRACTION
+            )
+        if not sort or compare.size <= 1:
+            return self._engine(qb, routed, stats)
+        uniq, inverse = np.unique(compare, return_inverse=True)
+        # The engine re-routes the unique queries itself — cheaper than
+        # permuting a caller's ``routed`` arrays through the sort.  The
+        # unique sub-batch needs no masks: clamped compare values
+        # search fine, and the original batch's oob mask re-applies
+        # after the inverse scatter.
+        pos = self._engine(QueryBatch(uniq), None, stats)[inverse]
+        if qb.oob_high is not None:
+            pos[qb.oob_high] = self.column.size
+        return pos

@@ -138,31 +138,36 @@ class HybridIndex(RecursiveModelIndex):
     ) -> np.ndarray:
         """Batch lookups that respect the per-leaf B-Tree fallbacks.
 
-        Queries routed to model-backed leaves run through the RMI's
-        vectorized engine (including the sorted-batch fast path);
-        queries landing on replaced leaves take the scalar fallback
-        descent (they are the hard-to-learn minority by construction).
+        Queries routed to model-backed leaves run through the shared
+        query core (one plan route, reused — including the sorted-batch
+        fast path); queries landing on replaced leaves take the scalar
+        fallback descent (they are the hard-to-learn minority by
+        construction), comparing native Python scalars so integer keys
+        beyond 2^53 stay exact.
         """
-        queries = np.asarray(queries, dtype=np.float64).ravel()
+        queries = self._prepare_queries(queries)
         n = self.keys.size
         if n == 0:
             return np.zeros(queries.size, dtype=np.int64)
         if not self.leaf_btrees or not self._compiled:
             return super().lookup_batch(queries, sort=sort)
-        leaf, raw = self._route_batch(queries)
+        qb = self._column.prepare(queries)
+        leaf, raw = self._plan.route(qb)
         replaced_ids = np.fromiter(self.leaf_btrees, dtype=np.int64)
         replaced = np.isin(leaf, replaced_ids)
         out = np.empty(queries.size, dtype=np.int64)
-        modeled = ~replaced
-        if np.any(modeled):
-            out[modeled] = self._lookup_batch_maybe_sorted(
-                queries[modeled],
+        modeled = np.nonzero(~replaced)[0]
+        if modeled.size:
+            out[modeled] = self._plan.lookup_batch(
+                qb.take(modeled),
                 routed=(leaf[modeled], raw[modeled]),
                 sort=sort,
+                stats=self.stats,
             )
         keys = self._keys_view
+        compare = qb.compare
         for i in np.nonzero(replaced)[0]:
-            key = float(queries[i])
+            key = compare[i].item()
             self.stats.lookups += 1
             pos = self.leaf_btrees[int(leaf[i])].lookup(key)
             # Same slice-boundary fix-up as the scalar path.
@@ -172,6 +177,9 @@ class HybridIndex(RecursiveModelIndex):
                 self.stats.fixups += 1
                 pos = exponential_search(keys, key, min(pos, n - 1))
             out[i] = pos
+        if qb.oob_high is not None:
+            # Queries above the key dtype's range: lower bound is n.
+            out[qb.oob_high] = n
         return out
 
     # -- accounting ----------------------------------------------------------------

@@ -166,7 +166,7 @@ class PagedLearnedIndex:
         """
         if self.n == 0:
             return 0, 0
-        _leaf, est, lo, hi = self._rmi._predict_window(float(key))
+        _leaf, est, lo, hi = self._rmi._predict_window(key)
         first_page = lo // self.page_size
         last_page = min(hi, self.n - 1) // self.page_size
         position = None
@@ -319,14 +319,19 @@ class PagedLearnedIndex:
 
     def _lookup_batch_cached(
         self, queries: np.ndarray
-    ) -> tuple[np.ndarray, tuple | None]:
+    ) -> tuple[np.ndarray, tuple | None, object | None]:
         """:meth:`lookup_batch` plus the ``(pages, gathered, page_off)``
         fetch cache, so downstream gathers in the same batched op
         (membership checks, range widening/assembly) reuse the pages
-        already transferred."""
-        queries = np.asarray(queries, dtype=np.float64).ravel()
+        already transferred.
+
+        Queries go through the RMI's query core, so the in-window
+        lock-step search and the boundary verification compare the
+        fetched int64 pages against int64 values — exact beyond 2^53.
+        """
+        queries = np.asarray(queries).ravel()
         if queries.size == 0 or self.n == 0:
-            return np.zeros(queries.size, dtype=np.int64), None
+            return np.zeros(queries.size, dtype=np.int64), None, None
         rmi = self._rmi
         if not rmi._compiled:
             # Deep/non-linear RMIs: per-query loop (scalar accounting).
@@ -334,13 +339,15 @@ class PagedLearnedIndex:
                 [
                     page * self.page_size + slot
                     for page, slot in (
-                        self.lookup(float(q)) for q in queries
+                        self.lookup(q) for q in queries.tolist()
                     )
                 ],
                 dtype=np.int64,
-            ), None
+            ), None, rmi._column.prepare(queries)
         n = self.n
-        lo, hi = rmi._window_batch(queries)
+        qb = rmi._column.prepare(queries)
+        compare = qb.compare
+        lo, hi = rmi._plan.windows(qb)
         pages = self._expand_page_ranges(
             lo // self.page_size, (hi - 1) // self.page_size
         )
@@ -348,7 +355,7 @@ class PagedLearnedIndex:
         cache = (pages, gathered, page_off)
         lo_loc = self._locate(pages, page_off, lo)
         hi_loc = self._locate(pages, page_off, hi - 1) + 1
-        pos_loc = vectorized_bounded_search(gathered, queries, lo_loc, hi_loc)
+        pos_loc = vectorized_bounded_search(gathered, compare, lo_loc, hi_loc)
         # Map back to global positions.  Interior results sit inside a
         # fetched page; boundary results are pinned to lo/hi directly
         # (a chunk-boundary pos_loc would otherwise map into a touched
@@ -372,12 +379,15 @@ class PagedLearnedIndex:
             neighbour = self._gather_keys_batch(probe_pos, cache)
             miss = np.where(
                 at_lo[suspects],
-                neighbour >= queries[suspects],  # keys[pos-1] >= q
-                neighbour < queries[suspects],   # keys[pos] < q
+                neighbour >= compare[suspects],  # keys[pos-1] >= q
+                neighbour < compare[suspects],   # keys[pos] < q
             )
             for i in suspects[miss]:
-                pos[i] = self._verify(float(queries[i]), int(pos[i]))
-        return pos, cache
+                pos[i] = self._verify(compare[i].item(), int(pos[i]))
+        if qb.oob_high is not None:
+            # Above the key dtype's range: the lower bound is n.
+            pos[qb.oob_high] = n
+        return pos, cache, qb
 
     def _gather_keys_batch(
         self, positions: np.ndarray, cache: tuple | None = None
@@ -393,16 +403,17 @@ class PagedLearnedIndex:
 
     def contains_batch(self, queries: np.ndarray) -> np.ndarray:
         """Batched membership: one bool per query, batched IO."""
-        queries = np.asarray(queries, dtype=np.float64).ravel()
+        queries = np.asarray(queries).ravel()
         out = np.zeros(queries.size, dtype=bool)
         if self.n == 0 or queries.size == 0:
             return out
-        pos, cache = self._lookup_batch_cached(queries)
+        pos, cache, qb = self._lookup_batch_cached(queries)
         valid = pos < self.n
         if np.any(valid):
-            out[valid] = (
-                self._gather_keys_batch(pos[valid], cache) == queries[valid]
-            )
+            hit = self._gather_keys_batch(pos[valid], cache) == qb.compare[valid]
+            if qb.exactable is not None:
+                hit &= qb.exactable[valid]
+            out[valid] = hit
         return out
 
     def range_query_batch(self, lows, highs) -> RangeScanResult:
@@ -415,10 +426,14 @@ class PagedLearnedIndex:
         (closed interval, inverted ranges empty), bit-identical to an
         in-memory index over the same keys.
         """
-        lows = np.asarray(lows, dtype=np.float64).ravel()
-        highs = np.asarray(highs, dtype=np.float64).ravel()
+        lows = np.asarray(lows).ravel()
+        highs = np.asarray(highs).ravel()
         if lows.size != highs.size:
             raise ValueError("lows and highs must have the same length")
+        if lows.dtype != highs.dtype:
+            common = np.result_type(lows, highs)
+            lows = lows.astype(common)
+            highs = highs.astype(common)
         m = lows.size
         if m == 0 or self.n == 0:
             empty = np.zeros(m, dtype=np.int64)
@@ -428,14 +443,22 @@ class PagedLearnedIndex:
                 starts=empty,
                 ends=empty.copy(),
             )
-        pos, cache = self._lookup_batch_cached(np.concatenate([lows, highs]))
+        pos, cache, qb = self._lookup_batch_cached(np.concatenate([lows, highs]))
         starts = pos[:m]
         ends = pos[m:].copy()
         # Keys are unique (enforced at construction), so widening a
-        # high endpoint that hits a stored key is a single +1.
+        # high endpoint that hits a stored key is a single +1; the hit
+        # test runs through the query core's exact equality — reusing
+        # the already-prepared concatenated batch's high half.
+        qb_high = qb.take(np.arange(m, 2 * m))
         valid = ends < self.n
         if np.any(valid):
-            hit = self._gather_keys_batch(ends[valid], cache) == highs[valid]
+            hit = (
+                self._gather_keys_batch(ends[valid], cache)
+                == qb_high.compare[valid]
+            )
+            if qb_high.exactable is not None:
+                hit &= qb_high.exactable[valid]
             ends[valid] += hit
         inverted = highs < lows
         ends[inverted] = starts[inverted]

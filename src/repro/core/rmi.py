@@ -105,14 +105,20 @@ from ..models.linear import (
     fit_linear_cdf_root,
     segmented_linear_fit,
 )
-from ..range_scan import RangeScanResult, batch_range_scan, upper_bounds_batch
-from ..util import batch_contains, scalar_view
+from ..range_scan import RangeScanResult, batch_range_scan
+from ..util import scalar_view
+from .engine import (
+    SORTED_BATCH_MIN_DUP_FRACTION,
+    SORTED_BATCH_THRESHOLD,
+    CompiledPlan,
+    SortedKeyColumn,
+    clamp_window,
+    clamp_window_batch,
+)
 from .search import (
     Counter,
     bounded_search,
-    vectorized_bounded_search,
     verify_lower_bound,
-    verify_lower_bound_batch,
 )
 
 __all__ = [
@@ -121,6 +127,7 @@ __all__ = [
     "BUILD_MODES",
     "DEFAULT_LEAF_ERROR",
     "SORTED_BATCH_THRESHOLD",
+    "SORTED_BATCH_MIN_DUP_FRACTION",
     "clamp_window",
     "clamp_window_batch",
 ]
@@ -132,62 +139,6 @@ BUILD_MODES = ("vectorized", "scalar")
 
 #: Error assigned to untrained (empty) leaves: one page worth of slack.
 DEFAULT_LEAF_ERROR = 128
-
-#: Minimum batch size before ``lookup_batch`` even *considers* the
-#: sorted fast path (sort + dedup + engine on unique queries + inverse
-#: scatter).  Size alone is not sufficient: the argsort inside
-#: ``np.unique`` costs ~40ns/query, about half of what the engine
-#: spends per query, so sorting only pays when deduplication removes
-#: at least ~half the batch.  Above this size the heuristic therefore
-#: probes a fixed-seed random ~4k sample for duplicate density
-#: (:data:`SORTED_BATCH_MIN_DUP_FRACTION`, estimation details in
-#: ``_batch_dup_fraction``) — skewed workloads (zipfian, hotspot)
-#: qualify, uniform workloads don't.  The ``sorted_path`` section of
-#: ``benchmarks/bench_throughput.py`` measures both forced paths and
-#: records the crossover in BENCH_throughput.json.
-SORTED_BATCH_THRESHOLD = 32_768
-
-#: Estimated fraction of the batch that must be duplicates before the
-#: sorted path is chosen automatically (see above).  The estimate is
-#: noisy near the boundary, but so are the stakes: between ~30% and
-#: ~60% duplicates the sorted and unsorted paths are within ~15% of
-#: each other either way.
-SORTED_BATCH_MIN_DUP_FRACTION = 0.5
-
-
-def clamp_window(lo: int, hi: int, n: int) -> tuple[int, int]:
-    """Clamp a raw search window to ``[0, n]`` with ``hi`` exclusive.
-
-    The single source of truth for window semantics: degenerate windows
-    (``hi <= lo`` after clamping) collapse to the one-element window at
-    ``min(lo, max(hi - 1, 0))``, staying empty only when ``n == 0``.
-    """
-    if lo < 0:
-        lo = 0
-    elif lo > n:
-        lo = n
-    if hi > n:
-        hi = n
-    if hi <= lo:
-        lo = min(lo, max(hi - 1, 0))
-        hi = min(lo + 1, n)
-    return lo, hi
-
-
-def clamp_window_batch(
-    lo: np.ndarray, hi: np.ndarray, n: int
-) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorized :func:`clamp_window` over parallel int64 arrays."""
-    np.clip(lo, 0, n, out=lo)
-    np.clip(hi, None, n, out=hi)
-    degenerate = hi <= lo
-    if np.any(degenerate):
-        collapsed = np.minimum(
-            lo[degenerate], np.maximum(hi[degenerate] - 1, 0)
-        )
-        lo[degenerate] = collapsed
-        hi[degenerate] = np.minimum(collapsed + 1, n)
-    return lo, hi
 
 
 @dataclass
@@ -273,6 +224,9 @@ class RecursiveModelIndex:
         self.build_mode = str(build_mode)
         self.keys = keys
         self._keys_view = scalar_view(keys)
+        # The query core's view of the key column: dtype-preserving
+        # exact comparisons for every batch path (ISSUE 5).
+        self._column = SortedKeyColumn(keys)
         self.stage_sizes = stage_sizes
         self.search_strategy = str(search_strategy)
         self.min_leaf_error = int(min_leaf_error)
@@ -583,6 +537,7 @@ class RecursiveModelIndex:
         """
         self._fast = False
         self._compiled = False
+        self._plan = None
         if len(self.stage_sizes) != 2:
             return
         m = self.stage_sizes[1]
@@ -625,6 +580,17 @@ class RecursiveModelIndex:
         root = self._root_model
         self._root_predict = root.predict
         self._root_predict_batch = root.predict_batch
+        # The whole batch surface is one shared-engine plan over the
+        # compiled arrays; this class only adapts its public API to it.
+        self._plan = CompiledPlan(
+            self._column,
+            root.predict_batch,
+            m,
+            slopes,
+            intercepts,
+            lo_offsets,
+            hi_offsets,
+        )
         self._compiled = True
         self._fast = True
 
@@ -785,170 +751,49 @@ class RecursiveModelIndex:
         return self.keys[start:end]
 
     # -- batch interface ---------------------------------------------------------
+    #
+    # Every batch method below is a thin adapter over the shared query
+    # core (repro.core.engine): queries are prepared once into the key
+    # column's native dtype, the CompiledPlan runs route → window →
+    # lock-step bounded search → verification → fix-up, and the column
+    # primitives answer membership and duplicate widening.  No search
+    # or comparison logic lives in this class.
+
+    def _prepare_queries(self, queries) -> np.ndarray:
+        """Normalize a raw query argument to a flat numpy array,
+        keeping its native dtype (the engine compares int64/uint64
+        queries exactly; float64 casts only happen for model
+        inference)."""
+        queries = np.asarray(queries)
+        if queries.dtype == object:
+            queries = queries.astype(np.float64)
+        return queries.ravel()
 
     def _route_batch(
         self, queries: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """(leaf indices, leaf raw predictions) for a float query batch.
+        """(leaf indices, leaf raw predictions) for a query batch.
 
-        Requires a compiled two-stage index and a non-empty key array.
-        Mirrors the scalar routing exactly: truncated ``pred * m / n``
-        clamped to ``[0, m)``, then the gathered per-leaf affine model.
+        Compatibility adapter over :meth:`CompiledPlan.route` for
+        callers that reuse the routing alone (the learned hash
+        function).  Requires a compiled two-stage index and a non-empty
+        key array.
         """
-        n = self.keys.size
-        m = self.stage_sizes[1]
-        root = np.asarray(
-            self._root_predict_batch(queries), dtype=np.float64
+        return self._plan.route(
+            self._column.prepare(self._prepare_queries(queries))
         )
-        j = (root * m / n).astype(np.int64)
-        np.clip(j, 0, m - 1, out=j)
-        raw = self._leaf_slopes[j] * queries + self._leaf_intercepts[j]
-        return j, raw
-
-    def _window_batch(
-        self,
-        queries: np.ndarray,
-        routed: tuple[np.ndarray, np.ndarray] | None = None,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Clamped per-query search windows from the compiled arrays.
-
-        The single batch-path source of the Section 3.4 window formula
-        (leaf-relative error offsets with the conservative -1/+2
-        floor/ceil slack); the paged index builds its page fetch plans
-        from the same windows.
-        """
-        leaf, raw = routed if routed is not None else self._route_batch(queries)
-        lo = (raw - self._leaf_lo_offsets[leaf]).astype(np.int64) - 1
-        hi = (raw - self._leaf_hi_offsets[leaf]).astype(np.int64) + 2
-        return clamp_window_batch(lo, hi, self.keys.size)
-
-    def _lookup_batch_compiled(
-        self,
-        queries: np.ndarray,
-        routed: tuple[np.ndarray, np.ndarray] | None = None,
-    ) -> np.ndarray:
-        """The vectorized engine: route → window → lock-step search.
-
-        ``routed`` lets callers that already ran :meth:`_route_batch`
-        (e.g. the hybrid index) pass (leaf, raw) instead of paying the
-        root inference twice.
-        """
-        n = self.keys.size
-        keys = self.keys
-        stats = self.stats
-        lo, hi = self._window_batch(queries, routed)
-        stats.lookups += int(queries.size)
-        stats.window_total += int((hi - lo).sum())
-        counter = Counter()
-        # Unlike the scalar path, no +1 window extension: a result at
-        # the exclusive end is caught by the boundary verification
-        # below, and the narrower window saves a lock-step round.
-        pos = vectorized_bounded_search(keys, queries, lo, hi, counter=counter)
-        stats.comparisons += counter.comparisons
-        # Interior results are proven correct by the search's own
-        # probes (see vectorized_bounded_search); only window-boundary
-        # results can be Section 3.4 mispredictions.
-        suspects = np.nonzero((pos == lo) | (pos == hi))[0]
-        if suspects.size:
-            ok = verify_lower_bound_batch(
-                keys, queries[suspects], pos[suspects]
-            )
-            misses = suspects[~ok]
-            if misses.size:
-                # Section 3.4 fix-up for the rare absent-key misses
-                # under non-monotonic models: scalar exponential
-                # widening.
-                stats.fixups += int(misses.size)
-                keys_view = self._keys_view
-                for i in misses:
-                    pos[i] = exponential_search(
-                        keys_view, float(queries[i]), int(pos[i])
-                    )
-        return pos
-
-    def _lookup_batch_maybe_sorted(
-        self,
-        queries: np.ndarray,
-        routed: tuple[np.ndarray, np.ndarray] | None = None,
-        sort: bool | None = None,
-    ) -> np.ndarray:
-        """Compiled engine with the sorted-batch fast path.
-
-        The fast path sorts and deduplicates the batch in one
-        ``np.unique(return_inverse=True)`` pass, runs the engine on the
-        sorted unique queries — sequential gathers, and under the
-        skewed workloads where batching matters far fewer of them —
-        then scatters positions back through the inverse map (a plain
-        gather; anything involving a per-query binary search would cost
-        as much as the engine itself).  A query's position depends only
-        on its value, so the output is bit-identical to the unsorted
-        engine (instrumentation counts the deduplicated engine work).
-
-        ``sort=None`` applies the size + duplicate-density heuristic
-        (:data:`SORTED_BATCH_THRESHOLD`,
-        :data:`SORTED_BATCH_MIN_DUP_FRACTION`); ``True``/``False``
-        force the choice (benchmarks measure both).
-        """
-        if sort is None:
-            sort = queries.size >= SORTED_BATCH_THRESHOLD and (
-                self._batch_dup_fraction(queries)
-                >= SORTED_BATCH_MIN_DUP_FRACTION
-            )
-        if not sort or queries.size <= 1:
-            return self._lookup_batch_compiled(queries, routed)
-        uniq, inverse = np.unique(queries, return_inverse=True)
-        # The engine re-routes the unique queries itself — cheaper than
-        # permuting a caller's ``routed`` arrays through the sort.
-        return self._lookup_batch_compiled(uniq)[inverse]
-
-    @staticmethod
-    def _batch_dup_fraction(queries: np.ndarray, sample: int = 4096) -> float:
-        """Estimated duplicate fraction of the *whole* batch.
-
-        The naive sample duplicate rate wildly underestimates batch
-        duplication when the hot set is larger than the sample (a 1k
-        probe of a hotspot workload drawing from 10k hot keys collides
-        rarely, yet the 256k batch is >80% duplicates).  Instead, the
-        within-sample collision count gives a birthday estimate of the
-        batch's distinct-value count D — c collisions among s draws ⇒
-        D ≈ s²/2c — from which the batch is expected to contain about
-        D·(1 - e^(-m/D)) distinct values.
-
-        The probe positions are fixed-seed random, not strided: a
-        stride sampling one element per duplicate run (e.g. a caller
-        that pre-sorted a duplicate-heavy batch) would see zero
-        collisions and skip the fast path exactly where dedup is
-        cheapest.
-        """
-        m = queries.size
-        if m <= sample:
-            # The whole batch fits in the probe: the duplicate fraction
-            # is exact, no extrapolation.
-            return float(1.0 - np.unique(queries).size / max(m, 1))
-        idx = np.random.default_rng(0x5EED).integers(0, m, sample)
-        probe = queries[idx]
-        # Sampling positions with replacement collides with itself
-        # (same index drawn twice); subtract the expectation so only
-        # genuine value collisions feed the estimate.
-        self_collisions = sample * sample / (2.0 * m)
-        s = probe.size
-        c = s - np.unique(probe).size - self_collisions
-        if c <= 0:
-            return 0.0
-        d = s * s / (2.0 * c)
-        est_unique = min(d * -np.expm1(-m / d), m)
-        return float(1.0 - est_unique / m)
 
     def lookup_batch(
         self, queries: np.ndarray, *, sort: bool | None = None
     ) -> np.ndarray:
         """Lower-bound positions for a whole query batch.
 
-        Compiled two-stage indexes run the vectorized engine; anything
-        else (deeper hierarchies, non-linear leaves) falls back to the
-        per-query loop.  Results are identical to calling
+        Compiled two-stage indexes run the shared vectorized engine;
+        anything else (deeper hierarchies, non-linear leaves) falls
+        back to the per-query loop.  Results are identical to calling
         :meth:`lookup` per query — the search strategy only changes the
-        scalar probe schedule, never the returned position.
+        scalar probe schedule, never the returned position — and exact
+        in the key dtype (int64 keys >= 2^53 included).
 
         ``sort`` controls the sorted-batch fast path (sort + dedup +
         engine over the sorted unique queries + inverse-map scatter):
@@ -956,26 +801,41 @@ class RecursiveModelIndex:
         heuristic, ``True``/``False`` force it on/off.  All three
         settings return bit-identical positions.
         """
-        queries = np.asarray(queries, dtype=np.float64).ravel()
-        n = self.keys.size
-        if n == 0:
+        queries = self._prepare_queries(queries)
+        if self.keys.size == 0:
             return np.zeros(queries.size, dtype=np.int64)
         if not self._compiled:
             return self.lookup_batch_scalar(queries)
-        return self._lookup_batch_maybe_sorted(queries, sort=sort)
+        qb = self._column.prepare(queries)
+        return self._plan.lookup_batch(qb, sort=sort, stats=self.stats)
 
     def lookup_batch_scalar(self, queries: np.ndarray) -> np.ndarray:
         """Per-query :meth:`lookup` loop — the interpreter-bound
-        baseline that batch-throughput benchmarks compare against."""
+        baseline that batch-throughput benchmarks compare against.
+        ``tolist`` yields native Python scalars (ints for integer
+        dtypes), so the loop compares exactly like the batch engine."""
+        items = self._prepare_queries(queries).tolist()
         return np.array(
-            [self.lookup(float(q)) for q in np.asarray(queries).ravel()],
-            dtype=np.int64,
+            [self.lookup(q) for q in items], dtype=np.int64
         )
 
+    def _lower_bounds_with_batch(self, queries, sort=None):
+        """(prepared batch, lower bounds) — one preparation, shared by
+        the membership and widening surfaces below."""
+        queries = self._prepare_queries(queries)
+        if self.keys.size == 0:
+            return None, np.zeros(queries.size, dtype=np.int64)
+        qb = self._column.prepare(queries)
+        if not self._compiled:
+            return qb, self.lookup_batch_scalar(queries)
+        return qb, self._plan.lookup_batch(qb, sort=sort, stats=self.stats)
+
     def contains_batch(self, queries: np.ndarray) -> np.ndarray:
-        """Vectorized membership: one bool per query."""
-        queries = np.asarray(queries, dtype=np.float64).ravel()
-        return batch_contains(self.keys, queries, self.lookup_batch(queries))
+        """Vectorized membership: one bool per query, dtype-exact."""
+        qb, positions = self._lower_bounds_with_batch(queries)
+        if qb is None:
+            return np.zeros(positions.size, dtype=bool)
+        return self._column.contains_at(qb, positions)
 
     def upper_bound_batch(
         self, queries: np.ndarray, *, sort: bool | None = None
@@ -983,13 +843,13 @@ class RecursiveModelIndex:
         """Vectorized :meth:`upper_bound`: one position per query.
 
         Lower bounds come from the batch engine; only queries that hit
-        a stored key pay the duplicate-run widening (one vectorized
-        ``searchsorted(side="right")`` over the hits).
+        a stored key pay the duplicate-run widening (the column's one
+        vectorized ``searchsorted(side="right")`` over the hits).
         """
-        queries = np.asarray(queries, dtype=np.float64).ravel()
-        return upper_bounds_batch(
-            self.keys, queries, self.lookup_batch(queries, sort=sort)
-        )
+        qb, positions = self._lower_bounds_with_batch(queries, sort=sort)
+        if qb is None:
+            return positions
+        return self._column.upper_bounds(qb, positions)
 
     def range_query_batch(
         self, lows: np.ndarray, highs: np.ndarray, *, sort: bool | None = None
@@ -1006,6 +866,7 @@ class RecursiveModelIndex:
         return batch_range_scan(
             self.keys, lows, highs,
             lambda q: self.lookup_batch(q, sort=sort),
+            column=self._column,
         )
 
     # -- accounting ----------------------------------------------------------------

@@ -40,7 +40,8 @@ from ..models.tokenization import (
     tokenize,
     tokenize_batch,
 )
-from .rmi import RMIStats, clamp_window, clamp_window_batch
+from .engine import CompiledPlan, SortedKeyColumn, clamp_window
+from .rmi import RMIStats
 
 __all__ = ["StringRMI"]
 
@@ -206,12 +207,21 @@ class StringRMI:
             default=default, with_bounds=True,
         )
         self.leaf_errors = leaf_stats
-        # Flat arrays for the vectorized batch path (the scalar path
-        # keeps the Python lists above — see repro.core.rmi._compile).
-        self._leaf_slopes_arr = slopes
-        self._leaf_intercepts_arr = intercepts
-        self._leaf_lo_offsets = lo_offsets
-        self._leaf_hi_offsets = hi_offsets
+        # The batch path adapts over the shared query core through the
+        # *encoded* key column (the lexicographic scalar projection is
+        # monotone over the sorted strings): the plan owns the flat
+        # leaf tables and the Section 3.4 window formula; only the
+        # last-mile search stays a bounded ``bisect`` per query, since
+        # numpy cannot compare Python strings.
+        self._plan = CompiledPlan(
+            SortedKeyColumn(scalars),
+            None,  # the root consumes token matrices, routed explicitly
+            m,
+            slopes,
+            intercepts,
+            lo_offsets,
+            hi_offsets,
+        )
 
         # Hybrid replacement (Algorithm 1 lines 11-14) on string leaves.
         self.leaf_btrees: dict[int, tuple[int, GenericBTreeIndex]] = {}
@@ -363,10 +373,10 @@ class StringRMI:
         m = self.num_leaves
         leaf = (root_pred * m / n).astype(np.int64)
         np.clip(leaf, 0, m - 1, out=leaf)
-        raw = self._leaf_slopes_arr[leaf] * scalars + self._leaf_intercepts_arr[leaf]
-        lo = (raw - self._leaf_lo_offsets[leaf]).astype(np.int64) - 1
-        hi = (raw - self._leaf_hi_offsets[leaf]).astype(np.int64) + 2
-        lo, hi = clamp_window_batch(lo, hi, n)
+        # Shared engine: gathered per-leaf affine predictions over the
+        # encoded scalars, then the Section 3.4 window formula + clamp.
+        raw = self._plan.leaf_predict(leaf, scalars)
+        lo, hi = self._plan.windows_from_raw(leaf, raw)
         keys = self.keys
         self.stats.lookups += len(queries)
         self.stats.window_total += int((hi - lo).sum())

@@ -113,7 +113,7 @@ class WritableLearnedIndex:
         """Insert ``key``; duplicate inserts are idempotent."""
         key = int(key)
         self._mem.discard_tombstone(key)
-        main_pos = self._main.lookup(float(key))
+        main_pos = self._main.lookup(key)
         in_main = (
             main_pos < self._main.keys.size
             and int(self._main.keys[main_pos]) == key
@@ -141,7 +141,7 @@ class WritableLearnedIndex:
         self._mem.discard_tombstones(batch)
         main_keys = self._main.keys
         if main_keys.size:
-            pos = self._main.lookup_batch(batch.astype(np.float64))
+            pos = self._main.lookup_batch(batch)
             safe = np.minimum(pos, main_keys.size - 1)
             in_main = (pos < main_keys.size) & (main_keys[safe] == batch)
             batch = batch[~in_main]
@@ -158,7 +158,7 @@ class WritableLearnedIndex:
         key = int(key)
         if self._mem.remove_put(key):
             return True
-        main_pos = self._main.lookup(float(key))
+        main_pos = self._main.lookup(key)
         if (
             main_pos < self._main.keys.size
             and int(self._main.keys[main_pos]) == key
@@ -219,6 +219,11 @@ class WritableLearnedIndex:
 
         candidate.keys = merged
         candidate._keys_view = scalar_view(merged)
+        # The copied __dict__ still points the query core at the old
+        # array; rebind it before _compile builds the new plan.
+        from .engine import SortedKeyColumn
+
+        candidate._column = SortedKeyColumn(merged)
         # Probe through the compiled arrays when available: touching
         # _leaf_for or max_error_window would materialize the lazily
         # deferred per-leaf objects, costing O(leaves) on an append
@@ -301,8 +306,10 @@ class WritableLearnedIndex:
         the main index's lower bound, minus the tombstoned main keys
         below ``key``, plus the delta keys below ``key`` — two
         ``searchsorted`` corrections around the learned lookup.
+        Integer keys stay native Python ints end to end, so the
+        corrections are exact beyond 2^53.
         """
-        main_lb = self._main.lookup(float(key))
+        main_lb = self._main.lookup(key)
         tombs = self._mem.tombstone_keys()
         delta = self._mem.put_keys()
         return (
@@ -313,7 +320,7 @@ class WritableLearnedIndex:
 
     def upper_bound(self, key) -> int:
         """Position one past the last live key <= ``key``."""
-        main_ub = self._main.upper_bound(float(key))
+        main_ub = self._main.upper_bound(key)
         tombs = self._mem.tombstone_keys()
         delta = self._mem.put_keys()
         return (
@@ -322,36 +329,44 @@ class WritableLearnedIndex:
             + int(np.searchsorted(delta, key, side="right"))
         )
 
+    def _batch_corrections(self, queries, pos, side: str) -> np.ndarray:
+        """Apply the delta/tombstone rank corrections to a whole batch.
+
+        Routed through the main index's query core so the two
+        ``searchsorted`` calls compare in the key dtype (exact int64),
+        with the engine's float-query ceiling semantics.
+        """
+        tombs = self._mem.tombstone_keys()
+        delta = self._mem.put_keys()
+        if not tombs.size and not delta.size:
+            return pos
+        column = self._main._column
+        qb = column.prepare(queries)
+        if tombs.size:
+            pos -= column.rank_in(tombs, qb, side=side)
+        if delta.size:
+            pos += column.rank_in(delta, qb, side=side)
+        return pos
+
     def lookup_batch(self, queries, *, sort: bool | None = None) -> np.ndarray:
         """Batched :meth:`lookup`: live-rank lower bounds.
 
-        The main index runs its vectorized engine (``sort`` forwards to
-        the sorted-batch fast path); the delta/tombstone corrections
-        are two whole-batch ``searchsorted`` calls.
+        The main index runs the shared vectorized engine (``sort``
+        forwards to the sorted-batch fast path); the delta/tombstone
+        corrections are two whole-batch ``searchsorted`` calls through
+        the query core.
         """
-        queries = np.asarray(queries, dtype=np.float64).ravel()
+        queries = np.asarray(queries).ravel()
         pos = self._main.lookup_batch(queries, sort=sort).astype(np.int64)
-        tombs = self._mem.tombstone_keys()
-        delta = self._mem.put_keys()
-        if tombs.size:
-            pos -= np.searchsorted(tombs, queries, side="left")
-        if delta.size:
-            pos += np.searchsorted(delta, queries, side="left")
-        return pos
+        return self._batch_corrections(queries, pos, "left")
 
     def upper_bound_batch(
         self, queries, *, sort: bool | None = None
     ) -> np.ndarray:
         """Batched :meth:`upper_bound` with the same corrections."""
-        queries = np.asarray(queries, dtype=np.float64).ravel()
+        queries = np.asarray(queries).ravel()
         pos = self._main.upper_bound_batch(queries, sort=sort).astype(np.int64)
-        tombs = self._mem.tombstone_keys()
-        delta = self._mem.put_keys()
-        if tombs.size:
-            pos -= np.searchsorted(tombs, queries, side="right")
-        if delta.size:
-            pos += np.searchsorted(delta, queries, side="right")
-        return pos
+        return self._batch_corrections(queries, pos, "right")
 
     def contains(self, key: int) -> bool:
         key = int(key)
@@ -359,7 +374,7 @@ class WritableLearnedIndex:
             return False
         if self._mem.has_put(key):
             return True
-        pos = self._main.lookup(float(key))
+        pos = self._main.lookup(key)
         return pos < self._main.keys.size and int(self._main.keys[pos]) == key
 
     def contains_batch(self, keys) -> np.ndarray:
@@ -379,7 +394,7 @@ class WritableLearnedIndex:
             hit |= (spot < delta.size) & (delta[safe] == queries)
         main_keys = self._main.keys
         if main_keys.size:
-            hit |= self._main.contains_batch(queries.astype(np.float64))
+            hit |= self._main.contains_batch(queries)
         tombs = self._mem.tombstone_keys()
         if tombs.size:
             hit &= ~np.isin(queries, tombs)
@@ -389,7 +404,7 @@ class WritableLearnedIndex:
         """All live keys in ``[low, high]`` across main + delta."""
         if high < low:
             return np.empty(0, dtype=np.int64)
-        main_hits = self._main.range_query(float(low), float(high))
+        main_hits = self._main.range_query(low, high)
         tombs = self._mem.tombstone_keys()
         if tombs.size:
             main_hits = main_hits[~np.isin(main_hits, tombs)]
@@ -416,8 +431,8 @@ class WritableLearnedIndex:
         ``starts``/``ends`` are ``None`` because delta-merged ranges are
         not contiguous slices of one array.
         """
-        lows_f = np.asarray(lows, dtype=np.float64).ravel()
-        highs_f = np.asarray(highs, dtype=np.float64).ravel()
+        lows_f = np.asarray(lows).ravel()
+        highs_f = np.asarray(highs).ravel()
         if lows_f.size != highs_f.size:
             raise ValueError("lows and highs must have the same length")
         m = lows_f.size
@@ -427,8 +442,9 @@ class WritableLearnedIndex:
                 offsets=np.zeros(1, dtype=np.int64),
             )
         # Mirror the scalar path exactly: the main index resolves the
-        # original (float) endpoints, the delta buffer the truncated
-        # ints (``int(low)``/``int(high)``), and an inverted range is
+        # original endpoints (native dtype, exact through the query
+        # core), the delta buffer the truncated ints
+        # (``int(low)``/``int(high)``), and an inverted range is
         # decided on the original values.
         main = self._main.range_query_batch(lows_f, highs_f)
         values = np.asarray(main.values, dtype=np.int64)

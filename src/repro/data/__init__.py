@@ -20,8 +20,10 @@ from .synthetic import (
     hotspot_queries,
     lognormal_keys,
     normal_keys,
+    osm_like,
     scan_workload,
     sequential_keys,
+    u64_dense,
     uniform_keys,
     zipf_gap_keys,
     zipfian_queries,
@@ -43,10 +45,12 @@ __all__ = [
     "lognormal_keys",
     "map_longitudes",
     "normal_keys",
+    "osm_like",
     "phishing_urls",
     "scan_workload",
     "sequential_keys",
     "string_dataset",
+    "u64_dense",
     "uniform_keys",
     "url_dataset",
     "web_paths",

@@ -20,7 +20,12 @@ __all__ = ["IntegerDataset", "integer_dataset", "INTEGER_DATASETS", "string_data
 
 @dataclass(frozen=True)
 class IntegerDataset:
-    """A sorted unique int64 key array plus its provenance."""
+    """A sorted unique integer key array plus its provenance.
+
+    Keys are int64 for the paper-scaled datasets and uint64 for the
+    64-bit SOSD-style ones (``osm_like``); every index's batch path
+    compares them exactly in their native dtype.
+    """
 
     name: str
     keys: np.ndarray
@@ -49,6 +54,11 @@ _INTEGER_GENERATORS: dict[str, tuple[Callable[..., np.ndarray], str]] = {
     "clustered": (
         synthetic.clustered_keys,
         "heavily clustered integers (adversarial ablation)",
+    ),
+    "osm_like": (
+        synthetic.osm_like,
+        "dense uint64 keys straddling 2^53 and 2^63 (SOSD osm_cellids "
+        "stand-in; exercises the exact 64-bit query core)",
     ),
 }
 

@@ -22,13 +22,21 @@ __all__ = [
     "clustered_keys",
     "sequential_keys",
     "zipf_gap_keys",
+    "u64_dense",
+    "osm_like",
     "dedupe_sorted",
     "zipfian_queries",
     "hotspot_queries",
     "scan_workload",
 ]
 
-#: Paper scales lognormal values "to be integers up to 1B".
+#: Paper scales lognormal values "to be integers up to 1B".  This is a
+#: *default*, not a ceiling: every generator takes ``min_key`` /
+#: ``max_key`` (up to the full int64 domain), and :func:`u64_dense`
+#: produces uint64 keys beyond 2^63 — the batch query core compares
+#: all of them exactly in their native dtype (ISSUE 5), so 64-bit
+#: SOSD-style datasets flow through the same benchmark plumbing as the
+#: paper-scaled ones.
 DEFAULT_MAX_KEY = 1_000_000_000
 
 #: Key-space density for the default (scaled) lognormal key range.  The
@@ -113,18 +121,27 @@ def lognormal_keys(
 
 
 def uniform_keys(
-    n: int, *, max_key: int = DEFAULT_MAX_KEY, seed: int = 42
+    n: int,
+    *,
+    min_key: int = 0,
+    max_key: int = DEFAULT_MAX_KEY,
+    seed: int = 42,
 ) -> np.ndarray:
-    """Uniform random unique integers in ``[0, max_key]``.
+    """Uniform random unique integers in ``[min_key, max_key]``.
 
     The easiest possible distribution for a learned index: a single
     linear model gets near-zero error (the paper's 1M-continuous-keys
-    motivating example is the degenerate case of this).
+    motivating example is the degenerate case of this).  The domain is
+    fully parameterized — e.g. ``min_key=2**62`` places every key far
+    beyond float64's 2^53 integer resolution, which the exact batch
+    query core handles natively.
     """
+    if max_key <= min_key:
+        raise ValueError("max_key must exceed min_key")
     rng = np.random.default_rng(seed)
 
     def draw(count: int) -> np.ndarray:
-        return rng.integers(0, max_key, size=count, dtype=np.int64)
+        return rng.integers(min_key, max_key, size=count, dtype=np.int64)
 
     return _fill_unique(draw, n, rng)
 
@@ -134,15 +151,23 @@ def normal_keys(
     *,
     mu: float = 0.5,
     sigma: float = 0.1,
+    min_key: int = 0,
     max_key: int = DEFAULT_MAX_KEY,
     seed: int = 42,
 ) -> np.ndarray:
-    """Gaussian-distributed unique integer keys (mildly non-linear CDF)."""
+    """Gaussian-distributed unique integer keys (mildly non-linear CDF).
+
+    ``mu``/``sigma`` are fractions of the key domain; the domain itself
+    is ``[min_key, max_key]``.
+    """
+    if max_key <= min_key:
+        raise ValueError("max_key must exceed min_key")
     rng = np.random.default_rng(seed)
+    span = max_key - min_key
 
     def draw(count: int) -> np.ndarray:
-        raw = rng.normal(mu, sigma, size=count) * max_key
-        return np.clip(raw, 0, max_key).astype(np.int64)
+        raw = min_key + rng.normal(mu, sigma, size=count) * span
+        return np.clip(raw, min_key, max_key).astype(np.int64)
 
     return _fill_unique(draw, n, rng)
 
@@ -152,6 +177,7 @@ def clustered_keys(
     *,
     clusters: int = 10,
     spread: float = 0.01,
+    min_key: int = 0,
     max_key: int = DEFAULT_MAX_KEY,
     seed: int = 42,
 ) -> np.ndarray:
@@ -160,16 +186,19 @@ def clustered_keys(
     Produces a step-like CDF with long flat gaps — the adversarial shape
     for a single linear model and the motivating case for the RMI's
     divide-and-conquer (Section 3.2) and for hybrid B-Tree fallback
-    (Section 3.3).
+    (Section 3.3).  The key domain is ``[min_key, max_key]``.
     """
+    if max_key <= min_key:
+        raise ValueError("max_key must exceed min_key")
     rng = np.random.default_rng(seed)
-    centers = rng.uniform(0, max_key, size=clusters)
+    span = max_key - min_key
+    centers = rng.uniform(min_key, max_key, size=clusters)
     weights = rng.dirichlet(np.ones(clusters))
 
     def draw(count: int) -> np.ndarray:
         which = rng.choice(clusters, size=count, p=weights)
-        raw = rng.normal(centers[which], spread * max_key)
-        return np.clip(raw, 0, max_key).astype(np.int64)
+        raw = rng.normal(centers[which], spread * span)
+        return np.clip(raw, min_key, max_key).astype(np.int64)
 
     return _fill_unique(draw, n, rng)
 
@@ -196,6 +225,56 @@ def zipf_gap_keys(
     gaps = rng.zipf(alpha, size=n).astype(np.int64)
     keys = start + np.cumsum(gaps)
     return keys.astype(np.int64)
+
+
+def u64_dense(
+    n: int,
+    *,
+    start: int | None = None,
+    max_gap: int = 3,
+    seed: int = 42,
+) -> np.ndarray:
+    """OSM-cellid-like dense uint64 keys straddling 2^53 and 2^63.
+
+    SOSD's hardest real datasets (osm_cellids, amzn) are dense 64-bit
+    domains whose neighbouring keys differ by single units — exactly
+    the regime where a float64 round-trip collides adjacent keys
+    (float64 resolves only even integers beyond 2^53, and only
+    multiples of 1024 near 2^63).  This generator reproduces that
+    shape synthetically: two equal dense walks with gaps drawn from
+    ``[1, max_gap]``, one placed to straddle the 2^53 float-precision
+    cliff, one to cross the 2^63 int64/uint64 boundary.  Keys are
+    sorted, unique, ``uint64``.
+
+    ``start`` overrides the first walk's origin (the second walk stays
+    anchored at 2^63) — handy for pinning a specific boundary.
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    if max_gap < 1:
+        raise ValueError("max_gap must be >= 1")
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    mean_gap = (1 + max_gap) / 2.0
+
+    def walk(origin: int, count: int) -> np.ndarray:
+        gaps = rng.integers(1, max_gap + 1, size=count).astype(np.uint64)
+        return np.uint64(origin) + np.cumsum(gaps)
+
+    low_origin = (
+        start if start is not None else 2**53 - int(half * mean_gap / 2)
+    )
+    low = walk(max(low_origin, 0), half)
+    high = walk(2**63 - int((n - half) * mean_gap / 2), n - half)
+    keys = np.concatenate([low, high])
+    # The walks are individually strictly increasing; they could only
+    # overlap if a caller moves ``start`` next to 2^63.
+    return np.unique(keys)
+
+
+def osm_like(n: int, *, seed: int = 42) -> np.ndarray:
+    """Alias for :func:`u64_dense` under its benchmark-registry name."""
+    return u64_dense(n, seed=seed)
 
 
 # -- query workloads ----------------------------------------------------------

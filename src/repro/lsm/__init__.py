@@ -13,16 +13,18 @@ from .compaction import (
     merge_runs,
 )
 from .memtable import Memtable
-from .run import SortedRun
+from .run import LearnedBloomGuard, SortedRun, learned_bloom_factory
 from .store import LearnedLSMStore, LSMReadStats, LSMWriteStats
 
 __all__ = [
     "CompactionPolicy",
+    "LearnedBloomGuard",
     "LearnedLSMStore",
     "LeveledCompaction",
     "LSMReadStats",
     "LSMWriteStats",
     "Memtable",
+    "learned_bloom_factory",
     "merge_runs",
     "SizeTieredCompaction",
     "SortedRun",

@@ -18,9 +18,12 @@ run cannot hold skip the model entirely.
 
 The bloom filter defaults to :class:`repro.bloom.BloomFilter`; any
 object with ``add_batch`` / ``contains_batch`` / ``size_bytes`` fits
-the ``bloom_factory`` slot (e.g. an adapter over
-:class:`repro.core.learned_bloom.LearnedBloomFilter` when key
-distributions are learnable).
+the ``bloom_factory`` slot.  :func:`learned_bloom_factory` builds that
+adapter over :class:`repro.core.learned_bloom.LearnedBloomFilter`
+(Section 5.1.1): each seal trains the pluggable classifier on the
+run's encoded keys and covers its false negatives with the overflow
+filter, so the zero-false-negative guarantee — the property LSM read
+correctness rests on — is preserved by construction.
 """
 
 from __future__ import annotations
@@ -30,10 +33,16 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..bloom.standard import BloomFilter
+from ..core.learned_bloom import LearnedBloomFilter
 from ..core.rmi import RecursiveModelIndex
-from ..range_scan import RangeScanResult, assemble_slices
+from ..range_scan import assemble_slices
 
-__all__ = ["SortedRun", "DEFAULT_LEAF_TARGET"]
+__all__ = [
+    "SortedRun",
+    "DEFAULT_LEAF_TARGET",
+    "LearnedBloomGuard",
+    "learned_bloom_factory",
+]
 
 #: Target keys per RMI leaf when sealing a run; leaves scale with run
 #: size so error windows stay page-sized from 4k-key seals to
@@ -43,6 +52,100 @@ DEFAULT_LEAF_TARGET = 256
 
 def _default_bloom(n: int, fpr: float) -> BloomFilter:
     return BloomFilter.for_capacity(max(n, 1), fpr)
+
+
+class LearnedBloomGuard:
+    """Adapter fitting :class:`LearnedBloomFilter` into the
+    ``bloom_factory`` slot of :class:`SortedRun`.
+
+    A learned Bloom filter needs its whole key set at construction
+    (the classifier trains against it, and the overflow filter covers
+    its false negatives), while a run's guard is created empty and
+    filled once via ``add_batch``.  The guard therefore defers the
+    filter build to that single ``add_batch`` call — which a run makes
+    exactly once, at seal/compaction time, so the training cost rides
+    the merge like the RMI rebuild does.  Integer keys are encoded to
+    strings (``encode``) for the string-input classifiers of Section 5.
+    """
+
+    __slots__ = (
+        "_model_factory", "_validation", "_fpr", "_encode",
+        "_model_fpr_share", "_filter", "_added",
+    )
+
+    def __init__(
+        self,
+        model_factory: Callable[[], object],
+        validation_nonkeys: Sequence[str],
+        fpr: float,
+        encode: Callable[[int], str] = str,
+        model_fpr_share: float = 0.5,
+    ):
+        self._model_factory = model_factory
+        self._validation = list(validation_nonkeys)
+        self._fpr = float(fpr)
+        self._encode = encode
+        self._model_fpr_share = float(model_fpr_share)
+        self._filter: LearnedBloomFilter | None = None
+        self._added: list[str] = []
+
+    def add_batch(self, keys) -> None:
+        # Accumulate across calls: a plain BloomFilter in the same slot
+        # supports incremental adds, and silently dropping an earlier
+        # batch would break the zero-false-negative guarantee.  A run
+        # calls add_batch once, so the rebuild normally happens once.
+        encode = self._encode
+        self._added.extend(encode(int(k)) for k in np.asarray(keys).tolist())
+        self._filter = LearnedBloomFilter(
+            self._model_factory(),
+            self._added,
+            self._validation,
+            self._fpr,
+            model_fpr_share=self._model_fpr_share,
+        )
+
+    def __contains__(self, key) -> bool:
+        if self._filter is None:  # empty run: nothing can be present
+            return False
+        return self._encode(int(key)) in self._filter
+
+    def contains_batch(self, queries) -> np.ndarray:
+        queries = np.asarray(queries)
+        if self._filter is None:
+            return np.zeros(queries.size, dtype=bool)
+        encode = self._encode
+        return np.asarray(
+            self._filter.contains_batch(
+                [encode(int(k)) for k in queries.tolist()]
+            ),
+            dtype=bool,
+        )
+
+    def size_bytes(self) -> int:
+        return self._filter.size_bytes() if self._filter is not None else 0
+
+
+def learned_bloom_factory(
+    model_factory: Callable[[], object],
+    validation_nonkeys: Sequence[str],
+    *,
+    encode: Callable[[int], str] = str,
+    model_fpr_share: float = 0.5,
+) -> Callable[[int, float], LearnedBloomGuard]:
+    """A ``bloom_factory`` producing :class:`LearnedBloomGuard` runs.
+
+    ``model_factory`` builds a fresh classifier per seal (each run's
+    key distribution is its own training set); ``validation_nonkeys``
+    tunes every guard's tau exactly as Section 5.1.1 prescribes.
+    """
+
+    def factory(_n: int, fpr: float) -> LearnedBloomGuard:
+        return LearnedBloomGuard(
+            model_factory, validation_nonkeys, fpr,
+            encode=encode, model_fpr_share=model_fpr_share,
+        )
+
+    return factory
 
 
 class SortedRun:
@@ -117,9 +220,10 @@ class SortedRun:
         """(entry present, entry is tombstone, value) — scalar probe.
 
         The caller is expected to have consulted the bloom filter; this
-        runs the RMI's scalar latency path.
+        runs the RMI's scalar latency path (exact: the key stays a
+        Python int through every comparison).
         """
-        pos = self.rmi.lookup(float(key))
+        pos = self.rmi.lookup(key)
         if pos < self.keys.size and int(self.keys[pos]) == key:
             return True, bool(self.tombstones[pos]), int(self.values[pos])
         return False, False, 0
@@ -129,15 +233,17 @@ class SortedRun:
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(entry mask, tombstone mask, values) for a query batch.
 
-        One vectorized ``lookup_batch`` against the run's RMI; the
-        masks tell the store which queries this run *answers* (present
-        or deleted) versus which fall through to older runs.
+        One vectorized ``lookup_batch`` against the run's RMI — int64
+        end to end through the shared query core, so keys >= 2^53
+        resolve exactly; the masks tell the store which queries this
+        run *answers* (present or deleted) versus which fall through
+        to older runs.
         """
         n = self.keys.size
         if n == 0:
             empty = np.zeros(queries.size, dtype=bool)
             return empty, empty.copy(), np.zeros(queries.size, dtype=np.int64)
-        pos = self.rmi.lookup_batch(queries.astype(np.float64))
+        pos = self.rmi.lookup_batch(queries)
         safe = np.minimum(pos, n - 1)
         hit = (pos < n) & (self.keys[safe] == queries)
         dead = hit & self.tombstones[safe]
@@ -146,17 +252,22 @@ class SortedRun:
     # -- range reads -----------------------------------------------------------
 
     def range_scan_batch(
-        self, lows: np.ndarray, highs: np.ndarray
-    ) -> tuple[RangeScanResult, np.ndarray]:
+        self, lows: np.ndarray, highs: np.ndarray, *, with_values: bool = False
+    ):
         """(per-range entries, tombstone flags aligned to the values).
 
         The run's RMI resolves all bounds vectorized; the tombstone
         flags for every returned entry assemble in the same one-gather
-        pass the values do.
+        pass the keys do.  ``with_values=True`` appends a third element
+        — the stored payloads, gathered through the identical slice
+        plan — for the store's ``range_items_batch``.
         """
         result = self.rmi.range_query_batch(lows, highs)
         flags, _ = assemble_slices(self.tombstones, result.starts, result.ends)
-        return result, flags
+        if not with_values:
+            return result, flags
+        values, _ = assemble_slices(self.values, result.starts, result.ends)
+        return result, flags, values
 
     # -- accounting ------------------------------------------------------------
 

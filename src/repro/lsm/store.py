@@ -25,7 +25,11 @@ Point reads return *values* (the store maps int64 keys to int64
 payloads; key-only callers let values default to the keys); range
 reads return live keys, k-way merged across memtable + runs with
 newest-wins dedup and tombstone shadowing via
-:func:`repro.range_scan.merge_scan_results`.
+:func:`repro.range_scan.merge_scan_results`, and
+:meth:`LearnedLSMStore.range_items_batch` returns live (key, value)
+pairs through the same merge.  All reads — point and range — resolve
+through the exact int64 query core (ISSUE 5), so 64-bit keys beyond
+2^53 never alias.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..core.engine import SortedKeyColumn
 from ..range_scan import RangeScanResult, assemble_slices, merge_scan_results
 from .compaction import (
     CompactionPolicy,
@@ -377,15 +382,35 @@ class LearnedLSMStore:
     # -- range reads -----------------------------------------------------------
 
     def _memtable_source(
-        self, lows: np.ndarray, highs: np.ndarray
-    ) -> tuple[RangeScanResult, np.ndarray]:
-        keys, _values, dead = self.memtable.snapshot()
-        lo = np.searchsorted(keys, lows, side="left")
-        hi = np.searchsorted(keys, highs, side="right")
+        self, lows: np.ndarray, highs: np.ndarray, *, with_values: bool = False
+    ):
+        keys, mem_values, dead = self.memtable.snapshot()
+        # Endpoints resolve through the query core like every run's RMI
+        # does — a raw searchsorted would promote the int64 snapshot to
+        # float64 under float endpoints, making memtable-resident data
+        # answer differently from run-resident data beyond 2^53.
+        column = SortedKeyColumn(keys)
+        lo = column.rank_in(keys, column.prepare(lows), side="left")
+        hi = column.rank_in(keys, column.prepare(highs), side="right")
         hi = np.maximum(hi, lo)
         values, offsets = assemble_slices(keys, lo, hi)
         flags, _ = assemble_slices(dead, lo, hi)
-        return RangeScanResult(values=values, offsets=offsets), flags
+        result = RangeScanResult(values=values, offsets=offsets)
+        if not with_values:
+            return result, flags
+        payloads, _ = assemble_slices(mem_values, lo, hi)
+        return result, flags, payloads
+
+    def _range_endpoints(
+        self, lows, highs
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Normalize endpoint arrays, keeping their native dtype so
+        int64 ranges resolve exactly through every run's query core."""
+        lows = np.asarray(lows).ravel()
+        highs = np.asarray(highs).ravel()
+        if lows.size != highs.size:
+            raise ValueError("lows and highs must have the same length")
+        return lows, highs
 
     def range_query_batch(self, lows, highs) -> RangeScanResult:
         """Live keys in each closed range ``[lows[i], highs[i]]``.
@@ -396,10 +421,7 @@ class LearnedLSMStore:
         them newest-first, deduplicates to the newest version per key,
         and drops keys whose newest version is a tombstone.
         """
-        lows_f = np.asarray(lows, dtype=np.float64).ravel()
-        highs_f = np.asarray(highs, dtype=np.float64).ravel()
-        if lows_f.size != highs_f.size:
-            raise ValueError("lows and highs must have the same length")
+        lows_f, highs_f = self._range_endpoints(lows, highs)
         if lows_f.size == 0:
             return RangeScanResult(
                 values=np.empty(0, dtype=np.int64),
@@ -427,6 +449,65 @@ class LearnedLSMStore:
         return RangeScanResult(
             values=np.asarray(merged.values, dtype=np.int64),
             offsets=merged.offsets,
+        )
+
+    def range_items_batch(
+        self, lows, highs
+    ) -> tuple[RangeScanResult, np.ndarray]:
+        """Live ``(key, value)`` pairs in each closed range.
+
+        Same newest-wins / tombstone-shadowing merge as
+        :meth:`range_query_batch`, with every source gathering its
+        stored payloads through the identical slice plan and
+        :func:`~repro.range_scan.merge_scan_results` carrying them
+        through the merge (its ``payloads`` parameter — the PR 4
+        follow-up).  Returns ``(result, values)`` where ``values`` is
+        parallel to ``result.values``: the live value for
+        ``result.values[j]`` is ``values[j]``.
+        """
+        lows_f, highs_f = self._range_endpoints(lows, highs)
+        if lows_f.size == 0:
+            return (
+                RangeScanResult(
+                    values=np.empty(0, dtype=np.int64),
+                    offsets=np.zeros(1, dtype=np.int64),
+                ),
+                np.empty(0, dtype=np.int64),
+            )
+        sources: list[RangeScanResult] = []
+        masks: list[np.ndarray | None] = []
+        payloads: list[np.ndarray] = []
+        if len(self.memtable):
+            mem, mem_flags, mem_vals = self._memtable_source(
+                lows_f, highs_f, with_values=True
+            )
+            sources.append(mem)
+            masks.append(mem_flags)
+            payloads.append(mem_vals)
+        for run in self.runs:
+            result, flags, vals = run.range_scan_batch(
+                lows_f, highs_f, with_values=True
+            )
+            sources.append(result)
+            masks.append(flags)
+            payloads.append(vals)
+        if not sources:
+            return (
+                RangeScanResult(
+                    values=np.empty(0, dtype=np.int64),
+                    offsets=np.zeros(lows_f.size + 1, dtype=np.int64),
+                ),
+                np.empty(0, dtype=np.int64),
+            )
+        merged, values = merge_scan_results(
+            sources, drop_masks=masks, payloads=payloads
+        )
+        return (
+            RangeScanResult(
+                values=np.asarray(merged.values, dtype=np.int64),
+                offsets=merged.offsets,
+            ),
+            np.asarray(values, dtype=np.int64),
         )
 
     def range_query(self, low, high) -> np.ndarray:

@@ -1,4 +1,4 @@
-"""Vectorized batch range-scan engine (ISSUE 2).
+"""Vectorized batch range-scan engine (ISSUE 2 + ISSUE 5).
 
 The paper frames a range index as a CDF model precisely because real
 workloads mix point lookups with range scans (Section 3); SOSD and
@@ -11,7 +11,10 @@ This module is the shared engine behind every index's
   leaf routing and lock-step search amortize across ``2m`` queries);
   the high endpoints are then widened from lower bound to upper bound
   with one vectorized ``searchsorted(side="right")`` over just the
-  queries that hit a stored key (:func:`upper_bounds_batch`);
+  queries that hit a stored key
+  (:meth:`repro.core.engine.SortedKeyColumn.upper_bounds` — the single
+  widening implementation, re-exported here as
+  :func:`upper_bounds_batch`);
 * **slice assembly** — the per-range ``[start, end)`` position pairs
   become one concatenated value array + CSR-style offsets without a
   Python loop (:func:`assemble_slices`), so a batch of scans costs a
@@ -26,12 +29,18 @@ Indexes over Python-comparable keys (strings) use the ``bisect``-based
 :func:`batch_range_scan_generic`, which keeps the same result shape
 with list-backed storage.
 
-Precision envelope: like the whole PR-1 batch engine, numeric batch
-APIs compare int64 keys against float64 queries (numpy upcasts the
-keys), so integer keys at or above 2^53 can collide after rounding
-while the scalar paths — exact Python int/float comparisons — do not.
-Every dataset generator in :mod:`repro.data` stays far below that
-(``DEFAULT_MAX_KEY`` is 1e9).
+Precision envelope (ISSUE 5): endpoint arrays keep their native dtype
+end to end — integer endpoints against integer key columns resolve
+through the exact dtype-aware query core
+(:mod:`repro.core.engine`), so 64-bit keys at or beyond 2^53 no longer
+round together in the batch paths.  float64 endpoints against integer
+keys compare as exact integer ceilings (see the engine's dtype
+contract).
+
+The :mod:`repro.core.engine` imports below are function-local: the
+tree baselines import this module at class-definition time, while the
+engine lives inside :mod:`repro.core`, whose package import pulls the
+tree baselines back in — deferring to first use breaks the cycle.
 """
 
 from __future__ import annotations
@@ -40,8 +49,6 @@ import bisect
 from dataclasses import dataclass
 
 import numpy as np
-
-from .util import batch_contains
 
 __all__ = [
     "RangeScanIndexMixin",
@@ -52,6 +59,21 @@ __all__ = [
     "merge_scan_results",
     "upper_bounds_batch",
 ]
+
+
+def upper_bounds_batch(
+    keys: np.ndarray, highs: np.ndarray, lower_bounds: np.ndarray
+) -> np.ndarray:
+    """Upper-bound positions from already-resolved lower bounds.
+
+    Thin functional wrapper over the engine's
+    :meth:`~repro.core.engine.SortedKeyColumn.upper_bounds` (the single
+    widening implementation), kept here for the callers that hold a
+    bare key array.
+    """
+    from .core.engine import upper_bounds_batch as _engine_upper_bounds
+
+    return _engine_upper_bounds(keys, highs, lower_bounds)
 
 
 @dataclass
@@ -100,28 +122,6 @@ class RangeScanResult:
         )
 
 
-def upper_bounds_batch(
-    keys: np.ndarray, highs: np.ndarray, lower_bounds: np.ndarray
-) -> np.ndarray:
-    """Upper-bound positions from already-resolved lower bounds.
-
-    ``lower_bounds[i]`` must be the lower bound of ``highs[i]`` in the
-    sorted ``keys``.  The upper bound differs only when the query hits
-    a stored key (the lower bound then sits at the *first* duplicate);
-    those hits are widened with one vectorized
-    ``searchsorted(side="right")`` — absent keys pay nothing.
-    """
-    n = keys.shape[0]
-    ub = np.asarray(lower_bounds, dtype=np.int64).copy()
-    if n == 0 or ub.size == 0:
-        return ub
-    safe = np.minimum(ub, n - 1)
-    hit = (ub < n) & (keys[safe] == highs)
-    if np.any(hit):
-        ub[hit] = np.searchsorted(keys, highs[hit], side="right")
-    return ub
-
-
 def assemble_slices(
     values: np.ndarray, starts: np.ndarray, ends: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -154,7 +154,8 @@ def merge_scan_results(
     *,
     drop_masks=None,
     dedup: bool = True,
-) -> RangeScanResult:
+    payloads=None,
+):
     """K-way merge of per-range results from priority-ordered sources.
 
     Every ``results[s]`` must cover the same ``m`` ranges (numeric
@@ -171,17 +172,27 @@ def merge_scan_results(
     ``results[s].values``) flags entries such as tombstones: when a
     flagged entry wins its key, the key is suppressed from the merged
     output entirely, shadowing every older source.
+
+    ``payloads[s]`` (optional, aligned to ``results[s].values``)
+    carries per-entry values through the merge; when given, the return
+    becomes ``(merged_result, merged_payloads)`` with
+    ``merged_payloads`` parallel to ``merged_result.values`` — the
+    value gather behind ``LearnedLSMStore.range_items_batch``.
     """
     if not results:
-        return RangeScanResult(
+        empty = RangeScanResult(
             values=np.empty(0, dtype=np.int64),
             offsets=np.zeros(1, dtype=np.int64),
         )
+        if payloads is not None:
+            return empty, np.empty(0, dtype=np.int64)
+        return empty
     m = len(results[0])
     if any(len(r) != m for r in results):
         raise ValueError("all sources must cover the same ranges")
     range_ids = np.arange(m, dtype=np.int64)
     ids_parts, key_parts, rank_parts, dead_parts = [], [], [], []
+    pay_parts = [] if payloads is not None else None
     for s, result in enumerate(results):
         values = np.asarray(result.values)
         ids_parts.append(np.repeat(range_ids, result.counts))
@@ -191,6 +202,11 @@ def merge_scan_results(
             dead_parts.append(np.asarray(drop_masks[s], dtype=bool))
         else:
             dead_parts.append(np.zeros(values.size, dtype=bool))
+        if pay_parts is not None:
+            part = np.asarray(payloads[s])
+            if part.size != values.size:
+                raise ValueError("payloads must parallel source values")
+            pay_parts.append(part)
     ids = np.concatenate(ids_parts)
     keys = np.concatenate(key_parts)
     rank = np.concatenate(rank_parts)
@@ -206,7 +222,11 @@ def merge_scan_results(
     ids, keys = ids[keep], keys[keep]
     offsets = np.zeros(m + 1, dtype=np.int64)
     np.cumsum(np.bincount(ids, minlength=m), out=offsets[1:])
-    return RangeScanResult(values=keys, offsets=offsets)
+    merged = RangeScanResult(values=keys, offsets=offsets)
+    if pay_parts is not None:
+        pay = np.concatenate(pay_parts) if pay_parts else np.empty(0)
+        return merged, pay[order][keep]
+    return merged
 
 
 def batch_range_scan(
@@ -214,18 +234,28 @@ def batch_range_scan(
     lows: np.ndarray,
     highs: np.ndarray,
     lookup_batch,
+    *,
+    column=None,
 ) -> RangeScanResult:
     """The numeric engine: two lock-step bound resolutions + assembly.
 
     ``lookup_batch`` is the owning index's batch lower-bound method;
     both endpoint arrays are resolved in a single concatenated call so
     model inference and the lock-step search amortize over ``2m``
-    queries.
+    queries.  Endpoints keep their native dtype — the owning index's
+    ``lookup_batch`` and the widening below compare them exactly
+    through the query core.  ``column`` optionally passes the owner's
+    :class:`~repro.core.engine.SortedKeyColumn` (constructed fresh over
+    ``keys`` otherwise — columns are views, not copies).
     """
-    lows = np.asarray(lows, dtype=np.float64).ravel()
-    highs = np.asarray(highs, dtype=np.float64).ravel()
+    lows = np.asarray(lows).ravel()
+    highs = np.asarray(highs).ravel()
     if lows.size != highs.size:
         raise ValueError("lows and highs must have the same length")
+    if lows.dtype != highs.dtype:
+        common = np.result_type(lows, highs)
+        lows = lows.astype(common)
+        highs = highs.astype(common)
     m = lows.size
     if m == 0 or keys.shape[0] == 0:
         empty = np.zeros(m, dtype=np.int64)
@@ -237,7 +267,11 @@ def batch_range_scan(
         )
     pos = np.asarray(lookup_batch(np.concatenate([lows, highs])))
     starts = pos[:m].astype(np.int64)
-    ends = upper_bounds_batch(keys, highs, pos[m:])
+    if column is None:
+        from .core.engine import SortedKeyColumn
+
+        column = SortedKeyColumn(np.asarray(keys))
+    ends = column.upper_bounds(column.prepare(highs), pos[m:])
     # Closed-interval semantics: an inverted range is empty, pinned at
     # the low endpoint's position like the scalar path's early return.
     inverted = highs < lows
@@ -255,22 +289,36 @@ class RangeScanIndexMixin:
     Mixed into every tree/table baseline so the semantics live in one
     place: hosts must expose sorted ``keys`` (numpy) and scalar
     ``lookup`` (lower bound).  The default ``lookup_batch`` answers
-    batches with ``searchsorted`` directly — these structures only
+    batches straight off the host's
+    :class:`~repro.core.engine.SortedKeyColumn` — these structures only
     accelerate scalar descents, and over a dense sorted array the
-    vectorized page + in-page search is one call; hosts with a real
-    batch engine (the RMI's, with its ``sort=`` fast path) or non-numpy
-    keys (the generic/string indexes) override the surface themselves.
+    vectorized page + in-page search is one exact ``searchsorted`` in
+    the key's native dtype; hosts with a real batch engine (the RMI's,
+    with its ``sort=`` fast path) or non-numpy keys (the
+    generic/string indexes) override the surface themselves.
     """
 
+    def _key_column(self):
+        """The host's cached query-core column (rebuilt if ``keys``
+        was rebound, e.g. by a bulk reload)."""
+        column = self.__dict__.get("_column")
+        if column is None or column.keys is not self.keys:
+            from .core.engine import SortedKeyColumn
+
+            column = SortedKeyColumn(self.keys)
+            self._column = column
+        return column
+
     def lookup_batch(self, queries: np.ndarray) -> np.ndarray:
-        """Batched lower-bound lookups via ``searchsorted``; results
+        """Batched lower-bound lookups, exact in the key dtype; results
         match per-query :meth:`lookup` exactly."""
-        return np.searchsorted(self.keys, np.asarray(queries), side="left")
+        return self._key_column().lower_bounds(queries)
 
     def contains_batch(self, queries: np.ndarray) -> np.ndarray:
         """Batched membership: one bool per query."""
-        queries = np.asarray(queries).ravel()
-        return batch_contains(self.keys, queries, self.lookup_batch(queries))
+        column = self._key_column()
+        qb = column.prepare(queries)
+        return column.contains_at(qb, column.lower_bounds(qb))
 
     def upper_bound(self, key: float) -> int:
         """Position one past the last stored key <= ``key``.
@@ -288,15 +336,17 @@ class RangeScanIndexMixin:
         return self.keys[self.lookup(low):self.upper_bound(high)]
 
     def upper_bound_batch(self, queries: np.ndarray) -> np.ndarray:
-        """Batched :meth:`upper_bound` via one ``searchsorted``."""
-        queries = np.asarray(queries, dtype=np.float64).ravel()
-        return upper_bounds_batch(
-            self.keys, queries, self.lookup_batch(queries)
-        )
+        """Batched :meth:`upper_bound` through the query core."""
+        column = self._key_column()
+        qb = column.prepare(queries)
+        return column.upper_bounds(qb, column.lower_bounds(qb))
 
     def range_query_batch(self, lows, highs) -> RangeScanResult:
         """Batched :meth:`range_query` over parallel endpoint arrays."""
-        return batch_range_scan(self.keys, lows, highs, self.lookup_batch)
+        return batch_range_scan(
+            self.keys, lows, highs, self.lookup_batch,
+            column=self._key_column(),
+        )
 
 
 def batch_range_scan_generic(

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["scalar_view", "batch_contains", "batch_contains_generic"]
+__all__ = ["scalar_view", "batch_contains_generic"]
 
 _VIEWABLE = {
     np.dtype(np.int64),
@@ -42,29 +42,15 @@ def scalar_view(keys):
     return list(keys)
 
 
-def batch_contains(
-    keys: np.ndarray, queries: np.ndarray, positions: np.ndarray
-) -> np.ndarray:
-    """Membership mask from lower-bound positions (numeric keys only).
+def batch_contains_generic(keys: list, queries, positions) -> np.ndarray:
+    """Membership mask from lower-bound positions for Python-comparable
+    keys (e.g. strings).
 
     ``positions[i]`` must be the lower bound of ``queries[i]`` in the
     sorted ``keys``; the query is present iff the position is in range
-    and the key there equals the query — the vectorized form of the
-    ``contains`` idiom every range index in this repo uses.
-    """
-    n = keys.shape[0]
-    positions = np.asarray(positions, dtype=np.int64)
-    if n == 0:
-        return np.zeros(positions.shape, dtype=bool)
-    safe = np.minimum(positions, n - 1)
-    return (positions < n) & (keys[safe] == queries)
-
-
-def batch_contains_generic(keys: list, queries, positions) -> np.ndarray:
-    """:func:`batch_contains` for Python-comparable keys (e.g. strings).
-
-    Same lower-bound-membership semantics, list indexing instead of the
-    numpy gather.
+    and the key there equals the query.  Numeric key columns use the
+    dtype-exact :meth:`repro.core.engine.SortedKeyColumn.contains_at`
+    instead; this is the list-indexing fallback numpy cannot vectorize.
     """
     n = len(keys)
     return np.array(

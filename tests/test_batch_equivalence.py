@@ -14,6 +14,8 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+import bisect
+
 from repro.bloom import BloomFilter
 from repro.btree import (
     BTreeIndex,
@@ -404,3 +406,166 @@ class TestHashAndBloomEquivalence:
         expected = np.array([p in bloom for p in probes])
         np.testing.assert_array_equal(batch, expected)
         assert bloom.contains_batch([]).size == 0
+
+
+# -- exact 64-bit keys (ISSUE 5) ----------------------------------------------
+#
+# Adversarial key sets at and beyond 2^53 — adjacent keys differing by
+# 1 near 2^63 — where a float64 round-trip collides neighbours.  Every
+# batch API must stay exact and pinned batch == scalar, with Python-int
+# scalar probes (float() would round the queries themselves).
+
+
+def huge_dataset(kind: str) -> np.ndarray:
+    """Key regimes beyond float64's integer resolution."""
+    rng = np.random.default_rng(0xB16)
+    if kind == "int64_adjacent":
+        parts = [
+            np.arange(2**53 - 200, 2**53 + 200, dtype=np.int64),
+            (2**63 - 3_000) + np.cumsum(rng.integers(1, 3, 600)),
+            np.arange(2**63 - 40, 2**63 - 1, dtype=np.int64),
+        ]
+        return np.unique(np.concatenate(parts).astype(np.int64))
+    if kind == "uint64_top":
+        gaps = rng.integers(1, 3, 1_200).astype(np.uint64)
+        return np.uint64(2**63 - 1_200) + np.cumsum(gaps)
+    raise ValueError(kind)
+
+
+def huge_probes(keys: np.ndarray, rng) -> np.ndarray:
+    """Present keys plus +-1 adjacents, same dtype as the keys."""
+    lo, hi = int(keys.min()), int(keys.max())
+    picks = [int(k) for k in rng.choice(keys, 250)]
+    near = [min(max(k + d, lo - 2), hi) for k in picks for d in (-1, 1)]
+    if keys.dtype == np.uint64:
+        near = [max(k, 0) for k in near]
+    return np.unique(np.array(picks + near + [lo, hi], dtype=keys.dtype))
+
+
+HUGE_KINDS = ["int64_adjacent", "uint64_top"]
+
+HUGE_FACTORIES = {
+    "rmi": lambda keys: RecursiveModelIndex(keys, stage_sizes=(1, 48)),
+    "rmi_exponential": lambda keys: RecursiveModelIndex(
+        keys, stage_sizes=(1, 48), search_strategy="exponential"
+    ),
+    "hybrid": lambda keys: HybridIndex(keys, stage_sizes=(1, 16), threshold=4),
+    "btree": lambda keys: BTreeIndex(keys, page_size=32),
+    "fixed_btree": lambda keys: FixedSizeBTree(keys, size_budget_bytes=2_048),
+    "lookup_table": lambda keys: HierarchicalLookupTable(keys, group=16),
+    "fast_tree": lambda keys: FASTTree(keys, page_size=16),
+}
+
+
+class TestExact64BitEquivalence:
+    """batch == scalar == bisect oracle beyond 2^53, every index type."""
+
+    @pytest.mark.parametrize("kind", HUGE_KINDS)
+    def test_dataset_exceeds_float64_resolution(self, kind):
+        keys = huge_dataset(kind)
+        assert np.unique(keys.astype(np.float64)).size < keys.size
+
+    @pytest.mark.parametrize("kind", HUGE_KINDS)
+    @pytest.mark.parametrize("name", sorted(HUGE_FACTORIES))
+    def test_point_ops_exact(self, name, kind):
+        rng = np.random.default_rng(0xE5 + hash((name, kind)) % 2**16)
+        keys = huge_dataset(kind)
+        index = HUGE_FACTORIES[name](keys)
+        oracle = [int(k) for k in keys]
+        probes = huge_probes(keys, rng)
+        items = [int(q) for q in probes]
+        expected_lb = np.array([bisect.bisect_left(oracle, q) for q in items])
+        np.testing.assert_array_equal(
+            index.lookup_batch(probes), expected_lb,
+            err_msg=f"{name}/{kind} lookup_batch",
+        )
+        scalar = np.array([index.lookup(q) for q in items])
+        np.testing.assert_array_equal(scalar, expected_lb)
+        np.testing.assert_array_equal(
+            index.contains_batch(probes),
+            np.array([
+                p < len(oracle) and oracle[p] == q
+                for p, q in zip(expected_lb, items)
+            ]),
+            err_msg=f"{name}/{kind} contains_batch",
+        )
+        np.testing.assert_array_equal(
+            index.upper_bound_batch(probes),
+            np.array([bisect.bisect_right(oracle, q) for q in items]),
+            err_msg=f"{name}/{kind} upper_bound_batch",
+        )
+
+    @pytest.mark.parametrize("kind", HUGE_KINDS)
+    @pytest.mark.parametrize("name", sorted(HUGE_FACTORIES))
+    def test_range_ops_exact(self, name, kind):
+        rng = np.random.default_rng(0xE6 + hash((name, kind)) % 2**16)
+        keys = huge_dataset(kind)
+        index = HUGE_FACTORIES[name](keys)
+        oracle = [int(k) for k in keys]
+        lows = huge_probes(keys, rng)[:120]
+        spans = rng.integers(0, 60, lows.size).astype(lows.dtype)
+        top = np.asarray(keys.max(), dtype=lows.dtype)
+        highs = np.minimum(lows + spans, top)  # stay inside the dtype
+        result = index.range_query_batch(lows, highs)
+        for i in range(lows.size):
+            lo, hi = int(lows[i]), int(highs[i])
+            expected = oracle[
+                bisect.bisect_left(oracle, lo):bisect.bisect_right(oracle, hi)
+            ]
+            assert list(result[i]) == expected, (name, kind, i)
+
+    def test_rmi_sorted_path_exact(self):
+        keys = huge_dataset("int64_adjacent")
+        index = RecursiveModelIndex(keys, stage_sizes=(1, 48))
+        rng = np.random.default_rng(0xE7)
+        probes = np.concatenate([huge_probes(keys, rng)] * 3)
+        unsorted = index.lookup_batch(probes, sort=False)
+        np.testing.assert_array_equal(
+            index.lookup_batch(probes, sort=True), unsorted
+        )
+        np.testing.assert_array_equal(index.lookup_batch(probes), unsorted)
+
+
+class TestExact64BitWritable:
+    def test_writable_huge_round_trip(self):
+        keys = huge_dataset("int64_adjacent")
+        rng = np.random.default_rng(0xE8)
+        index = WritableLearnedIndex(
+            keys[::2].copy(), stage_sizes=(1, 32), merge_threshold=400
+        )
+        live = set(int(k) for k in keys[::2])
+        for k in keys[1::4].tolist():
+            index.insert(k)
+            live.add(k)
+        for k in keys[::6].tolist():
+            index.delete(k)
+            live.discard(k)
+        slist = sorted(live)
+        probes = huge_probes(keys, rng)
+        items = [int(q) for q in probes]
+        np.testing.assert_array_equal(
+            index.lookup_batch(probes),
+            np.array([bisect.bisect_left(slist, q) for q in items]),
+        )
+        np.testing.assert_array_equal(
+            index.upper_bound_batch(probes),
+            np.array([bisect.bisect_right(slist, q) for q in items]),
+        )
+        np.testing.assert_array_equal(
+            index.contains_batch(probes),
+            np.array([q in live for q in items]),
+        )
+        for q in items[:25]:
+            assert index.lookup(q) == bisect.bisect_left(slist, q)
+            assert index.contains(q) == (q in live)
+        lows = probes[:60]
+        highs = np.minimum(
+            lows + rng.integers(0, 50, 60), np.int64(2**63 - 1)
+        )
+        result = index.range_query_batch(lows, highs)
+        for i in range(60):
+            expected = slist[
+                bisect.bisect_left(slist, int(lows[i])):
+                bisect.bisect_right(slist, int(highs[i]))
+            ]
+            assert list(result[i]) == expected, i

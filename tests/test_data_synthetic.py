@@ -201,3 +201,96 @@ class TestSkewedWorkloads:
         assert hotspot_queries(empty, 10).size == 0
         lows, highs = scan_workload(empty, 10)
         assert lows.size == 0 and highs.size == 0
+
+
+# -- 64-bit key domains (ISSUE 5) ----------------------------------------------
+
+class TestKeyDomainParameterization:
+    """Generators accept full 64-bit domains, not just the 1e9 default."""
+
+    def test_uniform_min_key_domain(self):
+        from repro.data import uniform_keys
+
+        keys = uniform_keys(
+            2_000, min_key=2**62, max_key=2**62 + 10**9, seed=1
+        )
+        assert keys.dtype == np.int64
+        assert keys.size == 2_000
+        assert int(keys.min()) >= 2**62
+        assert np.all(keys[1:] > keys[:-1])
+
+    def test_uniform_rejects_empty_domain(self):
+        from repro.data import uniform_keys
+
+        with pytest.raises(ValueError):
+            uniform_keys(10, min_key=5, max_key=5)
+
+    def test_normal_and_clustered_min_key(self):
+        from repro.data import clustered_keys, normal_keys
+
+        for gen in (normal_keys, clustered_keys):
+            keys = gen(500, min_key=10**12, max_key=2 * 10**12, seed=2)
+            assert int(keys.min()) >= 10**12
+            assert int(keys.max()) <= 2 * 10**12
+            assert np.all(keys[1:] > keys[:-1])
+
+
+class TestU64Dense:
+    def test_shape_and_dtype(self):
+        from repro.data import u64_dense
+
+        keys = u64_dense(4_000, seed=3)
+        assert keys.dtype == np.uint64
+        assert np.all(keys[1:] > keys[:-1])  # sorted unique
+
+    def test_straddles_2p53_and_exceeds_2p63(self):
+        from repro.data import u64_dense
+
+        keys = u64_dense(4_000, seed=4)
+        assert int(keys.min()) < 2**53 < int(keys.max())
+        assert int(keys.max()) > 2**63
+
+    def test_adjacent_keys_collide_in_float64(self):
+        from repro.data import u64_dense
+
+        keys = u64_dense(4_000, seed=5)
+        # the generator's whole point: float64 cannot represent it
+        assert np.unique(keys.astype(np.float64)).size < keys.size
+
+    def test_start_override_and_validation(self):
+        from repro.data import u64_dense
+
+        keys = u64_dense(100, start=10**6, seed=6)
+        assert int(keys.min()) >= 10**6
+        with pytest.raises(ValueError):
+            u64_dense(1)
+        with pytest.raises(ValueError):
+            u64_dense(10, max_gap=0)
+
+    def test_osm_like_alias_and_registry(self):
+        from repro.data import integer_dataset, osm_like, u64_dense
+
+        np.testing.assert_array_equal(
+            osm_like(500, seed=7), u64_dense(500, seed=7)
+        )
+        ds = integer_dataset("osm_like", 500, seed=7)
+        np.testing.assert_array_equal(ds.keys, u64_dense(500, seed=7))
+
+    def test_indexable_by_rmi_exactly(self):
+        import bisect
+
+        from repro.core import RecursiveModelIndex
+        from repro.data import u64_dense
+
+        keys = u64_dense(3_000, seed=8)
+        index = RecursiveModelIndex(keys, stage_sizes=(1, 32))
+        oracle = [int(k) for k in keys]
+        rng = np.random.default_rng(9)
+        probes = np.unique(
+            np.concatenate([rng.choice(keys, 200),
+                            rng.choice(keys, 200) + np.uint64(1)])
+        )
+        np.testing.assert_array_equal(
+            index.lookup_batch(probes),
+            np.array([bisect.bisect_left(oracle, int(q)) for q in probes]),
+        )

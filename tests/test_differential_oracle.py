@@ -491,3 +491,213 @@ def test_lsm_matches_writable_reference(policy):
     expected = reference.range_query_batch(lows, highs)
     for i in range(30):
         np.testing.assert_array_equal(got[i], expected[i])
+
+
+# -- exact 64-bit regimes (ISSUE 5) ----------------------------------------------
+#
+# The float-probe replay above cannot exercise keys beyond 2^53 (the
+# probes themselves would round), so these regimes replay with native
+# Python-int probes against the same bisect oracle: adjacent keys
+# differing by 1 near 2^63, straddling the 2^53 float cliff, across
+# every index type plus the paged index and both storage engines.
+
+
+def huge_oracle_keys(regime: str, rng: np.random.Generator) -> np.ndarray:
+    if regime == "straddle_2p53":
+        parts = [
+            np.arange(2**53 - 300, 2**53 + 300, dtype=np.int64),
+            2**53 + np.cumsum(rng.integers(1, 4, 400)),
+        ]
+        return np.unique(np.concatenate(parts).astype(np.int64))
+    if regime == "adjacent_2p63":
+        parts = [
+            np.arange(2**63 - 500, 2**63 - 1, dtype=np.int64),
+            (2**63 - 40_000) + np.cumsum(rng.integers(1, 3, 700)),
+        ]
+        return np.unique(np.concatenate(parts).astype(np.int64))
+    raise ValueError(regime)
+
+
+def huge_oracle_probes(keys: np.ndarray, rng, n: int) -> list[int]:
+    lo, hi = int(keys.min()), int(keys.max())
+    picks = [int(k) for k in rng.choice(keys, n)]
+    out = picks + [min(max(k + int(d), 0), hi) for k, d in
+                   zip(picks, rng.integers(-2, 3, n))]
+    out += [lo - 1, lo, hi - 1, hi]
+    return out
+
+
+HUGE_ORACLE_REGIMES = ["straddle_2p53", "adjacent_2p63"]
+
+
+@pytest.mark.parametrize("regime", HUGE_ORACLE_REGIMES)
+@pytest.mark.parametrize("name", sorted(NUMERIC_FACTORIES))
+def test_numeric_index_matches_oracle_beyond_2p53(name, regime):
+    rng = np.random.default_rng(SEED + hash((name, regime, 64)) % 2**16)
+    keys = huge_oracle_keys(regime, rng)
+    # The regime is only meaningful if float64 would collide keys.
+    assert np.unique(keys.astype(np.float64)).size < keys.size
+    index = NUMERIC_FACTORIES[name](keys)
+    oracle = Oracle(int(k) for k in keys)
+    probes = huge_oracle_probes(keys, rng, 100)
+
+    for q in probes:
+        assert index.lookup(q) == oracle.lookup(q), (name, regime, "lookup", q)
+        assert index.contains(q) == oracle.contains(q), (
+            name, regime, "contains", q,
+        )
+        if hasattr(index, "upper_bound"):
+            assert index.upper_bound(q) == oracle.upper_bound(q), (
+                name, regime, "upper_bound", q,
+            )
+
+    batch = np.array(probes, dtype=np.int64)
+    np.testing.assert_array_equal(
+        index.lookup_batch(batch),
+        np.array([oracle.lookup(q) for q in probes]),
+        err_msg=f"{name}/{regime} lookup_batch",
+    )
+    np.testing.assert_array_equal(
+        index.contains_batch(batch),
+        np.array([oracle.contains(q) for q in probes]),
+        err_msg=f"{name}/{regime} contains_batch",
+    )
+    if hasattr(index, "upper_bound_batch"):
+        np.testing.assert_array_equal(
+            index.upper_bound_batch(batch),
+            np.array([oracle.upper_bound(q) for q in probes]),
+            err_msg=f"{name}/{regime} upper_bound_batch",
+        )
+
+    lows = np.array(huge_oracle_probes(keys, rng, 30), dtype=np.int64)
+    highs = np.minimum(
+        lows + rng.integers(0, 200, lows.size), np.int64(2**63 - 1)
+    )
+    result = index.range_query_batch(lows, highs)
+    for i in range(lows.size):
+        expected = oracle.range_query(int(lows[i]), int(highs[i]))
+        assert list(result[i]) == expected, (name, regime, "range", i)
+        scalar = index.range_query(int(lows[i]), int(highs[i]))
+        assert list(scalar) == expected, (name, regime, "range_scalar", i)
+
+
+@pytest.mark.parametrize("regime", HUGE_ORACLE_REGIMES)
+def test_paged_index_matches_oracle_beyond_2p53(regime):
+    from repro.core import PagedLearnedIndex
+
+    rng = np.random.default_rng(SEED + hash(regime) % 2**16)
+    keys = huge_oracle_keys(regime, rng)
+    index = PagedLearnedIndex(keys, page_size=64)
+    oracle = Oracle(int(k) for k in keys)
+    probes = huge_oracle_probes(keys, rng, 80)
+    batch = np.array(probes, dtype=np.int64)
+    np.testing.assert_array_equal(
+        index.lookup_batch(batch),
+        np.array([oracle.lookup(q) for q in probes]),
+    )
+    scalar = np.array([
+        page * index.page_size + slot
+        for page, slot in (index.lookup(q) for q in probes)
+    ])
+    np.testing.assert_array_equal(
+        scalar, np.array([oracle.lookup(q) for q in probes])
+    )
+    np.testing.assert_array_equal(
+        index.contains_batch(batch),
+        np.array([oracle.contains(q) for q in probes]),
+    )
+    lows = np.array(huge_oracle_probes(keys, rng, 25), dtype=np.int64)
+    highs = np.minimum(
+        lows + rng.integers(0, 150, lows.size), np.int64(2**63 - 1)
+    )
+    result = index.range_query_batch(lows, highs)
+    for i in range(lows.size):
+        assert list(result[i]) == oracle.range_query(
+            int(lows[i]), int(highs[i])
+        ), i
+
+
+def test_writable_matches_oracle_beyond_2p53():
+    rng = np.random.default_rng(SEED + 64)
+    keys = huge_oracle_keys("adjacent_2p63", rng)
+    index = WritableLearnedIndex(
+        keys[::2].copy(), stage_sizes=(1, 32), merge_threshold=300
+    )
+    oracle = SetOracle(keys[::2])
+    lo, hi = int(keys.min()) - 10, int(keys.max())
+    for _ in range(600):
+        key = min(int(rng.choice(keys)) + int(rng.integers(-2, 3)), hi)
+        op = rng.random()
+        if op < 0.5:
+            index.insert(key)
+            oracle.insert(key)
+        elif op < 0.9:
+            index.delete(key)
+            oracle.delete(key)
+        else:
+            index.merge()
+    index.merge()
+    live = sorted(oracle.live)
+    probes = huge_oracle_probes(keys, rng, 150)
+    batch = np.array(probes, dtype=np.int64)
+    np.testing.assert_array_equal(
+        index.contains_batch(batch),
+        np.array([oracle.contains(q) for q in probes]),
+    )
+    np.testing.assert_array_equal(
+        index.lookup_batch(batch),
+        np.array([bisect.bisect_left(live, q) for q in probes]),
+    )
+    np.testing.assert_array_equal(
+        index.upper_bound_batch(batch),
+        np.array([bisect.bisect_right(live, q) for q in probes]),
+    )
+    for q in probes[:20]:
+        assert index.lookup(q) == bisect.bisect_left(live, q)
+
+
+def test_lsm_store_matches_oracle_beyond_2p53():
+    rng = np.random.default_rng(SEED + 65)
+    keys = huge_oracle_keys("adjacent_2p63", rng)
+    store = LearnedLSMStore(keys, memtable_capacity=150)
+    oracle = KVOracle()
+    for k in keys.tolist():
+        oracle.insert(k, k)
+    hi = int(keys.max())
+    for _ in range(800):
+        key = min(int(rng.choice(keys)) + int(rng.integers(-2, 3)), hi)
+        op = rng.random()
+        if op < 0.5:
+            value = int(rng.integers(0, 10**9))
+            store.insert(key, value)
+            oracle.insert(key, value)
+        else:
+            store.delete(key)
+            oracle.delete(key)
+    probes = huge_oracle_probes(keys, rng, 200)
+    batch = np.array(probes, dtype=np.int64)
+    values, found = store.lookup_batch(batch)
+    np.testing.assert_array_equal(
+        found, np.array([oracle.lookup(q) is not None for q in probes])
+    )
+    hits = np.nonzero(found)[0]
+    np.testing.assert_array_equal(
+        values[hits],
+        np.array([oracle.lookup(probes[i]) for i in hits], dtype=np.int64),
+    )
+    for q in probes[:25]:
+        assert store.lookup(q) == oracle.lookup(q)
+    lows = np.array(huge_oracle_probes(keys, rng, 30), dtype=np.int64)
+    highs = np.minimum(
+        lows + rng.integers(0, 120, lows.size), np.int64(2**63 - 1)
+    )
+    result = store.range_query_batch(lows, highs)
+    items, item_values = store.range_items_batch(lows, highs)
+    for i in range(lows.size):
+        expected = oracle.range_query(int(lows[i]), int(highs[i]))
+        assert list(result[i]) == expected, i
+        assert list(items[i]) == expected, i
+        o0, o1 = int(items.offsets[i]), int(items.offsets[i + 1])
+        assert [oracle.lookup(int(k)) for k in items.values[o0:o1]] == list(
+            item_values[o0:o1]
+        ), i

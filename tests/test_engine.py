@@ -1,0 +1,242 @@
+"""Unit tests for the unified dtype-aware query core (ISSUE 5).
+
+The engine's contract: every comparison runs in the key column's
+native dtype, so integer keys at or beyond 2^53 never round together;
+float queries against integer columns compare as exact integer
+ceilings; cross-dtype integer queries clamp to the column's range with
+correct boundary semantics.
+"""
+
+import bisect
+
+import numpy as np
+import pytest
+
+from repro.core import RecursiveModelIndex
+from repro.core.engine import (
+    CompiledPlan,
+    QueryBatch,
+    SortedKeyColumn,
+    upper_bounds_batch,
+)
+
+
+def bisect_lb(keys, q):
+    return bisect.bisect_left(keys, q)
+
+
+class TestPrepare:
+    def test_same_dtype_passthrough(self):
+        keys = np.array([1, 5, 9], dtype=np.int64)
+        column = SortedKeyColumn(keys)
+        q = np.array([0, 5, 10], dtype=np.int64)
+        qb = column.prepare(q)
+        assert qb.compare is q
+        assert qb.exactable is None
+        assert qb.oob_high is None
+
+    def test_prepare_idempotent(self):
+        column = SortedKeyColumn(np.array([1, 2], dtype=np.int64))
+        qb = column.prepare(np.array([1.5]))
+        assert column.prepare(qb) is qb
+
+    def test_float_queries_ceil_semantics(self):
+        column = SortedKeyColumn(np.array([1, 4, 4, 9], dtype=np.int64))
+        qb = column.prepare(np.array([3.5, 4.0, 4.5, -0.5]))
+        np.testing.assert_array_equal(qb.compare, [4, 4, 5, 0])
+        np.testing.assert_array_equal(qb.exactable, [False, True, False, False])
+
+    def test_float_queries_beyond_int64_max(self):
+        top = 2**63 - 1
+        column = SortedKeyColumn(np.array([0, top], dtype=np.int64))
+        qb = column.prepare(np.array([2.0**63, 1e300, float(2**62)]))
+        assert qb.oob_high is not None
+        np.testing.assert_array_equal(qb.oob_high, [True, True, False])
+        # lower bounds: above-max queries land at n even though a key
+        # equals the clamp target's neighbourhood
+        np.testing.assert_array_equal(
+            column.lower_bounds(np.array([2.0**63, 1e300])), [2, 2]
+        )
+
+    def test_float_queries_below_int64_min(self):
+        column = SortedKeyColumn(np.array([-5, 3], dtype=np.int64))
+        pos = column.lower_bounds(np.array([-1e300, -5.5, -5.0]))
+        np.testing.assert_array_equal(pos, [0, 0, 0])
+        qb = column.prepare(np.array([-1e300]))
+        assert not qb.exactable[0]
+
+    def test_nan_queries_do_not_crash(self):
+        column = SortedKeyColumn(np.array([1, 2, 3], dtype=np.int64))
+        qb = column.prepare(np.array([np.nan, 2.0]))
+        assert not qb.exactable[0]
+        assert qb.exactable[1]
+        column.lower_bounds(np.array([np.nan]))  # position unspecified
+
+    def test_uint64_column_negative_int_queries(self):
+        column = SortedKeyColumn(np.array([0, 7], dtype=np.uint64))
+        qb = column.prepare(np.array([-3, 0, 7], dtype=np.int64))
+        np.testing.assert_array_equal(
+            column.lower_bounds(qb), [0, 0, 1]
+        )
+        np.testing.assert_array_equal(
+            column.contains_at(qb, column.lower_bounds(qb)),
+            [False, True, True],
+        )
+
+    def test_int64_column_uint64_queries_above_max(self):
+        top = 2**63 - 1
+        column = SortedKeyColumn(np.array([top - 1, top], dtype=np.int64))
+        q = np.array([top, 2**63, 2**64 - 1], dtype=np.uint64)
+        qb = column.prepare(q)
+        np.testing.assert_array_equal(column.lower_bounds(qb), [1, 2, 2])
+        np.testing.assert_array_equal(
+            column.contains_at(qb, column.lower_bounds(qb)),
+            [True, False, False],
+        )
+
+    def test_small_int_queries_safe_cast(self):
+        column = SortedKeyColumn(np.array([10, 20], dtype=np.int64))
+        qb = column.prepare(np.array([15], dtype=np.int32))
+        assert qb.compare.dtype == np.int64
+        assert qb.exactable is None
+
+    def test_float_column_compares_float64(self):
+        column = SortedKeyColumn(np.array([0.5, 1.5], dtype=np.float64))
+        qb = column.prepare(np.array([1], dtype=np.int64))
+        assert qb.compare.dtype == np.float64
+        np.testing.assert_array_equal(column.lower_bounds(qb), [1])
+
+    def test_object_arrays_fall_back_to_float(self):
+        column = SortedKeyColumn(np.array([1, 2], dtype=np.int64))
+        qb = column.prepare([1, 2.5])
+        np.testing.assert_array_equal(qb.compare, [1, 3])
+
+
+class TestExactPrimitives:
+    KEYS = np.array(
+        [2**53 - 1, 2**53, 2**53 + 1, 2**63 - 3, 2**63 - 2, 2**63 - 1],
+        dtype=np.int64,
+    )
+
+    def test_lower_bounds_adjacent_keys(self):
+        column = SortedKeyColumn(self.KEYS)
+        keys = [int(k) for k in self.KEYS]
+        # (2^63 - 1) + 1 overflows int64; build probes in Python space
+        probes = np.array(
+            [min(k + d, 2**63 - 1) for k in keys for d in (-1, 0, 1)],
+            dtype=np.int64,
+        )
+        expected = [bisect_lb(keys, int(q)) for q in probes]
+        np.testing.assert_array_equal(
+            column.lower_bounds(probes), expected
+        )
+
+    def test_float64_would_collide(self):
+        # Sanity: the dataset genuinely exceeds float64 resolution, so
+        # the old float64-cast path could not have answered it.
+        assert np.unique(self.KEYS.astype(np.float64)).size < self.KEYS.size
+
+    def test_upper_bounds_widening(self):
+        keys = np.array([5, 7, 7, 7, 9], dtype=np.int64)
+        column = SortedKeyColumn(keys)
+        qb = column.prepare(np.array([7.0, 7.5, 6.0]))
+        lbs = column.lower_bounds(qb)
+        ubs = column.upper_bounds(qb, lbs)
+        expected = [bisect.bisect_right([5, 7, 7, 7, 9], q)
+                    for q in (7.0, 7.5, 6.0)]
+        np.testing.assert_array_equal(ubs, expected)
+
+    def test_upper_bounds_batch_wrapper(self):
+        keys = np.array([2**62, 2**62, 2**63 - 1], dtype=np.int64)
+        highs = np.array([2**62, 2**63 - 1], dtype=np.int64)
+        lbs = np.array([0, 2], dtype=np.int64)
+        np.testing.assert_array_equal(
+            upper_bounds_batch(keys, highs, lbs), [2, 3]
+        )
+
+    def test_rank_in_right_side_float_semantics(self):
+        # count of values <= 3.5 equals count of values < 4
+        column = SortedKeyColumn(np.empty(0, dtype=np.int64))
+        aux = np.array([1, 3, 4, 4, 8], dtype=np.int64)
+        qb = column.prepare(np.array([3.5, 4.0, 100.0]))
+        np.testing.assert_array_equal(
+            column.rank_in(aux, qb, side="right"), [2, 4, 5]
+        )
+        np.testing.assert_array_equal(
+            column.rank_in(aux, qb, side="left"), [2, 2, 5]
+        )
+
+    def test_bounded_lower_bounds_matches_searchsorted(self):
+        rng = np.random.default_rng(11)
+        keys = np.unique(rng.integers(2**62, 2**63 - 1, 3_000))
+        column = SortedKeyColumn(keys)
+        probes = np.concatenate(
+            [rng.choice(keys, 300), rng.choice(keys, 300) + 1]
+        )
+        qb = column.prepare(probes)
+        n = keys.size
+        lo = np.zeros(probes.size, dtype=np.int64)
+        hi = np.full(probes.size, n, dtype=np.int64)
+        pos, fixups = column.bounded_lower_bounds(qb, lo, hi)
+        np.testing.assert_array_equal(pos, np.searchsorted(keys, probes))
+
+
+class TestQueryBatchTake:
+    def test_take_preserves_masks(self):
+        column = SortedKeyColumn(np.array([1, 5], dtype=np.int64))
+        qb = column.prepare(np.array([0.5, 5.0, 2.0**63]))
+        sub = qb.take(np.array([0, 2]))
+        np.testing.assert_array_equal(sub.compare, [1, qb.compare[2]])
+        np.testing.assert_array_equal(sub.exactable, [False, False])
+        np.testing.assert_array_equal(sub.oob_high, [False, True])
+
+
+class TestCompiledPlanMatchesRMI:
+    def test_windows_match_scalar_predict(self):
+        rng = np.random.default_rng(3)
+        keys = np.unique(rng.integers(0, 10**9, 5_000))
+        index = RecursiveModelIndex(keys, stage_sizes=(1, 64))
+        plan = index._plan
+        assert isinstance(plan, CompiledPlan)
+        probes = rng.choice(keys, 200).astype(np.float64)
+        qb = index._column.prepare(probes)
+        lo, hi = plan.windows(qb)
+        for i, q in enumerate(probes):
+            _est, slo, shi = index.predict(float(q))
+            assert (lo[i], hi[i]) == (slo, shi)
+
+    def test_plan_is_the_only_batch_engine(self):
+        # The RMI's batch surface must be a thin adapter: no local
+        # implementation of the bounded search or window widening.
+        import inspect
+
+        import repro.core.rmi as rmi_mod
+
+        src = inspect.getsource(rmi_mod)
+        assert "vectorized_bounded_search(" not in src
+        assert "np.unique(queries, return_inverse" not in src
+
+    def test_plan_lookup_sorted_identical(self):
+        keys = np.unique(
+            np.random.default_rng(5).integers(2**62, 2**63 - 2, 4_000)
+        )
+        index = RecursiveModelIndex(keys, stage_sizes=(1, 32))
+        probes = np.concatenate([keys[::3], keys[::3] + 1, keys[:5]])
+        np.testing.assert_array_equal(
+            index.lookup_batch(probes, sort=True),
+            index.lookup_batch(probes, sort=False),
+        )
+
+
+class TestEmptyColumn:
+    def test_empty_column_all_primitives(self):
+        column = SortedKeyColumn(np.empty(0, dtype=np.int64))
+        qb = column.prepare(np.array([1.0, 2.0]))
+        np.testing.assert_array_equal(column.lower_bounds(qb), [0, 0])
+        np.testing.assert_array_equal(
+            column.contains_at(qb, np.zeros(2, dtype=np.int64)),
+            [False, False],
+        )
+        np.testing.assert_array_equal(
+            column.upper_bounds(qb, np.zeros(2, dtype=np.int64)), [0, 0]
+        )

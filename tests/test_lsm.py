@@ -5,11 +5,13 @@ import pytest
 
 from repro.bloom import BloomFilter
 from repro.lsm import (
+    LearnedBloomGuard,
     LearnedLSMStore,
     LeveledCompaction,
     Memtable,
     SizeTieredCompaction,
     SortedRun,
+    learned_bloom_factory,
     merge_runs,
 )
 from repro.range_scan import RangeScanResult, merge_scan_results
@@ -414,3 +416,206 @@ class TestBloomBatchEquivalence:
         np.testing.assert_array_equal(
             bloom.contains_batch(probes), expected
         )
+
+
+# -- range_items_batch (ISSUE 5 satellite) -------------------------------------
+
+class TestRangeItemsBatch:
+    """(key, value) range reads: the merge_scan_results payload gather."""
+
+    def build(self):
+        rng = np.random.default_rng(0x17EB5)
+        keys = np.unique(rng.integers(0, 20_000, 1_500)).astype(np.int64)
+        store = LearnedLSMStore(
+            keys, values=keys * 3, memtable_capacity=120
+        )
+        truth = {int(k): int(k) * 3 for k in keys}
+        # Overwrites across runs (newest wins), deletes, and fresh keys
+        # still buffered in the memtable.
+        for k in keys[::5].tolist():
+            store.insert(k, k + 7)
+            truth[k] = k + 7
+        for k in keys[1::9].tolist():
+            store.delete(k)
+            truth.pop(k, None)
+        for k in range(20_001, 20_040):
+            store.insert(k, k * 2)
+            truth[k] = k * 2
+        return store, truth
+
+    def test_items_match_oracle(self):
+        store, truth = self.build()
+        rng = np.random.default_rng(3)
+        lows = rng.integers(-10, 20_050, 60)
+        highs = lows + rng.integers(-20, 500, 60)
+        result, values = store.range_items_batch(lows, highs)
+        keys_only = store.range_query_batch(lows, highs)
+        np.testing.assert_array_equal(result.offsets, keys_only.offsets)
+        np.testing.assert_array_equal(result.values, keys_only.values)
+        assert values.size == result.total
+        for j, key in enumerate(np.asarray(result.values).tolist()):
+            assert values[j] == truth[key], (j, key)
+
+    def test_items_empty_batch(self):
+        store, _ = self.build()
+        result, values = store.range_items_batch([], [])
+        assert len(result) == 0
+        assert values.size == 0
+
+    def test_items_inverted_and_empty_ranges(self):
+        store, _ = self.build()
+        result, values = store.range_items_batch([500, 100], [400, 100 - 1])
+        assert result.total == 0
+        assert values.size == 0
+
+    def test_run_level_value_gather(self):
+        keys = np.array([1, 3, 5, 9], dtype=np.int64)
+        run = SortedRun(keys, values=keys * 10)
+        result, flags, values = run.range_scan_batch(
+            np.array([0, 4]), np.array([5, 9]), with_values=True
+        )
+        np.testing.assert_array_equal(result.values, [1, 3, 5, 5, 9])
+        np.testing.assert_array_equal(values, [10, 30, 50, 50, 90])
+        assert not flags.any()
+
+    def test_merge_scan_results_payloads(self):
+        newer = _rsr([5, 7], [0, 2])
+        older = _rsr([5, 8], [0, 2])
+        merged, payloads = merge_scan_results(
+            [newer, older],
+            payloads=[np.array([50, 70]), np.array([-5, 80])],
+        )
+        np.testing.assert_array_equal(merged.values, [5, 7, 8])
+        np.testing.assert_array_equal(payloads, [50, 70, 80])
+
+    def test_merge_scan_results_payload_length_mismatch(self):
+        source = _rsr([5, 7], [0, 2])
+        with pytest.raises(ValueError):
+            merge_scan_results([source], payloads=[np.array([1])])
+
+
+# -- learned bloom guard (ISSUE 5 satellite) -----------------------------------
+
+class _HashScoreModel:
+    """Deterministic stand-in classifier: crc32-derived scores in [0, 1).
+
+    Scores are arbitrary but stable, so roughly half the keys fall
+    below any tuned tau — exercising the overflow filter — while the
+    zero-false-negative construction must still answer every stored
+    key True.
+    """
+
+    def predict_proba_one(self, key: str) -> float:
+        import zlib
+
+        return (zlib.crc32(key.encode()) % 4096) / 4096.0
+
+    def predict_proba(self, keys):
+        return np.array([self.predict_proba_one(k) for k in keys])
+
+    def size_bytes(self) -> int:
+        return 64
+
+
+class TestLearnedBloomGuard:
+    VALIDATION = [f"v:{i}" for i in range(512)]
+
+    def factory(self):
+        return learned_bloom_factory(_HashScoreModel, self.VALIDATION)
+
+    def test_guard_has_no_false_negatives(self):
+        run = SortedRun(
+            np.arange(0, 2_000, 3, dtype=np.int64),
+            bloom_factory=self.factory(),
+        )
+        assert isinstance(run.bloom, LearnedBloomGuard)
+        assert run.bloom.size_bytes() > 0
+        hits = run.bloom_contains_batch(run.keys)
+        assert hits.all(), "learned bloom must never reject a stored key"
+        for k in run.keys[:50].tolist():
+            assert k in run.bloom
+
+    def test_empty_run_guard(self):
+        guard = self.factory()(0, 0.01)
+        assert 5 not in guard
+        assert not guard.contains_batch(np.array([1, 2])).any()
+        assert guard.size_bytes() == 0
+
+    def test_learned_guarded_store_oracle_identical(self):
+        """A learned-bloom-guarded store answers exactly like the
+        default-bloom store and the dict oracle (guards can only skip
+        probes, never change answers — zero false negatives)."""
+        rng = np.random.default_rng(0xB100)
+        base = np.unique(rng.integers(0, 30_000, 2_000)).astype(np.int64)
+        learned = LearnedLSMStore(
+            base, memtable_capacity=250, bloom_factory=self.factory()
+        )
+        standard = LearnedLSMStore(base, memtable_capacity=250)
+        truth = {int(k): int(k) for k in base}
+        for _ in range(1_200):
+            key = int(rng.integers(-50, 30_050))
+            op = rng.random()
+            if op < 0.5:
+                value = int(rng.integers(0, 10**9))
+                learned.insert(key, value)
+                standard.insert(key, value)
+                truth[key] = value
+            elif op < 0.85:
+                learned.delete(key)
+                standard.delete(key)
+                truth.pop(key, None)
+            else:
+                learned.flush()
+                standard.flush()
+        assert learned.num_runs > 1, "test must exercise multi-run reads"
+        probes = rng.integers(-100, 30_100, 600)
+        values, found = learned.lookup_batch(probes)
+        std_values, std_found = standard.lookup_batch(probes)
+        np.testing.assert_array_equal(found, std_found)
+        np.testing.assert_array_equal(values, std_values)
+        np.testing.assert_array_equal(
+            found, np.array([int(q) in truth for q in probes])
+        )
+        hits = np.nonzero(found)[0]
+        np.testing.assert_array_equal(
+            values[hits],
+            np.array([truth[int(probes[i])] for i in hits], dtype=np.int64),
+        )
+        for q in probes[:30].tolist():
+            assert learned.lookup(q) == truth.get(q)
+
+    def test_guard_filters_some_negatives(self):
+        rng = np.random.default_rng(0xB101)
+        store = LearnedLSMStore(
+            memtable_capacity=10**15,
+            compaction=SizeTieredCompaction(min_runs=100),
+            bloom_factory=self.factory(),
+        )
+        for _ in range(4):
+            store.insert_batch(rng.integers(0, 10**6, 2_000))
+            store.flush()
+        absent = rng.integers(2 * 10**6, 3 * 10**6, 2_000)
+        store.read_stats.reset()
+        store.lookup_batch(absent)
+        assert store.read_stats.bloom_rejects > 0
+
+
+class TestMemtableEndpointExactness:
+    """Regression: memtable-resident data must resolve float range
+    endpoints through the query core exactly like run-resident data
+    (a raw searchsorted promoted the int64 snapshot to float64, so
+    2^53+1 fell inside the range [2^53, 2^53])."""
+
+    def test_buffered_and_sealed_answers_match(self):
+        key = 2**53 + 1
+        store = LearnedLSMStore(memtable_capacity=10**9)
+        store.insert(key)
+        lows, highs = [float(2**53)], [float(2**53)]
+        buffered = store.range_query_batch(lows, highs)
+        assert list(buffered[0]) == []
+        assert list(store.range_query_batch([key], [key])[0]) == [key]
+        items, _values = store.range_items_batch(lows, highs)
+        assert items.total == 0
+        store.flush()
+        sealed = store.range_query_batch(lows, highs)
+        assert list(sealed[0]) == list(buffered[0])
