@@ -29,6 +29,11 @@ five things (ISSUE 1 + ISSUE 2 + ISSUE 3 + ISSUE 4):
   guard effectiveness on a 10-run store (negative-run probes
   eliminated), and a YCSB-style mixed read/write workload under
   uniform and zipfian skew;
+* **durability** (ISSUE 6) — the WAL tax and the recovery path:
+  sustained insert throughput with fsync-per-batch WAL on vs the
+  memory-only store (gate at 1M keys: within 2x), cold-reopen latency
+  at N keys with the O(metadata) laziness invariant checked, and
+  WAL-replay recovery time for an unsealed tail;
 * **unified query core** (ISSUE 5) — exact 64-bit batch lookups on the
   ``u64_dense`` dataset (adjacent keys straddling 2^53 and crossing
   2^63), the count of answers the old float64-upcast baseline would
@@ -871,6 +876,147 @@ def render_lsm(
     return out + "\n" + mixed_table.render()
 
 
+# -- durability (ISSUE 6) ------------------------------------------------------
+
+#: ISSUE 6 acceptance: WAL-on insert throughput within 2x of the
+#: memory-only store (ratio >= 0.5), judged at the 1M-key config.
+DURABILITY_MIN_WAL_RATIO = 0.5
+
+
+@dataclass(frozen=True)
+class DurabilityResult:
+    n: int
+    inserted: int
+    mem_insert_keys_per_sec: float
+    wal_insert_keys_per_sec: float
+    wal_vs_mem_ratio: float
+    reopen_seconds: float
+    reopen_lazy: bool
+    first_query_seconds: float
+    replay_records: int
+    replay_seconds: float
+
+
+def run_durability(n: int, seed: int = 42) -> DurabilityResult:
+    """The price of the durability layer, measured three ways.
+
+    *Insert tax*: the same random batches land in a memory-only store
+    and a durable one (fsync-per-batch WAL, run files, manifest
+    commits); the ratio is the sustained cost of crash safety.
+    *Cold reopen*: after a full compact + close, reopening must be
+    O(metadata) — the laziness invariant is checked structurally
+    (``is_loaded_lazy`` on every run) on top of the wall-clock number,
+    and the first batch query then pays the mapping cost exactly once.
+    *Replay*: an unsealed WAL tail (a simulated kill -9 with buffered
+    writes) is replayed into the memtable on open.
+    """
+    import shutil
+    import tempfile
+
+    rng = np.random.default_rng(seed + 29)
+    batch_size = 8_192
+    num_batches = max(n // batch_size, 4)
+    batches = [
+        rng.integers(0, 1 << 62, batch_size, dtype=np.int64)
+        for _ in range(num_batches)
+    ]
+    capacity = max(n // 16, 4_096)
+    probes = rng.integers(0, 1 << 62, 20_000, dtype=np.int64)
+
+    mem = LearnedLSMStore(memtable_capacity=capacity)
+    start = time.perf_counter()
+    for batch in batches:
+        mem.insert_batch(batch)
+    mem_s = time.perf_counter() - start
+    mem.close()
+
+    directory = tempfile.mkdtemp(prefix="bench-lsm-")
+    try:
+        durable = LearnedLSMStore(path=directory, memtable_capacity=capacity)
+        start = time.perf_counter()
+        for batch in batches:
+            durable.insert_batch(batch)
+        wal_s = time.perf_counter() - start
+        durable.compact()
+        durable.close()
+
+        start = time.perf_counter()
+        reopened = LearnedLSMStore(path=directory)
+        reopen_s = time.perf_counter() - start
+        reopen_lazy = bool(reopened.runs) and all(
+            run.is_loaded_lazy() for run in reopened.runs
+        )
+        start = time.perf_counter()
+        reopened.lookup_batch(probes)
+        first_query_s = time.perf_counter() - start
+
+        # Unsealed tail: buffered writes whose only record is the WAL.
+        tail = rng.integers(0, 1 << 62, capacity - 1, dtype=np.int64)
+        for offset in range(0, tail.size, 1_024):
+            reopened.insert_batch(tail[offset:offset + 1_024])
+        # Simulated kill -9: abandon without close, then time recovery.
+        start = time.perf_counter()
+        recovered = LearnedLSMStore(path=directory)
+        replay_s = time.perf_counter() - start
+        replay_records = recovered.recovered_wal_records
+        reopened.close()
+        recovered.close()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+    inserted = num_batches * batch_size
+    return DurabilityResult(
+        n=n,
+        inserted=inserted,
+        mem_insert_keys_per_sec=inserted / mem_s,
+        wal_insert_keys_per_sec=inserted / wal_s,
+        wal_vs_mem_ratio=mem_s / wal_s,
+        reopen_seconds=reopen_s,
+        reopen_lazy=reopen_lazy,
+        first_query_seconds=first_query_s,
+        replay_records=replay_records,
+        replay_seconds=replay_s,
+    )
+
+
+def render_durability(result: DurabilityResult) -> str:
+    table = Table(
+        "Durability: WAL-on insert tax, cold reopen, WAL replay",
+        [
+            "n",
+            "inserted",
+            "mem-only keys/s",
+            "WAL-on keys/s",
+            "ratio",
+            "cold reopen",
+            "lazy",
+            "first query",
+            "replayed recs",
+            "replay",
+        ],
+    )
+    table.add_row(
+        f"{result.n:,}",
+        f"{result.inserted:,}",
+        f"{result.mem_insert_keys_per_sec:,.0f}",
+        f"{result.wal_insert_keys_per_sec:,.0f}",
+        f"{result.wal_vs_mem_ratio:.2f}x",
+        f"{result.reopen_seconds * 1e3:,.1f}ms",
+        "yes" if result.reopen_lazy else "NO",
+        f"{result.first_query_seconds * 1e3:,.1f}ms",
+        f"{result.replay_records:,}",
+        f"{result.replay_seconds * 1e3:,.1f}ms",
+    )
+    out = table.render()
+    out += (
+        f"\nWAL-on insert throughput vs memory-only: "
+        f"{result.wal_vs_mem_ratio:.2f}x "
+        f"(acceptance floor {DURABILITY_MIN_WAL_RATIO:.2f}x at n=1M); "
+        f"reopen is O(metadata): {result.reopen_lazy}"
+    )
+    return out
+
+
 # -- unified query core (ISSUE 5) ---------------------------------------------
 
 
@@ -1147,6 +1293,10 @@ def main(argv: list[str] | None = None) -> int:
     print()
     print(render_lsm(lsm_writes, lsm_speedup, lsm_bloom, lsm_mixed))
 
+    durability = run_durability(args.n)
+    print()
+    print(render_durability(durability))
+
     # Query-core section (ISSUE 5): exact 64-bit throughput plus the
     # no->10%-regression gate on the 1M-uniform batch path, judged
     # against the previous trajectory entry at the same configuration
@@ -1225,6 +1375,10 @@ def main(argv: list[str] | None = None) -> int:
                 "bloom": asdict(lsm_bloom),
                 "mixed": [asdict(r) for r in lsm_mixed],
             },
+            "durability": {
+                "min_wal_ratio": DURABILITY_MIN_WAL_RATIO,
+                "result": asdict(durability),
+            },
             "query_core": {
                 "max_regression": QUERY_CORE_MAX_REGRESSION,
                 "uniform_batch_ops_per_sec": current_uniform_ops,
@@ -1244,11 +1398,16 @@ def main(argv: list[str] | None = None) -> int:
         and lsm_bloom.eliminated_fraction >= LSM_MIN_BLOOM_ELIMINATION
         and query_core.float64_baseline_mismatches > 0
     )
+    # The laziness invariant is structural, not a timing: it holds at
+    # any scale, so it gates even smoke runs.
+    ok = ok and durability.reopen_lazy
     if args.n >= 1_000_000:
         # The ISSUE 3 build and ISSUE 4 insert floors are defined at 1M
         # keys; smaller (e.g. smoke) runs report but don't gate on them.
         ok = ok and build_acceptance >= BUILD_MIN_SPEEDUP
         ok = ok and lsm_speedup >= LSM_MIN_INSERT_SPEEDUP
+        # ISSUE 6 gate: crash safety may not halve insert throughput.
+        ok = ok and durability.wal_vs_mem_ratio >= DURABILITY_MIN_WAL_RATIO
         # ISSUE 5 gate: the exact engine costs <= 10% on the 1M-uniform
         # batch path vs the previous trajectory entry (shared runners
         # at smoke scale are too noisy to gate on).

@@ -1,0 +1,109 @@
+"""Scenario: a crash-safe key-value store that survives kill -9.
+
+The PR 6 durability layer turns :class:`repro.lsm.LearnedLSMStore`
+into a database: every acknowledged write is fsynced into a
+write-ahead log before the call returns, seals and compactions publish
+checksummed run files under an atomically swapped manifest, and
+reopening the directory recovers exactly the acknowledged state — no
+matter where the process died.
+
+This example walks the full lifecycle:
+
+1. build a durable store and load an order ledger into it;
+2. simulate a kill -9 with writes still buffered (no close, no flush)
+   and show the WAL replaying them on reopen;
+3. show the cold reopen being O(metadata) — million-key run files are
+   memmapped lazily, not read — and the first query paying the
+   materialization cost exactly once;
+4. flip one byte in a run file and show the checksum layer refusing to
+   answer rather than answering wrong.
+
+Run:  python examples/lsm_persistent_store.py
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+
+from repro.lsm import (
+    CorruptRunError,
+    LearnedLSMStore,
+    RealFileSystem,
+    flip_byte,
+    load_manifest,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(6)
+    directory = tempfile.mkdtemp(prefix="learned-lsm-")
+    print(f"durable store at {directory}\n")
+
+    # -- 1. load a ledger ----------------------------------------------------
+    n = 1_000_000
+    order_ids = np.unique(rng.integers(0, 1 << 48, n, dtype=np.int64))
+    amounts = rng.integers(100, 1_000_000, order_ids.size, dtype=np.int64)
+    print(f"writing {order_ids.size:,} orders (fsync-per-batch WAL on)")
+    start = time.perf_counter()
+    store = LearnedLSMStore(path=directory, memtable_capacity=65_536)
+    for lo in range(0, order_ids.size, 65_536):
+        store.insert_batch(order_ids[lo:lo + 65_536], amounts[lo:lo + 65_536])
+    store.compact()
+    print(f"  loaded + compacted in {time.perf_counter() - start:.2f}s; "
+          f"{store}")
+
+    # -- 2. kill -9 with buffered writes -------------------------------------
+    late_ids = rng.integers(1 << 48, 1 << 49, 10_000, dtype=np.int64)
+    late_amounts = rng.integers(100, 1_000_000, 10_000, dtype=np.int64)
+    store.insert_batch(late_ids, late_amounts)
+    refunded = order_ids[:500]
+    store.delete_batch(refunded)
+    print(f"\n10,000 late orders + 500 refunds acknowledged, then... "
+          f"kill -9 (no close, no flush)")
+    del store  # the WAL is now the only record of the buffered tail
+
+    start = time.perf_counter()
+    store = LearnedLSMStore(path=directory)
+    print(f"  reopened in {(time.perf_counter() - start) * 1e3:.1f}ms: "
+          f"replayed {store.recovered_wal_records} WAL records, "
+          f"runs lazy: {all(r.is_loaded_lazy() for r in store.runs)}")
+    values, found = store.lookup_batch(late_ids)
+    assert found.all() and np.array_equal(values, late_amounts)
+    assert not store.contains_batch(refunded).any()
+    print("  every acknowledged write survived; every refund held")
+
+    # -- 3. cold reopen is O(metadata) ---------------------------------------
+    store.close()
+    start = time.perf_counter()
+    with LearnedLSMStore(path=directory) as cold:
+        reopen_ms = (time.perf_counter() - start) * 1e3
+        lazy = all(r.is_loaded_lazy() for r in cold.runs)
+        start = time.perf_counter()
+        sample = rng.choice(order_ids[500:], 50_000)
+        _, found = cold.lookup_batch(sample)
+        query_ms = (time.perf_counter() - start) * 1e3
+        print(f"\ncold reopen of {len(cold):,} live keys: {reopen_ms:.1f}ms "
+              f"(lazy={lazy}); first 50k-query batch: {query_ms:.1f}ms "
+              f"({int(found.sum()):,} hits)")
+
+    # -- 4. corruption is detected, never served -----------------------------
+    state = load_manifest(RealFileSystem(), directory)
+    run_file = os.path.join(directory, state["runs"][0]["file"])
+    flip_byte(run_file, os.path.getsize(run_file) // 2)
+    print(f"\nflipped one byte in {os.path.basename(run_file)}")
+    with LearnedLSMStore(path=directory) as damaged:
+        try:
+            damaged.lookup_batch(sample)
+            print("  BUG: corrupt data answered a query")
+        except CorruptRunError as exc:
+            print(f"  query refused: {type(exc).__name__}: {exc}")
+
+    shutil.rmtree(directory)
+    print("\n(demo directory removed)")
+
+
+if __name__ == "__main__":
+    main()

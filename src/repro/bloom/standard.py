@@ -13,6 +13,7 @@ from :meth:`BloomFilter.size_bytes` at each target FPR.
 from __future__ import annotations
 
 import math
+import struct
 
 import numpy as np
 
@@ -167,6 +168,43 @@ class BloomFilter:
             )
         probes = (self._bits[positions >> 3] >> (positions & 7)) & 1
         return probes.all(axis=1)
+
+    # -- serialization ------------------------------------------------------------
+
+    _WIRE = struct.Struct("<4sIIQ")
+    _WIRE_MAGIC = b"BLM1"
+
+    def to_bytes(self) -> bytes:
+        """Wire form: packed parameters + the raw bit array.
+
+        Bit-exact round trip with :meth:`from_bytes` — a persisted LSM
+        run reloads its guard instead of rehashing every key, and the
+        reloaded filter answers every probe identically (same bits,
+        same double-hashing schedule).
+        """
+        return self._WIRE.pack(
+            self._WIRE_MAGIC, self.num_bits, self.num_hashes, self.count
+        ) + self._bits.tobytes()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "BloomFilter":
+        """Inverse of :meth:`to_bytes`; ValueError on malformed input."""
+        if len(blob) < cls._WIRE.size:
+            raise ValueError("bloom blob too short")
+        magic, num_bits, num_hashes, count = cls._WIRE.unpack_from(blob)
+        if magic != cls._WIRE_MAGIC:
+            raise ValueError(f"bad bloom magic {magic!r}")
+        bits = np.frombuffer(blob, dtype=np.uint8, offset=cls._WIRE.size)
+        expected = (num_bits + 7) // 8
+        if bits.size != expected:
+            raise ValueError(
+                f"bloom blob carries {bits.size} bit-array bytes, "
+                f"expected {expected}"
+            )
+        out = cls(num_bits, num_hashes)
+        out._bits = bits.copy()  # frombuffer views are read-only
+        out.count = int(count)
+        return out
 
     # -- evaluation ---------------------------------------------------------------
 

@@ -503,6 +503,27 @@ class CompiledPlan:
         self.lo_offsets = lo_offsets
         self.hi_offsets = hi_offsets
 
+    # -- serialization ---------------------------------------------------------
+
+    #: The flat-array fields that fully determine the plan's behavior
+    #: (together with the root model's parameters); the on-disk run
+    #: format persists exactly these, in this order.
+    ARRAY_FIELDS = ("slopes", "intercepts", "lo_offsets", "hi_offsets")
+
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """The plan's leaf tables as float64 arrays, keyed by
+        :data:`ARRAY_FIELDS` — the serializable half of a compiled
+        index (the other half is the root model's two parameters).
+        Reconstructing a plan from these arrays over the same key
+        column reproduces every lookup bit-for-bit, because routing,
+        windows, and search consume nothing else."""
+        return {
+            name: np.ascontiguousarray(
+                getattr(self, name), dtype=np.float64
+            )
+            for name in self.ARRAY_FIELDS
+        }
+
     # -- routing & windows -----------------------------------------------------
 
     def route(self, qb: QueryBatch) -> tuple[np.ndarray, np.ndarray]:

@@ -594,6 +594,105 @@ class RecursiveModelIndex:
         self._compiled = True
         self._fast = True
 
+    # -- serialization ---------------------------------------------------------
+
+    def compiled_state(self) -> dict:
+        """The compiled index as plain numbers + flat arrays.
+
+        A compiled two-stage RMI with a :class:`LinearModel` root is
+        fully determined by six values: the root's ``(slope,
+        intercept)`` and the plan's four leaf tables — both the scalar
+        fast path and the batch engine consume nothing else.  Returns
+        ``{"root_slope", "root_intercept", "leaf_count"}`` plus the
+        :meth:`CompiledPlan.export_arrays` entries; raises
+        ``TypeError`` for indexes this flat form cannot represent
+        (deeper hierarchies, non-linear roots, uncompiled leaves).
+        """
+        if not self._compiled or self._plan is None:
+            raise TypeError(
+                "only compiled two-stage indexes have a flat state"
+            )
+        root = self._root_model
+        if type(root) is not LinearModel:
+            raise TypeError(
+                f"cannot serialize root model {type(root).__name__}; "
+                "only LinearModel roots are supported"
+            )
+        state = {
+            "root_slope": root.slope,
+            "root_intercept": root.intercept,
+            "leaf_count": self.stage_sizes[1],
+        }
+        state.update(self._plan.export_arrays())
+        return state
+
+    @classmethod
+    def from_compiled_arrays(
+        cls,
+        keys: np.ndarray,
+        *,
+        root_slope: float,
+        root_intercept: float,
+        slopes: np.ndarray,
+        intercepts: np.ndarray,
+        lo_offsets: np.ndarray,
+        hi_offsets: np.ndarray,
+        search_strategy: str = "binary",
+    ) -> "RecursiveModelIndex":
+        """Rebuild a compiled index from :meth:`compiled_state` parts.
+
+        The inverse of serialization, costing O(leaves) instead of a
+        retrain: no fitting, no error pass, and no sortedness
+        re-validation (the caller vouches for ``keys`` — the on-disk
+        run format checksums them).  Lookups are bit-identical to the
+        index that exported the state, because both paths read only
+        the root parameters and the four arrays.  Diagnostic
+        ``leaf_errors`` are approximated from the stored window
+        offsets (zero mean/std, count 1) — bounds exact, moments not.
+        """
+        self = cls.__new__(cls)
+        keys = np.asarray(keys)
+        slopes = np.ascontiguousarray(slopes, dtype=np.float64)
+        intercepts = np.ascontiguousarray(intercepts, dtype=np.float64)
+        lo_offsets = np.ascontiguousarray(lo_offsets, dtype=np.float64)
+        hi_offsets = np.ascontiguousarray(hi_offsets, dtype=np.float64)
+        m = int(slopes.size)
+        if not (
+            intercepts.size == m
+            and lo_offsets.size == m
+            and hi_offsets.size == m
+        ) or m < 1:
+            raise ValueError("leaf arrays must share one nonzero length")
+        self.build_mode = "vectorized"
+        self.keys = keys
+        self._keys_view = scalar_view(keys)
+        self._column = SortedKeyColumn(keys)
+        self.stage_sizes = (1, m)
+        self.search_strategy = str(search_strategy)
+        self.min_leaf_error = 0
+        self.stats = RMIStats()
+        self._model_factories = [LinearModel, LinearModel]
+        root = LinearModel(root_slope, root_intercept)
+        self._root_model = root
+        self._leaf_param_arrays = (slopes, intercepts)
+        self._leaf_bound_arrays = (lo_offsets, hi_offsets)
+        # lo/hi offsets are the per-leaf max/min signed error; the
+        # moments were not persisted, so the lazy ErrorStats rows carry
+        # exact bounds with placeholder statistics.
+        zeros = np.zeros(m, dtype=np.float64)
+        self._leaf_error_stat_arrays = (
+            hi_offsets, lo_offsets, zeros, zeros,
+            np.ones(m, dtype=np.int64),
+        )
+        # Leaf Model objects materialize lazily via __getattr__ exactly
+        # like a deferred vectorized build (empty-leaf slots were
+        # folded into the intercepts at export; LinearModel(0, v)
+        # predicts identically to ConstantModel(v)).
+        self._deferred_leaf_stage = ([[root]], slopes, intercepts, [], m,
+                                     keys.size)
+        self._compile()
+        return self
+
     # -- inference -------------------------------------------------------------
 
     def _leaf_for(self, key: float) -> tuple[int, float]:

@@ -12,20 +12,38 @@ from .compaction import (
     SizeTieredCompaction,
     merge_runs,
 )
+from .faultfs import (
+    FaultInjectingFilesystem,
+    RealFileSystem,
+    SimulatedCrash,
+    flip_byte,
+)
+from .format import CorruptRunError
+from .manifest import MANIFEST_NAME, commit_manifest, load_manifest
 from .memtable import Memtable
 from .run import LearnedBloomGuard, SortedRun, learned_bloom_factory
 from .store import LearnedLSMStore, LSMReadStats, LSMWriteStats
+from .wal import WriteAheadLog
 
 __all__ = [
     "CompactionPolicy",
+    "CorruptRunError",
+    "FaultInjectingFilesystem",
     "LearnedBloomGuard",
     "LearnedLSMStore",
     "LeveledCompaction",
     "LSMReadStats",
     "LSMWriteStats",
+    "MANIFEST_NAME",
     "Memtable",
-    "learned_bloom_factory",
-    "merge_runs",
-    "SizeTieredCompaction",
+    "RealFileSystem",
+    "SimulatedCrash",
     "SortedRun",
+    "SizeTieredCompaction",
+    "WriteAheadLog",
+    "commit_manifest",
+    "flip_byte",
+    "learned_bloom_factory",
+    "load_manifest",
+    "merge_runs",
 ]

@@ -1,0 +1,281 @@
+"""On-disk section-file format shared by runs and the manifest.
+
+Durability (PR 6) rests on one framing discipline: every file the LSM
+writes is a *section file* — a fixed header, a checksummed JSON
+metadata block, then zero or more raw data sections whose offsets,
+byte lengths, dtypes, and checksums are all recorded in the metadata.
+The layout is::
+
+    [magic 4s][algo u8][meta_len u32][meta_crc u32]   13-byte header
+    [meta: UTF-8 JSON, meta_len bytes]
+    [section 0 bytes][section 1 bytes]...
+
+Offsets in the section table are relative to the end of the metadata
+block, so the table never has to describe its own length.  The
+metadata block is padded (trailing spaces — still valid JSON) and
+sections are padded with zero bytes so every section starts 8-byte
+aligned in the file: ``np.memmap`` over an unaligned int64 region
+exports a non-native buffer format that Python memoryviews cannot
+index, and unaligned loads are slower everywhere else too.  Files are
+always produced whole via the atomic-publish discipline (write to
+``<path>.tmp``, fsync, ``rename``, fsync the directory), so a crash
+mid-write leaves only an unreferenced ``.tmp`` orphan — a reader never
+sees a partially written section file.
+
+Checksums: the issue calls for CRC32C; the stdlib has no CRC32C and
+this environment cannot grow dependencies, so the format *records the
+checksum algorithm* in its header byte and uses hardware-accelerated
+``crc32c`` when the optional package is importable, falling back to
+``zlib.crc32`` (also C speed) otherwise.  Readers dispatch on the
+recorded byte, so files stay portable across both environments.
+
+Section reads are *lazy and verified*: :meth:`SectionFile.array` maps
+a section with ``np.memmap`` and checks its checksum on first
+materialization — reopening a run is O(metadata), and a flipped bit in
+any section surfaces as :class:`CorruptRunError` before the data can
+answer a query wrong.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "CorruptRunError",
+    "RUN_MAGIC",
+    "MANIFEST_MAGIC",
+    "checksum",
+    "SectionFile",
+    "write_section_file",
+]
+
+#: Four-byte magics: learned-run v1 and learned-manifest v1.
+RUN_MAGIC = b"LRN1"
+MANIFEST_MAGIC = b"LMF1"
+
+_HEADER = struct.Struct("<4sBII")
+
+#: Sections start at multiples of this so memmapped int64/float64
+#: arrays are naturally aligned (native buffer exports, fast loads).
+_ALIGN = 8
+
+#: Checksum algorithm ids recorded in the header's ``algo`` byte.
+ALGO_CRC32 = 1
+ALGO_CRC32C = 2
+
+try:  # pragma: no cover - exercised only where the wheel exists
+    import crc32c as _crc32c_mod
+
+    def _crc32c(data) -> int:
+        return int(_crc32c_mod.crc32c(bytes(data)))
+
+    _HAVE_CRC32C = True
+except ImportError:
+    _crc32c_mod = None
+    _HAVE_CRC32C = False
+
+_DEFAULT_ALGO = ALGO_CRC32C if _HAVE_CRC32C else ALGO_CRC32
+
+
+class CorruptRunError(Exception):
+    """A durable file failed validation (bad magic, checksum mismatch,
+    truncated section, or metadata that contradicts the manifest).
+
+    Raised instead of returning data: a corrupt section must never
+    answer a query.  The message always names the file and the failing
+    part.
+    """
+
+
+def checksum(data, algo: int = _DEFAULT_ALGO) -> int:
+    """Checksum of ``data`` (bytes-like) under the given algorithm id."""
+    if algo == ALGO_CRC32:
+        return zlib.crc32(data) & 0xFFFFFFFF
+    if algo == ALGO_CRC32C:
+        if not _HAVE_CRC32C:
+            raise CorruptRunError(
+                "file was written with CRC32C but the crc32c module is "
+                "not available to verify it"
+            )
+        return _crc32c(data)
+    raise CorruptRunError(f"unknown checksum algorithm id {algo}")
+
+
+def _encode_meta(meta: dict) -> bytes:
+    return json.dumps(
+        meta, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def write_section_file(
+    fs,
+    path: str,
+    *,
+    magic: bytes,
+    meta: dict,
+    sections: list[tuple[str, np.ndarray | bytes]] = (),
+) -> None:
+    """Atomically publish a section file at ``path``.
+
+    ``meta`` gains a ``"sections"`` table describing every entry of
+    ``sections`` (offset / nbytes / dtype / checksum; raw ``bytes``
+    payloads record dtype ``"bytes"``).  The file lands via write-tmp +
+    fsync + rename + directory fsync, so it either exists complete and
+    validated or not at all; each section is its own ``fs.write`` call,
+    which is what gives the fault harness one injection site per
+    section.
+    """
+    algo = _DEFAULT_ALGO
+    table: dict[str, dict] = {}
+    blobs: list[bytes] = []
+    offset = 0
+    for name, data in sections:
+        if isinstance(data, np.ndarray):
+            arr = np.ascontiguousarray(data)
+            blob = arr.tobytes()
+            dtype = arr.dtype.str
+        else:
+            blob = bytes(data)
+            dtype = "bytes"
+        pad = -offset % _ALIGN
+        if pad:
+            blobs.append(b"\x00" * pad)
+            offset += pad
+        table[name] = {
+            "offset": offset,
+            "nbytes": len(blob),
+            "dtype": dtype,
+            "crc": checksum(blob, algo),
+        }
+        blobs.append(blob)
+        offset += len(blob)
+    meta = dict(meta)
+    meta["sections"] = table
+    payload = _encode_meta(meta)
+    # Pad the metadata so the data region starts 8-byte aligned
+    # (trailing spaces keep the payload valid JSON).
+    payload += b" " * (-(_HEADER.size + len(payload)) % _ALIGN)
+    header = _HEADER.pack(magic, algo, len(payload), checksum(payload, algo))
+    tmp = path + ".tmp"
+    handle = fs.open_write(tmp)
+    try:
+        fs.write(handle, header)
+        fs.write(handle, payload)
+        for blob in blobs:
+            if blob:
+                fs.write(handle, blob)
+        fs.fsync(handle)
+    finally:
+        fs.close(handle)
+    fs.rename(tmp, path)
+    fs.fsync_dir(os.path.dirname(path) or ".")
+
+
+class SectionFile:
+    """Validated reader over one section file.
+
+    Construction reads and verifies only the header + metadata block —
+    O(metadata) regardless of data size.  Section payloads map lazily
+    (:meth:`array` / :meth:`read`) and verify their checksum exactly
+    once, on first materialization; every validation failure raises
+    :class:`CorruptRunError`.
+    """
+
+    def __init__(self, fs, path: str, *, magic: bytes):
+        self._fs = fs
+        self.path = path
+        head = fs.read_bytes(path, 0, _HEADER.size)
+        if len(head) < _HEADER.size:
+            raise CorruptRunError(f"{path}: truncated header")
+        got_magic, algo, meta_len, meta_crc = _HEADER.unpack(head)
+        if got_magic != magic:
+            raise CorruptRunError(
+                f"{path}: bad magic {got_magic!r} (expected {magic!r})"
+            )
+        self.algo = algo
+        payload = fs.read_bytes(path, _HEADER.size, meta_len)
+        if len(payload) < meta_len:
+            raise CorruptRunError(f"{path}: truncated metadata block")
+        if checksum(payload, algo) != meta_crc:
+            raise CorruptRunError(f"{path}: metadata checksum mismatch")
+        try:
+            self.meta = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CorruptRunError(
+                f"{path}: undecodable metadata ({exc})"
+            ) from None
+        self._data_start = _HEADER.size + meta_len
+        self._sections = self.meta.get("sections", {})
+        self._verified: set[str] = set()
+
+    def _entry(self, name: str) -> dict:
+        try:
+            return self._sections[name]
+        except KeyError:
+            raise CorruptRunError(
+                f"{self.path}: missing section {name!r}"
+            ) from None
+
+    def _verify(self, name: str, view) -> None:
+        if name in self._verified:
+            return
+        entry = self._entry(name)
+        if checksum(view, self.algo) != entry["crc"]:
+            raise CorruptRunError(
+                f"{self.path}: checksum mismatch in section {name!r}"
+            )
+        self._verified.add(name)
+
+    def array(self, name: str) -> np.ndarray:
+        """Section ``name`` as a read-only memmapped array, checksum-
+        verified on this first materialization (the verification pass
+        is the first time the section's pages are read at all)."""
+        entry = self._entry(name)
+        dtype = np.dtype(entry["dtype"])
+        nbytes = int(entry["nbytes"])
+        if nbytes % dtype.itemsize:
+            raise CorruptRunError(
+                f"{self.path}: section {name!r} length {nbytes} is not "
+                f"a multiple of dtype {dtype}"
+            )
+        count = nbytes // dtype.itemsize
+        if count == 0:
+            self._verified.add(name)
+            return np.empty(0, dtype=dtype)
+        offset = self._data_start + int(entry["offset"])
+        if offset + nbytes > self.file_size():
+            raise CorruptRunError(
+                f"{self.path}: section {name!r} extends past end of file"
+            )
+        arr = self._fs.memmap(
+            self.path, dtype=dtype, offset=offset, shape=(count,)
+        )
+        self._verify(name, memoryview(arr).cast("B"))
+        return arr
+
+    def read(self, name: str) -> bytes:
+        """Section ``name`` as verified raw bytes (for non-array
+        payloads: bloom bits, pickled guards)."""
+        entry = self._entry(name)
+        offset = self._data_start + int(entry["offset"])
+        blob = self._fs.read_bytes(self.path, offset, int(entry["nbytes"]))
+        if len(blob) < int(entry["nbytes"]):
+            raise CorruptRunError(
+                f"{self.path}: section {name!r} is truncated"
+            )
+        self._verify(name, blob)
+        return blob
+
+    def section_span(self, name: str) -> tuple[int, int]:
+        """(absolute offset, nbytes) of a section — corruption tests
+        use this to aim their byte flips."""
+        entry = self._entry(name)
+        return self._data_start + int(entry["offset"]), int(entry["nbytes"])
+
+    def file_size(self) -> int:
+        return self._fs.file_size(self.path)

@@ -88,6 +88,22 @@ class Memtable:
         self._tombstones.add(key)
         self._dirty()
 
+    def delete_batch(self, keys: np.ndarray) -> None:
+        """Bulk :meth:`delete`: one dict sweep + one set update.
+
+        Order within the batch is irrelevant (every entry becomes a
+        tombstone), and like the scalar form it is blind — no read.
+        """
+        keys = np.asarray(keys, dtype=np.int64).ravel()
+        if keys.size == 0:
+            return
+        pop = self._puts.pop
+        items = keys.tolist()
+        for key in items:
+            pop(key, None)
+        self._tombstones.update(items)
+        self._dirty()
+
     # Writable-index primitives: the single-run design decides *policy*
     # (e.g. "only tombstone keys the main index holds") itself, so it
     # composes these instead of calling ``delete``.

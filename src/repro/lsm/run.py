@@ -16,6 +16,19 @@ least-squares pass (PR 3), not ten thousand Python model fits — and
 guarded by a bloom filter over its keys, so point probes for keys the
 run cannot hold skip the model entirely.
 
+Durability (PR 6): immutability also makes a run the perfect unit of
+persistence.  :meth:`SortedRun.save` writes one checksummed section
+file (:mod:`repro.lsm.format`) holding the key/value/tombstone arrays,
+the RMI's compiled state (root parameters + the four flat leaf
+tables), and the bloom filter's exported bits;
+:meth:`SortedRun.load` reopens it in O(metadata) — every array is a
+lazy ``np.memmap`` property, the RMI reconstructs from the stored
+arrays via :meth:`RecursiveModelIndex.from_compiled_arrays` (bit-exact
+lookups, no retrain), and the guard rehydrates from its exported bits
+(no rehashing).  Each section's checksum verifies on first
+materialization, so a flipped bit raises
+:class:`~repro.lsm.format.CorruptRunError` instead of answering wrong.
+
 The bloom filter defaults to :class:`repro.bloom.BloomFilter`; any
 object with ``add_batch`` / ``contains_batch`` / ``size_bytes`` fits
 the ``bloom_factory`` slot.  :func:`learned_bloom_factory` builds that
@@ -23,11 +36,15 @@ adapter over :class:`repro.core.learned_bloom.LearnedBloomFilter`
 (Section 5.1.1): each seal trains the pluggable classifier on the
 run's encoded keys and covers its false negatives with the overflow
 filter, so the zero-false-negative guarantee — the property LSM read
-correctness rests on — is preserved by construction.
+correctness rests on — is preserved by construction.  Standard filters
+persist via their compact ``to_bytes`` wire form; learned guards fall
+back to pickle (their classifier is arbitrary Python), which the run
+metadata records so a reader knows what it is deserializing.
 """
 
 from __future__ import annotations
 
+import pickle
 from typing import Callable, Sequence
 
 import numpy as np
@@ -36,6 +53,7 @@ from ..bloom.standard import BloomFilter
 from ..core.learned_bloom import LearnedBloomFilter
 from ..core.rmi import RecursiveModelIndex
 from ..range_scan import assemble_slices
+from .format import RUN_MAGIC, CorruptRunError, SectionFile, write_section_file
 
 __all__ = [
     "SortedRun",
@@ -124,6 +142,32 @@ class LearnedBloomGuard:
     def size_bytes(self) -> int:
         return self._filter.size_bytes() if self._filter is not None else 0
 
+    # -- serialization ---------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Pickle wire form (the classifier is arbitrary Python — a
+        compact binary encoding cannot exist in general).  The trained
+        filter state round-trips exactly: same tau, same overflow
+        bits, so the reloaded guard answers every probe identically.
+        Raises ``TypeError`` with a pointed message for unpicklable
+        classifiers (lambdas, closures)."""
+        try:
+            return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise TypeError(
+                "LearnedBloomGuard is not picklable (use module-level "
+                f"model factories and encoders): {exc}"
+            ) from exc
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "LearnedBloomGuard":
+        guard = pickle.loads(blob)
+        if not isinstance(guard, cls):
+            raise TypeError(
+                f"blob decoded to {type(guard).__name__}, not a guard"
+            )
+        return guard
+
 
 def learned_bloom_factory(
     model_factory: Callable[[], object],
@@ -148,6 +192,41 @@ def learned_bloom_factory(
     return factory
 
 
+#: Bloom wire kinds recorded in run metadata.
+_BLOOM_STANDARD = "standard"
+_BLOOM_PICKLE = "pickle"
+
+
+def _serialize_bloom(bloom) -> tuple[str, bytes]:
+    if isinstance(bloom, BloomFilter):
+        return _BLOOM_STANDARD, bloom.to_bytes()
+    if hasattr(bloom, "to_bytes"):
+        return _BLOOM_PICKLE, bloom.to_bytes()
+    try:
+        return _BLOOM_PICKLE, pickle.dumps(
+            bloom, protocol=pickle.HIGHEST_PROTOCOL
+        )
+    except Exception as exc:
+        raise TypeError(
+            f"bloom guard {type(bloom).__name__} is not serializable "
+            f"(needs to_bytes() or picklability): {exc}"
+        ) from exc
+
+
+def _deserialize_bloom(kind: str, blob: bytes, path: str):
+    if kind == _BLOOM_STANDARD:
+        try:
+            return BloomFilter.from_bytes(blob)
+        except ValueError as exc:
+            raise CorruptRunError(f"{path}: bad bloom section ({exc})") from None
+    if kind == _BLOOM_PICKLE:
+        # Trusted-input caveat: pickle runs arbitrary code; run files
+        # carry it only for learned guards and are checksummed, but
+        # they are not a safe interchange format across trust domains.
+        return pickle.loads(blob)
+    raise CorruptRunError(f"{path}: unknown bloom kind {kind!r}")
+
+
 class SortedRun:
     """One immutable level of an LSM store.
 
@@ -168,6 +247,12 @@ class SortedRun:
     sequence / level:
         Bookkeeping: seal sequence number (larger = newer) and the
         compaction level the run currently occupies.
+
+    Constructed runs are eager (arrays in memory, RMI and bloom built
+    at init); runs reopened from disk via :meth:`load` are lazy —
+    ``keys`` / ``values`` / ``tombstones`` / ``rmi`` / ``bloom`` are
+    properties that materialize from the checksummed section file on
+    first touch, so reopening a store is O(metadata) per run.
     """
 
     def __init__(
@@ -185,30 +270,207 @@ class SortedRun:
         keys = np.asarray(keys, dtype=np.int64)
         if keys.size and np.any(keys[1:] <= keys[:-1]):
             raise ValueError("run keys must be sorted and unique")
-        self.keys = keys
-        self.values = (
+        self._keys = keys
+        self._values = (
             np.asarray(values, dtype=np.int64)
             if values is not None
             else keys.copy()
         )
-        self.tombstones = (
+        self._tombstones = (
             np.asarray(tombstones, dtype=bool)
             if tombstones is not None
             else np.zeros(keys.size, dtype=bool)
         )
-        if self.values.size != keys.size or self.tombstones.size != keys.size:
+        if (
+            self._values.size != keys.size
+            or self._tombstones.size != keys.size
+        ):
             raise ValueError("values/tombstones must parallel keys")
         self.sequence = int(sequence)
         self.level = int(level)
         self.leaf_target = int(leaf_target)
+        self._n = int(keys.size)
+        self._num_tombstones = int(np.count_nonzero(self._tombstones))
+        self._source: SectionFile | None = None
+        self.path: str | None = None
         leaves = max(1, -(-keys.size // max(leaf_target, 1)))
-        self.rmi = RecursiveModelIndex(
+        self._rmi: RecursiveModelIndex | None = RecursiveModelIndex(
             keys, stage_sizes=(1, leaves), build_mode="vectorized"
         )
         factory = bloom_factory or _default_bloom
-        self.bloom = factory(keys.size, bloom_fpr)
+        self._bloom = factory(keys.size, bloom_fpr)
         if keys.size:
-            self.bloom.add_batch(keys)
+            self._bloom.add_batch(keys)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, fs, path: str) -> None:
+        """Write this run as one atomic checksummed section file.
+
+        Data (keys/values/tombstones), index (the RMI's compiled
+        state), and guard (bloom wire form) all land in a single file;
+        see :mod:`repro.lsm.format` for the publish discipline.  Sets
+        :attr:`path` on success — the name the manifest will record.
+        """
+        state = self.rmi.compiled_state()
+        bloom_kind, bloom_blob = _serialize_bloom(self.bloom)
+        meta = {
+            "kind": "run",
+            "n": self._n,
+            "sequence": self.sequence,
+            "level": self.level,
+            "leaf_target": self.leaf_target,
+            "num_tombstones": self._num_tombstones,
+            # float64 round-trips JSON exactly (shortest-repr), so the
+            # root parameters reload bit-identical.
+            "root_slope": state["root_slope"],
+            "root_intercept": state["root_intercept"],
+            "bloom_kind": bloom_kind,
+        }
+        sections = [
+            ("keys", self.keys),
+            ("values", self.values),
+            ("tombstones", self.tombstones.astype(np.uint8)),
+            ("slopes", state["slopes"]),
+            ("intercepts", state["intercepts"]),
+            ("lo_offsets", state["lo_offsets"]),
+            ("hi_offsets", state["hi_offsets"]),
+            ("bloom", bloom_blob),
+        ]
+        write_section_file(
+            fs, path, magic=RUN_MAGIC, meta=meta, sections=sections
+        )
+        self.path = path
+
+    @classmethod
+    def load(cls, fs, path: str, *, expect: dict | None = None) -> "SortedRun":
+        """Reopen a saved run in O(metadata).
+
+        Only the header and metadata block are read here; arrays map
+        lazily on first access (each section checksum-verified exactly
+        once, at materialization).  ``expect`` carries the manifest's
+        per-run record — any disagreement with the file's own metadata
+        (count, sequence, level, tombstones) raises
+        :class:`CorruptRunError`, catching wrong-file and stale-file
+        corruption that per-section checksums cannot see.
+        """
+        source = SectionFile(fs, path, magic=RUN_MAGIC)
+        meta = source.meta
+        if meta.get("kind") != "run":
+            raise CorruptRunError(f"{path}: not a run file")
+        self = cls.__new__(cls)
+        try:
+            self._n = int(meta["n"])
+            self._num_tombstones = int(meta["num_tombstones"])
+            self.sequence = int(meta["sequence"])
+            self.level = int(meta["level"])
+            self.leaf_target = int(meta["leaf_target"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorruptRunError(
+                f"{path}: incomplete run metadata ({exc})"
+            ) from None
+        if expect is not None:
+            for field, attr in (
+                ("n", "_n"), ("sequence", "sequence"),
+                ("level", "level"), ("tombstones", "_num_tombstones"),
+            ):
+                if field in expect and int(expect[field]) != getattr(
+                    self, attr
+                ):
+                    raise CorruptRunError(
+                        f"{path}: manifest expects {field}="
+                        f"{expect[field]}, file has {getattr(self, attr)}"
+                    )
+        self._source = source
+        self.path = path
+        self._keys = None
+        self._values = None
+        self._tombstones = None
+        self._rmi = None
+        self._bloom = None
+        return self
+
+    @property
+    def keys(self) -> np.ndarray:
+        if self._keys is None:
+            self._keys = self._source.array("keys")
+            if self._keys.size != self._n:
+                raise CorruptRunError(
+                    f"{self.path}: key section holds {self._keys.size} "
+                    f"entries, metadata says {self._n}"
+                )
+        return self._keys
+
+    @property
+    def values(self) -> np.ndarray:
+        if self._values is None:
+            values = self._source.array("values")
+            if values.size != self._n:
+                raise CorruptRunError(
+                    f"{self.path}: value section holds {values.size} "
+                    f"entries, metadata says {self._n}"
+                )
+            self._values = values
+        return self._values
+
+    @property
+    def tombstones(self) -> np.ndarray:
+        if self._tombstones is None:
+            mask = self._source.array("tombstones")
+            if mask.size != self._n:
+                raise CorruptRunError(
+                    f"{self.path}: tombstone section holds {mask.size} "
+                    f"entries, metadata says {self._n}"
+                )
+            self._tombstones = mask.view(np.bool_)
+        return self._tombstones
+
+    @property
+    def rmi(self) -> RecursiveModelIndex:
+        if self._rmi is None:
+            source = self._source
+            meta = source.meta
+            try:
+                self._rmi = RecursiveModelIndex.from_compiled_arrays(
+                    self.keys,
+                    root_slope=float(meta["root_slope"]),
+                    root_intercept=float(meta["root_intercept"]),
+                    slopes=source.array("slopes"),
+                    intercepts=source.array("intercepts"),
+                    lo_offsets=source.array("lo_offsets"),
+                    hi_offsets=source.array("hi_offsets"),
+                )
+            except (KeyError, ValueError) as exc:
+                raise CorruptRunError(
+                    f"{self.path}: unusable compiled index ({exc})"
+                ) from None
+        return self._rmi
+
+    @property
+    def bloom(self):
+        if self._bloom is None:
+            meta = self._source.meta
+            self._bloom = _deserialize_bloom(
+                meta.get("bloom_kind", _BLOOM_STANDARD),
+                self._source.read("bloom"),
+                self.path,
+            )
+        return self._bloom
+
+    def close(self) -> None:
+        """Release lazily mapped sections (memmaps hold the file open).
+
+        Only meaningful for loaded runs; an eager in-memory run keeps
+        its arrays.  Idempotent; a closed run re-materializes on next
+        touch if the file still exists.
+        """
+        if self._source is None:
+            return
+        self._keys = None
+        self._values = None
+        self._tombstones = None
+        self._rmi = None
+        self._bloom = None
 
     # -- point reads -----------------------------------------------------------
 
@@ -224,7 +486,7 @@ class SortedRun:
         Python int through every comparison).
         """
         pos = self.rmi.lookup(key)
-        if pos < self.keys.size and int(self.keys[pos]) == key:
+        if pos < self._n and int(self.keys[pos]) == key:
             return True, bool(self.tombstones[pos]), int(self.values[pos])
         return False, False, 0
 
@@ -239,7 +501,7 @@ class SortedRun:
         run *answers* (present or deleted) versus which fall through
         to older runs.
         """
-        n = self.keys.size
+        n = self._n
         if n == 0:
             empty = np.zeros(queries.size, dtype=bool)
             return empty, empty.copy(), np.zeros(queries.size, dtype=np.int64)
@@ -273,25 +535,38 @@ class SortedRun:
 
     @property
     def num_tombstones(self) -> int:
-        return int(np.count_nonzero(self.tombstones))
+        return self._num_tombstones
 
     @property
     def live_count(self) -> int:
-        return self.keys.size - self.num_tombstones
+        return self._n - self._num_tombstones
 
     def __len__(self) -> int:
-        return int(self.keys.size)
+        return self._n
+
+    def is_loaded_lazy(self) -> bool:
+        """True while this is a disk-backed run whose key array has not
+        been materialized (the O(metadata) reopen invariant benchmarks
+        and tests pin)."""
+        return self._source is not None and self._keys is None
 
     def size_bytes(self) -> int:
         """Data (keys + values + mask) plus index overhead (RMI + bloom)."""
+        if self._source is not None and (
+            self._rmi is None or self._bloom is None
+        ):
+            # Not fully materialized: the on-disk footprint is the
+            # honest answer, and computing the in-memory one would
+            # defeat the lazy reopen.
+            return self._source.file_size()
         return (
-            self.keys.size * 17
+            self._n * 17
             + self.rmi.size_bytes()
             + int(self.bloom.size_bytes())
         )
 
     def __repr__(self) -> str:
         return (
-            f"SortedRun(n={self.keys.size}, level={self.level}, "
+            f"SortedRun(n={self._n}, level={self.level}, "
             f"seq={self.sequence}, tombstones={self.num_tombstones})"
         )

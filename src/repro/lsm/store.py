@@ -30,10 +30,45 @@ newest-wins dedup and tombstone shadowing via
 pairs through the same merge.  All reads — point and range — resolve
 through the exact int64 query core (ISSUE 5), so 64-bit keys beyond
 2^53 never alias.
+
+Durability (PR 6)
+-----------------
+Passing ``path=`` turns the store into a crash-safe database rooted at
+that directory.  The moving parts:
+
+* **WAL** (:mod:`repro.lsm.wal`) — every write call appends one
+  checksummed record and (by default) fsyncs before returning, so a
+  write that was acknowledged is a write that survives.  The memtable
+  is a cache of the current WAL generation.
+* **Run files** (:meth:`repro.lsm.run.SortedRun.save`) — seals and
+  compactions publish each new run as one atomic checksummed section
+  file; reopening maps it lazily in O(metadata).
+* **Manifest** (:mod:`repro.lsm.manifest`) — the run set, current WAL
+  generation, and id counters, swapped atomically on every structural
+  change.  Files a new state needs are durable *before* the swap;
+  files only the old state needed are deleted *after* it, so a crash
+  at any intermediate point leaves either the old state or the new
+  state plus harmless orphans.
+* **Recovery** (``LearnedLSMStore(path=...)`` on an existing
+  directory) — load the manifest, lazily open its runs,
+  garbage-collect orphans, replay the WAL into the memtable
+  (truncating at the first torn/corrupt record), and resume.  Recovery
+  is idempotent: crashing *during* recovery and recovering again
+  reaches the same state.
+
+The fsync-per-batch ack barrier also reframes the PR 4 compaction
+sharp edge: a seal used to cascade synchronous merges indefinitely
+while the caller's acknowledged batch waited.  Durable stores
+therefore bound compaction to ``seal_merge_budget`` merge windows per
+seal (default 1); the policy's remaining debt drains one window per
+subsequent seal, and :meth:`compact` still folds everything.
+Memory-only stores keep the unbounded cascade (their seals never hold
+an fsynced ack hostage, and layout-sensitive callers rely on it).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -48,8 +83,13 @@ from .compaction import (
     merge_runs,
     newest_versions,
 )
+from .faultfs import RealFileSystem
+from .format import CorruptRunError
+from .manifest import MANIFEST_NAME, commit_manifest, load_manifest
 from .memtable import Memtable
 from .run import DEFAULT_LEAF_TARGET, SortedRun
+from .wal import RECORD_PUT, WriteAheadLog
+from .wal import replay as wal_replay
 
 __all__ = ["LearnedLSMStore", "LSMReadStats", "LSMWriteStats"]
 
@@ -126,7 +166,8 @@ class LearnedLSMStore:
     keys / values:
         Optional bulk load; keys are deduplicated (last value wins) and
         sealed directly into a single bottom run — no write
-        amplification for the initial load.
+        amplification for the initial load.  Only valid when the target
+        directory holds no existing store.
     memtable_capacity:
         Buffered entries (puts + tombstones) per seal.
     compaction:
@@ -134,6 +175,27 @@ class LearnedLSMStore:
         :class:`~repro.lsm.compaction.CompactionPolicy` instance.
     bloom_fpr / bloom_factory / leaf_target:
         Per-run knobs, forwarded to :class:`~repro.lsm.run.SortedRun`.
+    path:
+        Directory for durable operation.  ``None`` (default) keeps the
+        store memory-only; a directory with an existing ``MANIFEST``
+        recovers the persisted state (crash-safe), an empty or fresh
+        directory initializes a new durable store.
+    filesystem:
+        File-layer override (the fault-injection harness); defaults to
+        :class:`~repro.lsm.faultfs.RealFileSystem`.  Requires ``path``.
+    wal_fsync:
+        ``True`` (default) fsyncs every WAL append before the write
+        call returns — the durability ack barrier.  ``False`` defers
+        syncing to seals/``close`` (group-commit throughput, weaker
+        guarantee).
+    seal_merge_budget:
+        Maximum compaction merge windows executed per seal.  Defaults
+        to 1 for durable stores (bounds acknowledged-write latency;
+        remaining debt drains on later seals) and unbounded for
+        memory-only stores.
+
+    The store is a context manager; :meth:`close` is idempotent and
+    releases the WAL handle and all run memmaps.
     """
 
     def __init__(
@@ -146,6 +208,10 @@ class LearnedLSMStore:
         bloom_fpr: float = 0.01,
         bloom_factory=None,
         leaf_target: int = DEFAULT_LEAF_TARGET,
+        path: str | None = None,
+        filesystem=None,
+        wal_fsync: bool = True,
+        seal_merge_budget: int | None = None,
     ):
         if memtable_capacity < 1:
             raise ValueError("memtable_capacity must be >= 1")
@@ -169,10 +235,26 @@ class LearnedLSMStore:
         self.memtable = Memtable()
         self.runs: list[SortedRun] = []
         self._sequence = 0
+        self._file_id = 0
+        self._closed = False
+        self._wal: WriteAheadLog | None = None
+        self._wal_name: str | None = None
+        self._wal_fsync = bool(wal_fsync)
+        self.path = None if path is None else str(path)
+        self.recovered_wal_records = 0
+        if seal_merge_budget is not None and int(seal_merge_budget) < 1:
+            raise ValueError("seal_merge_budget must be >= 1")
+        self._seal_merge_budget = (
+            int(seal_merge_budget)
+            if seal_merge_budget is not None
+            else (1 if self.path is not None else None)
+        )
         self.read_stats = LSMReadStats()
         self.write_stats = LSMWriteStats()
+
+        bulk = None
         if keys is not None:
-            keys = np.asarray(keys, dtype=np.int64).ravel()
+            keys = self._as_int64_keys(keys)
             if values is None:
                 vals = keys.copy()
             else:
@@ -182,38 +264,265 @@ class LearnedLSMStore:
             if keys.size:
                 # Last value wins on duplicate keys, like a put loop.
                 uniq, last = np.unique(keys[::-1], return_index=True)
-                self.runs.append(
-                    SortedRun(
-                        uniq,
-                        vals[::-1][last],
-                        sequence=self._next_sequence(),
-                        level=self.policy.initial_level(uniq.size),
-                        **self._run_kwargs,
-                    )
+                bulk = (uniq, vals[::-1][last])
+
+        if self.path is None:
+            if filesystem is not None:
+                raise ValueError("filesystem requires path")
+            self._fs = None
+            if bulk is not None:
+                self.runs.append(self._bulk_run(*bulk))
+            return
+        self._fs = filesystem if filesystem is not None else RealFileSystem()
+        self._fs.makedirs(self.path)
+        if self._fs.exists(os.path.join(self.path, MANIFEST_NAME)):
+            if bulk is not None:
+                raise ValueError(
+                    "cannot bulk-load into an existing store directory; "
+                    "open it plain and insert instead"
                 )
+            self._recover()
+        else:
+            self._init_fresh(bulk)
+
+    # -- durable bootstrap -----------------------------------------------------
+
+    def _bulk_run(self, uniq: np.ndarray, vals: np.ndarray) -> SortedRun:
+        return SortedRun(
+            uniq,
+            vals,
+            sequence=self._next_sequence(),
+            level=self.policy.initial_level(uniq.size),
+            **self._run_kwargs,
+        )
+
+    def _file_path(self, name: str) -> str:
+        return os.path.join(self.path, name)
+
+    def _new_file_id(self) -> int:
+        self._file_id += 1
+        return self._file_id
+
+    def _new_run_name(self) -> str:
+        return f"run-{self._new_file_id():08d}.run"
+
+    def _new_wal_name(self) -> str:
+        return f"wal-{self._new_file_id():08d}.log"
+
+    def _init_fresh(self, bulk) -> None:
+        """Initialize a durable store in a directory with no manifest.
+
+        Nothing is live until the first manifest commit, so a crash
+        anywhere in here leaves only orphans the next open sweeps away
+        — which is also why the sweep runs first: *this* open may be
+        that next open.
+        """
+        self._gc_directory(live=frozenset())
+        if bulk is not None:
+            run = self._bulk_run(*bulk)
+            run.save(self._fs, self._file_path(self._new_run_name()))
+            self.runs.append(run)
+        self._wal_name = self._new_wal_name()
+        WriteAheadLog.create(self._fs, self._file_path(self._wal_name))
+        self._commit_manifest()
+        self._wal = WriteAheadLog(
+            self._fs, self._file_path(self._wal_name), fsync=self._wal_fsync
+        )
+
+    def _recover(self) -> None:
+        """Rebuild from ``MANIFEST`` + WAL after a clean or dirty stop.
+
+        Invariants this restores: (1) every acknowledged write is in a
+        manifest-referenced run or the replayed WAL prefix; (2) no
+        file outside the manifest's reference set survives; (3) a
+        crash *during* recovery re-runs it to the same state, because
+        recovery only deletes orphans and truncates the torn WAL tail
+        — both idempotent.
+        """
+        fs = self._fs
+        state = load_manifest(fs, self.path)
+        self._file_id = int(state["next_file_id"])
+        self._sequence = int(state["next_sequence"])
+        self._wal_name = str(state["wal"])
+        runs: list[SortedRun] = []
+        for entry in state["runs"]:
+            run_path = self._file_path(entry["file"])
+            if not fs.exists(run_path):
+                raise CorruptRunError(
+                    f"{run_path}: manifest references a missing run file"
+                )
+            runs.append(SortedRun.load(fs, run_path, expect=entry))
+        self.runs = runs
+        live = {entry["file"] for entry in state["runs"]}
+        live.add(self._wal_name)
+        self._gc_directory(live=live)
+        wal_path = self._file_path(self._wal_name)
+        if not fs.exists(wal_path):
+            raise CorruptRunError(
+                f"{wal_path}: manifest references a missing WAL file"
+            )
+        records, valid_size, file_size = wal_replay(fs, wal_path)
+        if valid_size < file_size:
+            # Torn or corrupt tail: cut back to the last intact record
+            # boundary before appending anything new.
+            fs.truncate(wal_path, valid_size)
+        for record in records:
+            if record.kind == RECORD_PUT:
+                self.memtable.put_batch(record.keys, record.values)
+            else:
+                self.memtable.delete_batch(record.keys)
+        self.recovered_wal_records = len(records)
+        self._wal = WriteAheadLog(fs, wal_path, fsync=self._wal_fsync)
+        # A replayed memtable can be at or past capacity (the crash hit
+        # mid-seal): finish the seal now, under the same crash-safe
+        # protocol.
+        self._maybe_seal()
+
+    def _gc_directory(self, live: frozenset | set) -> None:
+        """Delete orphans: tmp files and run/WAL files the manifest
+        does not reference.  Only files matching the store's own naming
+        is touched — foreign files in the directory survive."""
+        fs = self._fs
+        for name in fs.listdir(self.path):
+            if name in live or name == MANIFEST_NAME:
+                continue
+            ours = (
+                name.endswith(".tmp")
+                or (name.startswith("run-") and name.endswith(".run"))
+                or (name.startswith("wal-") and name.endswith(".log"))
+            )
+            if ours:
+                fs.remove(self._file_path(name))
+
+    def _commit_manifest(self) -> None:
+        state = {
+            "next_file_id": self._file_id,
+            "next_sequence": self._sequence,
+            "wal": self._wal_name,
+            "runs": [
+                {
+                    "file": os.path.basename(run.path),
+                    "sequence": run.sequence,
+                    "level": run.level,
+                    "n": len(run),
+                    "tombstones": run.num_tombstones,
+                }
+                for run in self.runs
+            ],
+        }
+        commit_manifest(self._fs, self.path, state)
+
+    def _rotate_wal_begin(self) -> str:
+        """Close the live WAL and durably create its successor; the
+        manifest commit that follows flips the reference.  Returns the
+        old generation's name for post-commit deletion."""
+        old_name = self._wal_name
+        self._wal.close()
+        self._wal = None
+        self._wal_name = self._new_wal_name()
+        WriteAheadLog.create(self._fs, self._file_path(self._wal_name))
+        return old_name
+
+    def _rotate_wal_finish(self, old_name: str) -> None:
+        self._fs.remove(self._file_path(old_name))
+        self._wal = WriteAheadLog(
+            self._fs, self._file_path(self._wal_name), fsync=self._wal_fsync
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the WAL handle and every run's memmaps; idempotent.
+
+        Pending WAL bytes are fsynced first (only relevant under
+        ``wal_fsync=False`` — the default path is already durable per
+        batch).  The memtable is *not* flushed to a run: its contents
+        live in the WAL and replay on the next open.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+        for run in self.runs:
+            run.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "LearnedLSMStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ValueError("store is closed")
 
     def _next_sequence(self) -> int:
         self._sequence += 1
         return self._sequence
 
+    @staticmethod
+    def _as_int64_keys(keys) -> np.ndarray:
+        """Validate a batch key array: integer dtype required.
+
+        The ``SortedKeyColumn`` contract from PR 5 — float keys would
+        silently alias above 2^53, so the batch write surface refuses
+        them instead of casting.  Plain Python int sequences infer an
+        integer dtype and pass; an empty batch passes regardless of
+        numpy's float64 default for ``[]``.
+        """
+        arr = np.asarray(keys)
+        if arr.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if arr.dtype.kind not in "iu":
+            raise TypeError(
+                "batch keys must be an integer array, got dtype "
+                f"{arr.dtype}; cast explicitly if that loss is intended"
+            )
+        return arr.astype(np.int64, copy=False).ravel()
+
     # -- write path ------------------------------------------------------------
 
     def insert(self, key: int, value: int | None = None) -> None:
         """Write ``key -> value`` (value defaults to the key)."""
+        self._ensure_open()
         key = int(key)
-        self.memtable.put(key, key if value is None else int(value))
+        value = key if value is None else int(value)
+        if self._wal is not None:
+            self._wal.append_puts(
+                np.array([key], dtype=np.int64),
+                np.array([value], dtype=np.int64),
+            )
+        self.memtable.put(key, value)
         self.write_stats.keys_written += 1
         self._maybe_seal()
 
     def insert_batch(self, keys, values=None) -> None:
-        """Bulk insert: one memtable update, at most one seal after.
+        """Bulk insert: one WAL record + one memtable update, at most
+        one seal after.
 
         Duplicate keys within the batch resolve last-wins, matching a
-        put loop.
+        put loop.  The whole batch is atomic at WAL-record granularity:
+        after a crash, either every entry of the batch survives or none
+        does.  Raises ``TypeError`` on non-integer key arrays.
         """
-        keys = np.asarray(keys, dtype=np.int64).ravel()
+        self._ensure_open()
+        keys = self._as_int64_keys(keys)
         if values is None:
             values = keys
+        else:
+            values = np.asarray(values, dtype=np.int64).ravel()
+            if values.size != keys.size:
+                raise ValueError("keys and values must have the same length")
+        if keys.size == 0:
+            return
+        if self._wal is not None:
+            self._wal.append_puts(keys, values)
         self.memtable.put_batch(keys, values)
         self.write_stats.keys_written += int(keys.size)
         self._maybe_seal()
@@ -225,8 +534,28 @@ class LearnedLSMStore:
         at read/compaction time), so unlike
         ``WritableLearnedIndex.delete`` there is no return value.
         """
-        self.memtable.delete(int(key))
+        self._ensure_open()
+        key = int(key)
+        if self._wal is not None:
+            self._wal.append_deletes(np.array([key], dtype=np.int64))
+        self.memtable.delete(key)
         self.write_stats.keys_written += 1
+        self._maybe_seal()
+
+    def delete_batch(self, keys) -> None:
+        """Bulk blind delete: one WAL record + one memtable sweep.
+
+        Same atomicity and integer-dtype contract as
+        :meth:`insert_batch`.
+        """
+        self._ensure_open()
+        keys = self._as_int64_keys(keys)
+        if keys.size == 0:
+            return
+        if self._wal is not None:
+            self._wal.append_deletes(keys)
+        self.memtable.delete_batch(keys)
+        self.write_stats.keys_written += int(keys.size)
         self._maybe_seal()
 
     def _maybe_seal(self) -> None:
@@ -235,17 +564,34 @@ class LearnedLSMStore:
 
     def flush(self) -> None:
         """Seal the memtable into a fresh L0 run, then let the policy
-        compact until the layout is stable."""
+        compact (budgeted per seal in durable mode).
+
+        Durable seal protocol, in crash-safe order: write + fsync the
+        run file → create + fsync the next WAL generation → commit the
+        manifest (new run in, new WAL referenced) → delete the old WAL.
+        A crash before the commit recovers through the *old* manifest +
+        old WAL (the half-written run and fresh WAL are orphans); a
+        crash after it recovers through the new run (the old WAL is the
+        orphan).  Acknowledged writes survive either way.
+        """
+        self._ensure_open()
         if len(self.memtable) == 0:
             return
         keys, values, dead = self.memtable.snapshot()
-        self.memtable.clear()
         tombstones: np.ndarray | None = dead
         if not self.runs and dead.any():
             # Nothing older to shadow: garbage-collect immediately.
             live = ~dead
             keys, values, tombstones = keys[live], values[live], None
             if keys.size == 0:
+                # Every buffered entry was an unshadowed tombstone.
+                # Still rotate the WAL in durable mode, or replay would
+                # keep resurrecting (and re-discarding) them forever.
+                if self._wal is not None:
+                    old_wal = self._rotate_wal_begin()
+                    self._commit_manifest()
+                    self._rotate_wal_finish(old_wal)
+                self.memtable.clear()
                 return
         run = SortedRun(
             keys,
@@ -255,13 +601,35 @@ class LearnedLSMStore:
             level=0,
             **self._run_kwargs,
         )
-        self.runs.insert(0, run)
+        if self._wal is not None:
+            run.save(self._fs, self._file_path(self._new_run_name()))
+            old_wal = self._rotate_wal_begin()
+            self.runs.insert(0, run)
+            self.memtable.clear()
+            self._commit_manifest()
+            self._rotate_wal_finish(old_wal)
+        else:
+            self.memtable.clear()
+            self.runs.insert(0, run)
         self.write_stats.seals += 1
         self.write_stats.entries_sealed += len(run)
-        self._compact()
+        self._compact(self._seal_merge_budget)
 
-    def _compact(self) -> None:
-        while (selection := self.policy.select(self.runs)) is not None:
+    def _compact(self, budget: int | None = None) -> None:
+        """Run policy-selected merges; at most ``budget`` windows.
+
+        Durable merge protocol per window: write + fsync the merged
+        run file → commit the manifest with the window replaced →
+        delete the input run files.  A crash before the commit leaves
+        the old manifest (merged file is an orphan); after it, the
+        inputs are orphans — no intermediate point can lose a key or
+        resurrect a tombstoned one, because inputs outlive the commit
+        that supersedes them.
+        """
+        merges = 0
+        while (budget is None or merges < budget) and (
+            selection := self.policy.select(self.runs)
+        ) is not None:
             start, stop, new_level = selection
             window = self.runs[start:stop]
             merged = merge_runs(
@@ -273,22 +641,42 @@ class LearnedLSMStore:
                 **self._run_kwargs,
             )
             merged.level = new_level
-            self.runs[start:stop] = [merged]
+            if self._wal is not None:
+                merged.save(self._fs, self._file_path(self._new_run_name()))
+                self.runs[start:stop] = [merged]
+                self._commit_manifest()
+                for run in window:
+                    run.close()
+                    self._fs.remove(run.path)
+            else:
+                self.runs[start:stop] = [merged]
             self.write_stats.compactions += 1
             self.write_stats.entries_compacted += len(merged)
+            merges += 1
 
     def compact(self) -> None:
         """Force a full compaction: flush, then fold everything into
-        one bottom run with tombstones garbage-collected."""
+        one bottom run with tombstones garbage-collected (ignores the
+        per-seal merge budget — this is the explicit maintenance
+        call)."""
         self.flush()
         if len(self.runs) > 1:
+            window = list(self.runs)
             merged = merge_runs(
-                self.runs, drop_tombstones=True, **self._run_kwargs
+                window, drop_tombstones=True, **self._run_kwargs
             )
-            merged.level = max(r.level for r in self.runs)
+            merged.level = max(r.level for r in window)
+            if self._wal is not None:
+                merged.save(self._fs, self._file_path(self._new_run_name()))
+                self.runs = [merged]
+                self._commit_manifest()
+                for run in window:
+                    run.close()
+                    self._fs.remove(run.path)
+            else:
+                self.runs = [merged]
             self.write_stats.compactions += 1
             self.write_stats.entries_compacted += len(merged)
-            self.runs = [merged]
 
     # -- point reads -----------------------------------------------------------
 
@@ -298,6 +686,7 @@ class LearnedLSMStore:
         Memtable first (O(1) dict), then runs newest-first; each run's
         bloom filter is consulted before its RMI runs.
         """
+        self._ensure_open()
         key = int(key)
         stats = self.read_stats
         stats.lookups += 1
@@ -327,6 +716,7 @@ class LearnedLSMStore:
         the batch analogue of the scalar walk, with identical results.
         ``values[i]`` is 0 wherever ``found[i]`` is False.
         """
+        self._ensure_open()
         queries = np.asarray(keys, dtype=np.int64).ravel()
         m = queries.size
         values = np.zeros(m, dtype=np.int64)
@@ -421,6 +811,7 @@ class LearnedLSMStore:
         them newest-first, deduplicates to the newest version per key,
         and drops keys whose newest version is a tombstone.
         """
+        self._ensure_open()
         lows_f, highs_f = self._range_endpoints(lows, highs)
         if lows_f.size == 0:
             return RangeScanResult(
@@ -465,6 +856,7 @@ class LearnedLSMStore:
         parallel to ``result.values``: the live value for
         ``result.values[j]`` is ``values[j]``.
         """
+        self._ensure_open()
         lows_f, highs_f = self._range_endpoints(lows, highs)
         if lows_f.size == 0:
             return (
@@ -519,6 +911,7 @@ class LearnedLSMStore:
 
     def live_keys(self) -> np.ndarray:
         """All live keys, merged and deduplicated — O(N log N)."""
+        self._ensure_open()
         mem_keys, _mem_values, mem_dead = self.memtable.snapshot()
         parts = [mem_keys] + [r.keys for r in self.runs]
         dead_parts = [mem_dead] + [r.tombstones for r in self.runs]
@@ -548,9 +941,10 @@ class LearnedLSMStore:
 
     def __repr__(self) -> str:
         levels = [r.level for r in self.runs]
+        where = f", path={self.path!r}" if self.path is not None else ""
         return (
             f"LearnedLSMStore(runs={len(self.runs)}, levels={levels}, "
             f"memtable={len(self.memtable)}, "
             f"seals={self.write_stats.seals}, "
-            f"compactions={self.write_stats.compactions})"
+            f"compactions={self.write_stats.compactions}{where})"
         )

@@ -35,7 +35,12 @@ def scalar_view(keys):
     """
     if isinstance(keys, np.ndarray):
         if keys.dtype in _VIEWABLE and keys.flags["C_CONTIGUOUS"]:
-            return memoryview(keys)
+            view = memoryview(keys)
+            # An unaligned buffer (e.g. a memmap into an unpadded file)
+            # exports a standard-size format ("=q") that memoryview
+            # cannot index; fall back to list materialization.
+            if not view.format.startswith(("=", "<", ">")):
+                return view
         return keys.tolist()
     if isinstance(keys, (list, tuple, memoryview)):
         return keys
