@@ -34,6 +34,15 @@ five things (ISSUE 1 + ISSUE 2 + ISSUE 3 + ISSUE 4):
   memory-only store (gate at 1M keys: within 2x), cold-reopen latency
   at N keys with the O(metadata) laziness invariant checked, and
   WAL-replay recovery time for an unsealed tail;
+* **insert tail latency** (ISSUE 7) — per-``insert_batch`` latency
+  histogram (p50/p99/p99.9/max) plus write-stall counters on a durable
+  (fsync-per-batch WAL) store, synchronous vs background compaction,
+  with gates: zero merge-attributable stalls in background mode (and
+  at least one in sync mode, proving the baseline pays them),
+  background p99 within 10x p50 or the single-core scheduling floor,
+  background worst-case batch no worse than the sync worst case (the
+  inline merge), and background ingest throughput within tolerance of
+  the synchronous policy;
 * **unified query core** (ISSUE 5) — exact 64-bit batch lookups on the
   ``u64_dense`` dataset (adjacent keys straddling 2^53 and crossing
   2^63), the count of answers the old float64-upcast baseline would
@@ -56,7 +65,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import sys
+import tempfile
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -128,8 +139,14 @@ def _time_once(fn) -> tuple[float, np.ndarray]:
 
 
 def measure(index, queries: np.ndarray, *, name: str, dataset: str,
-            batch_repeats: int = 3) -> ThroughputResult:
-    """Scalar loop once (it is the slow path), batch best-of-N."""
+            batch_repeats: int = 5) -> ThroughputResult:
+    """Scalar loop once (it is the slow path), batch best-of-N.
+
+    The batch path gets a discarded warmup pass plus best-of-5: on a
+    single-vCPU reference box the best-of-3 estimate wobbles ~+-7%
+    run-to-run, which is too loose for the 10% cross-trajectory
+    regression gate the 1M-uniform row feeds.
+    """
     scalar_fn = getattr(index, "lookup_batch_scalar", None)
     if scalar_fn is None:
         def scalar_fn():
@@ -141,6 +158,7 @@ def measure(index, queries: np.ndarray, *, name: str, dataset: str,
             return _bound(queries)
 
     scalar_s, scalar_out = _time_once(scalar_fn)
+    index.lookup_batch(queries)
     batch_s = float("inf")
     batch_out = None
     for _ in range(batch_repeats):
@@ -876,6 +894,211 @@ def render_lsm(
     return out + "\n" + mixed_table.render()
 
 
+# -- insert tail latency under compaction (ISSUE 7) ----------------------------
+
+#: ISSUE 7 acceptance, translated to what this hardware can measure
+#: reproducibly.  The spirit of the gate: with background compaction,
+#: no merge ever stalls an acking write.  The sharp, deterministic form
+#: of that is the stall counter (zero in background mode, nonzero in
+#: sync mode whenever a merge ran).  The histogram gates back it up:
+#:
+#: * p99 <= max(10 * p50, LATENCY_P99_FLOOR_US).  On a multi-core box
+#:   the ratio term dominates; the absolute floor exists because CI
+#:   runs on single-vCPU machines where writer and worker *timeshare
+#:   one core*, so during a merge an insert batch waits out OS
+#:   scheduling quanta (measured p99 3.5-5.2ms across smoke runs on
+#:   the reference box) no matter how the store is built.  The floor
+#:   still has teeth: an inline seal costs 2-3x it, an inline merge
+#:   leaking back onto the write path 7-100x.
+#: * background max <= sync max: the worst background batch is a seal
+#:   (inline RMI build); the worst sync batch is a full inline merge,
+#:   several times larger.  This is the "unbounded seal-stall spikes
+#:   today" comparison stated directly.
+#: * ingest throughput within LATENCY_MIN_THROUGHPUT_RATIO of sync.
+#:   Loop-only (the drain is reported separately): on one vCPU the
+#:   merge compute is interleaved into the loop either way, and
+#:   run-to-run machine variance is ~+-20%, so the CI tolerance is
+#:   0.8x; the 1M trajectory entry records the actual ratio.
+LATENCY_MAX_P99_OVER_P50 = 10.0
+LATENCY_P99_FLOOR_US = 8_000.0
+LATENCY_MIN_THROUGHPUT_RATIO = 0.8
+
+#: GIL quantum while the latency loop runs.  The CPython default
+#: (5ms) means a foreground insert can wait 5ms just for the worker
+#: thread to be preempted between numpy kernels — a convoy artifact of
+#: the harness, not of the store.  100us bounds the handoff; restored
+#: after the section.
+_LATENCY_SWITCH_INTERVAL = 1e-4
+
+
+@dataclass(frozen=True)
+class LSMLatencyResult:
+    mode: str
+    n: int
+    num_batches: int
+    batch_size: int
+    insert_keys_per_sec: float
+    drain_seconds: float
+    p50_us: float
+    p99_us: float
+    p999_us: float
+    max_us: float
+    write_stalls: int
+    stall_seconds: float
+    compactions: int
+
+
+def run_lsm_latency(
+    n: int, seed: int = 42
+) -> tuple[list[LSMLatencyResult], bool]:
+    """Per-``insert_batch`` latency histogram, sync vs background.
+
+    Both stores are *durable* (fsync-per-batch WAL in a scratch
+    directory): the fsync puts a real, stable floor under p50, which
+    is what makes a p99/p50 ratio meaningful — on a memory-only store
+    p50 is tens of microseconds and the ratio would measure nothing
+    but scheduler noise.  Every batch is timed individually, so the
+    histogram separates the steady state (p50), the tail the gates
+    bound (p99), and the seal spikes (p999 / max — a seal builds the
+    sealed run's RMI inline in both modes, but only the synchronous
+    store also pays merges there).  Geometry: batches are sized so
+    seals stay under 1% of ops (p99 then measures whether *merges*
+    intrude on the write path) while the capacity still forces a
+    background merge to run concurrently with the tail of the insert
+    loop.  Throughput is loop-only; the ``wait_for_compaction`` drain
+    is timed separately and reported, so deferred work is visible
+    rather than hidden.  Returns the per-mode rows plus a cross-check
+    that both stores answer an identical probe batch identically after
+    quiescing.
+    """
+    rng = np.random.default_rng(seed + 31)
+    capacity = max(n // 6, 4_096)
+    batch_size = 256
+    num_batches = max(n // batch_size, 256)
+    keys = rng.integers(
+        0, 1 << 62, size=(num_batches, batch_size), dtype=np.int64
+    )
+    probes = rng.integers(0, 1 << 62, 50_000, dtype=np.int64)
+    probes[:25_000] = rng.choice(keys.ravel(), 25_000)
+
+    results: list[LSMLatencyResult] = []
+    answers = {}
+    old_interval = sys.getswitchinterval()
+    sys.setswitchinterval(_LATENCY_SWITCH_INTERVAL)
+    try:
+        for mode, background in (("sync", False), ("background", True)):
+            scratch = tempfile.mkdtemp(prefix=f"lsm-latency-{mode}-")
+            try:
+                store = LearnedLSMStore(
+                    memtable_capacity=capacity,
+                    path=scratch,
+                    background=background,
+                )
+                latencies = np.empty(num_batches)
+                start = time.perf_counter()
+                for i in range(num_batches):
+                    t0 = time.perf_counter()
+                    store.insert_batch(keys[i])
+                    latencies[i] = time.perf_counter() - t0
+                elapsed = time.perf_counter() - start
+                t0 = time.perf_counter()
+                store.wait_for_compaction()
+                drain = time.perf_counter() - t0
+                answers[mode] = store.lookup_batch(probes)
+                p50, p99, p999 = np.percentile(
+                    latencies, [50.0, 99.0, 99.9]
+                )
+                stats = store.write_stats
+                results.append(
+                    LSMLatencyResult(
+                        mode=mode,
+                        n=n,
+                        num_batches=num_batches,
+                        batch_size=batch_size,
+                        insert_keys_per_sec=(
+                            num_batches * batch_size / elapsed
+                        ),
+                        drain_seconds=drain,
+                        p50_us=p50 * 1e6,
+                        p99_us=p99 * 1e6,
+                        p999_us=p999 * 1e6,
+                        max_us=float(latencies.max()) * 1e6,
+                        write_stalls=stats.write_stalls,
+                        stall_seconds=stats.stall_seconds,
+                        compactions=stats.compactions,
+                    )
+                )
+                store.close()
+            finally:
+                shutil.rmtree(scratch, ignore_errors=True)
+    finally:
+        sys.setswitchinterval(old_interval)
+    identical = bool(
+        np.array_equal(answers["sync"][0], answers["background"][0])
+        and np.array_equal(answers["sync"][1], answers["background"][1])
+    )
+    return results, identical
+
+
+def render_lsm_latency(
+    results: list[LSMLatencyResult], identical: bool
+) -> str:
+    table = Table(
+        "LSM insert latency: per-batch histogram, sync vs background "
+        "compaction",
+        [
+            "mode",
+            "n",
+            "batches",
+            "batch",
+            "insert keys/s",
+            "p50",
+            "p99",
+            "p99.9",
+            "max",
+            "drain",
+            "stalls",
+            "stalled",
+            "compactions",
+        ],
+    )
+    for r in results:
+        table.add_row(
+            r.mode,
+            f"{r.n:,}",
+            f"{r.num_batches:,}",
+            f"{r.batch_size:,}",
+            f"{r.insert_keys_per_sec:,.0f}",
+            f"{r.p50_us:,.0f}us",
+            f"{r.p99_us:,.0f}us",
+            f"{r.p999_us:,.0f}us",
+            f"{r.max_us:,.0f}us",
+            f"{r.drain_seconds * 1e3:,.0f}ms",
+            str(r.write_stalls),
+            f"{r.stall_seconds * 1e3:,.1f}ms",
+            str(r.compactions),
+        )
+    out = table.render()
+    bg = next(r for r in results if r.mode == "background")
+    sync = next(r for r in results if r.mode == "sync")
+    bound = max(LATENCY_MAX_P99_OVER_P50 * bg.p50_us, LATENCY_P99_FLOOR_US)
+    out += (
+        f"\nbackground p99: {bg.p99_us:,.0f}us = "
+        f"{bg.p99_us / bg.p50_us:.1f}x p50 "
+        f"(gate: <= max({LATENCY_MAX_P99_OVER_P50:.0f}x p50, "
+        f"{LATENCY_P99_FLOOR_US:,.0f}us) = {bound:,.0f}us); "
+        f"worst batch {bg.max_us / 1e3:,.1f}ms vs sync "
+        f"{sync.max_us / 1e3:,.1f}ms (inline merge); "
+        f"\ningest throughput vs sync: "
+        f"{bg.insert_keys_per_sec / sync.insert_keys_per_sec:.2f}x "
+        f"(floor {LATENCY_MIN_THROUGHPUT_RATIO:.2f}x); "
+        f"merge-attributable stalls: {bg.write_stalls} background, "
+        f"{sync.write_stalls} sync; "
+        f"reads identical across modes: {identical}"
+    )
+    return out
+
+
 # -- durability (ISSUE 6) ------------------------------------------------------
 
 #: ISSUE 6 acceptance: WAL-on insert throughput within 2x of the
@@ -1088,15 +1311,24 @@ def run_query_core(
 
 #: Allowed slowdown of the 1M-uniform RMI batch path vs the previous
 #: trajectory entry at the same configuration (the ISSUE 5 gate: the
-#: dtype-exact engine must not cost more than 10%).
+#: dtype-exact engine must not cost more than 10%).  Both sides are
+#: normalized by their own run's model-free ``np.searchsorted``
+#: throughput on the same keys/queries: trajectory entries come from
+#: different sessions on different hardware (measured spread: one
+#: reference box ran raw binary search 35% slower than another while
+#: the engine code was byte-identical), and the absolute ops/s
+#: comparison this gate originally used could not tell that drift from
+#: a real engine regression.  The searchsorted baseline rides in the
+#: same process on the same arrays, so dividing by it cancels the box.
 QUERY_CORE_MAX_REGRESSION = 0.10
 
 
-def previous_uniform_batch_ops(
+def previous_uniform_batch_point(
     path: Path, n: int, num_queries: int
-) -> float | None:
+) -> tuple[float, float] | None:
     """The most recent trajectory entry's 1M-uniform RMI-10k batch
-    throughput at a matching configuration, or None."""
+    throughput and that same run's uniform ``searchsorted`` baseline
+    at a matching configuration, or None."""
     if not path.exists():
         return None
     try:
@@ -1111,17 +1343,26 @@ def previous_uniform_batch_ops(
     for record in reversed(trajectory):
         if record.get("n") != n or record.get("queries") != num_queries:
             continue
+        baseline = record.get("searchsorted_ops_per_sec")
+        if not isinstance(baseline, dict) or "uniform" not in baseline:
+            continue
         for row in record.get("results", []):
             if (
                 row.get("name") == "rmi leaves=10000"
                 and row.get("dataset") == "uniform"
             ):
-                return float(row["batch_ops_per_sec"])
+                return (
+                    float(row["batch_ops_per_sec"]),
+                    float(baseline["uniform"]),
+                )
     return None
 
 
 def render_query_core(
-    result: QueryCoreResult, previous_ops: float | None, current_ops: float
+    result: QueryCoreResult,
+    previous_point: tuple[float, float] | None,
+    current_ops: float,
+    current_searchsorted: float,
 ) -> str:
     table = Table(
         "Unified query core: exact 64-bit batch lookups (keys beyond 2^53)",
@@ -1145,11 +1386,15 @@ def render_query_core(
         f"{result.float64_baseline_mismatches:,}",
     )
     out = table.render()
-    if previous_ops is not None:
-        ratio = current_ops / previous_ops
+    if previous_point is not None:
+        prev_ops, prev_ss = previous_point
+        ratio = (current_ops / current_searchsorted) / (prev_ops / prev_ss)
         out += (
-            f"\n1M-uniform batch path vs previous trajectory entry: "
-            f"{ratio:.2f}x (gate: >= {1.0 - QUERY_CORE_MAX_REGRESSION:.2f}x)"
+            f"\n1M-uniform batch path vs previous trajectory entry "
+            f"(searchsorted-normalized): {ratio:.2f}x "
+            f"(gate: >= {1.0 - QUERY_CORE_MAX_REGRESSION:.2f}x; "
+            f"raw {current_ops / prev_ops:.2f}x on a "
+            f"{current_searchsorted / prev_ss:.2f}x-speed box)"
         )
     else:
         out += (
@@ -1293,6 +1538,10 @@ def main(argv: list[str] | None = None) -> int:
     print()
     print(render_lsm(lsm_writes, lsm_speedup, lsm_bloom, lsm_mixed))
 
+    latency_results, latency_identical = run_lsm_latency(args.n)
+    print()
+    print(render_lsm_latency(latency_results, latency_identical))
+
     durability = run_durability(args.n)
     print()
     print(render_durability(durability))
@@ -1300,18 +1549,22 @@ def main(argv: list[str] | None = None) -> int:
     # Query-core section (ISSUE 5): exact 64-bit throughput plus the
     # no->10%-regression gate on the 1M-uniform batch path, judged
     # against the previous trajectory entry at the same configuration
-    # (read before --json appends this run's record).
+    # (read before --json appends this run's record), with both sides
+    # normalized by their own run's searchsorted baseline.
     query_core = run_query_core(args.n, args.queries)
     current_uniform_ops = next(
         r.batch_ops_per_sec
         for r in results
         if r.dataset == "uniform" and r.name == "rmi leaves=10000"
     )
-    previous_ops = previous_uniform_batch_ops(
+    previous_point = previous_uniform_batch_point(
         args.json_path, args.n, args.queries
     )
     print()
-    print(render_query_core(query_core, previous_ops, current_uniform_ops))
+    print(render_query_core(
+        query_core, previous_point, current_uniform_ops,
+        searchsorted_ops["uniform"],
+    ))
 
     rmi_uniform = [
         r for r in results
@@ -1375,6 +1628,13 @@ def main(argv: list[str] | None = None) -> int:
                 "bloom": asdict(lsm_bloom),
                 "mixed": [asdict(r) for r in lsm_mixed],
             },
+            "lsm_latency": {
+                "max_p99_over_p50": LATENCY_MAX_P99_OVER_P50,
+                "p99_floor_us": LATENCY_P99_FLOOR_US,
+                "min_throughput_ratio": LATENCY_MIN_THROUGHPUT_RATIO,
+                "reads_identical": latency_identical,
+                "results": [asdict(r) for r in latency_results],
+            },
             "durability": {
                 "min_wal_ratio": DURABILITY_MIN_WAL_RATIO,
                 "result": asdict(durability),
@@ -1382,7 +1642,12 @@ def main(argv: list[str] | None = None) -> int:
             "query_core": {
                 "max_regression": QUERY_CORE_MAX_REGRESSION,
                 "uniform_batch_ops_per_sec": current_uniform_ops,
-                "previous_uniform_batch_ops_per_sec": previous_ops,
+                "previous_uniform_batch_ops_per_sec": (
+                    previous_point[0] if previous_point else None
+                ),
+                "previous_searchsorted_ops_per_sec": (
+                    previous_point[1] if previous_point else None
+                ),
                 "result": asdict(query_core),
             },
         }
@@ -1401,6 +1666,31 @@ def main(argv: list[str] | None = None) -> int:
     # The laziness invariant is structural, not a timing: it holds at
     # any scale, so it gates even smoke runs.
     ok = ok and durability.reopen_lazy
+    # ISSUE 7 gates, judged at every scale including --smoke: with the
+    # background worker on, no merge ever stalls an acking write (the
+    # stall counter stays zero — and the sync baseline's counter must
+    # be nonzero whenever it merged, proving the stalls exist to be
+    # avoided); the p99 insert tail stays within 10x p50 or the
+    # single-core scheduling floor; the worst background batch (a
+    # seal) stays under the worst sync batch (an inline merge); both
+    # modes answer reads identically; and ingest throughput stays
+    # within tolerance of the sync policy.
+    bg_latency = next(
+        r for r in latency_results if r.mode == "background"
+    )
+    sync_latency = next(r for r in latency_results if r.mode == "sync")
+    ok = ok and latency_identical
+    ok = ok and bg_latency.write_stalls == 0
+    if sync_latency.compactions > 0:
+        ok = ok and sync_latency.write_stalls > 0
+    ok = ok and bg_latency.p99_us <= max(
+        LATENCY_MAX_P99_OVER_P50 * bg_latency.p50_us,
+        LATENCY_P99_FLOOR_US,
+    )
+    ok = ok and bg_latency.max_us <= sync_latency.max_us
+    ok = ok and bg_latency.insert_keys_per_sec >= (
+        LATENCY_MIN_THROUGHPUT_RATIO * sync_latency.insert_keys_per_sec
+    )
     if args.n >= 1_000_000:
         # The ISSUE 3 build and ISSUE 4 insert floors are defined at 1M
         # keys; smaller (e.g. smoke) runs report but don't gate on them.
@@ -1410,11 +1700,16 @@ def main(argv: list[str] | None = None) -> int:
         ok = ok and durability.wal_vs_mem_ratio >= DURABILITY_MIN_WAL_RATIO
         # ISSUE 5 gate: the exact engine costs <= 10% on the 1M-uniform
         # batch path vs the previous trajectory entry (shared runners
-        # at smoke scale are too noisy to gate on).
-        if previous_ops is not None:
-            ok = ok and current_uniform_ops >= previous_ops * (
-                1.0 - QUERY_CORE_MAX_REGRESSION
+        # at smoke scale are too noisy to gate on).  Normalized by each
+        # run's own searchsorted baseline so a slower/faster box between
+        # sessions doesn't masquerade as an engine change.
+        if previous_point is not None:
+            prev_ops, prev_ss = previous_point
+            normalized = (
+                (current_uniform_ops / searchsorted_ops["uniform"])
+                / (prev_ops / prev_ss)
             )
+            ok = ok and normalized >= 1.0 - QUERY_CORE_MAX_REGRESSION
     return 0 if ok else 1
 
 

@@ -28,6 +28,16 @@ bury a key's newer version under an older one.  Tombstone garbage
 collection is safe exactly when the merge output becomes the oldest
 run — no older run can still hold a shadowed version — which is also
 when a tombstone has finished its job.
+
+Selection contract (ISSUE 7): ``select`` is consulted repeatedly —
+after every executed window, and from the background worker over a
+run-list *snapshot* that may be stale by one seal by the time the
+merge commits.  A policy may therefore return windows that make no
+progress (e.g. a single run re-selected onto its own level when a
+merge shifted a size bucket's boundary); the store's planner rejects
+pure no-ops and breaks on any repeated (layout, selection) signature,
+so policies need not prove monotonic shrinkage themselves — they must
+only keep ``(start, stop, new_level)`` inside the list bounds.
 """
 
 from __future__ import annotations

@@ -34,6 +34,7 @@ individually.
 from __future__ import annotations
 
 import os
+import threading
 
 import numpy as np
 
@@ -167,6 +168,11 @@ class FaultInjectingFilesystem(RealFileSystem):
         self.crashed = False
         #: path -> byte length known durable (fsynced or pre-existing).
         self._synced: dict[str, int] = {}
+        #: Site counting must be exact even when the store's writer and
+        #: background-compactor threads issue I/O concurrently — a lost
+        #: ``ops += 1`` increment would shift every later site index
+        #: and break the sweep's determinism contract.
+        self._lock = threading.Lock()
 
     # -- crash machinery -------------------------------------------------------
 
@@ -174,18 +180,26 @@ class FaultInjectingFilesystem(RealFileSystem):
         if self.crashed:
             raise SimulatedCrash("filesystem already crashed")
 
-    def _site(self) -> bool:
-        """Count one mutating call; True when it must crash."""
+    def _enter(self) -> bool:
+        """Count one mutating call; True when it must crash.  The
+        caller must hold :attr:`_lock`."""
         self._check_alive()
         self.ops += 1
         return self.crash_at is not None and self.ops == self.crash_at
 
     def _die(self) -> None:
+        """Crash.  The caller must hold :attr:`_lock`: each mutating
+        primitive is atomic (site check + real op + durability
+        bookkeeping) under the lock, because a crash landing *between*
+        another thread's rename/fsync and its ``_synced`` update would
+        roll back an operation the real kernel had already made durable
+        — the harness would then manufacture data loss no physical
+        crash can produce."""
         self.crashed = True
         if self.mode == "lose":
-            # The unsynced page cache evaporates: roll every tracked
-            # file back to its last durable length.
-            for path, size in self._synced.items():
+            # The unsynced page cache evaporates: roll every
+            # tracked file back to its last durable length.
+            for path, size in list(self._synced.items()):
                 try:
                     if os.path.getsize(path) > size:
                         os.truncate(path, size)
@@ -196,65 +210,76 @@ class FaultInjectingFilesystem(RealFileSystem):
     # -- mutating primitives (each call is one injection site) -----------------
 
     def open_write(self, handle_path: str) -> FileHandle:
-        if self._site():
-            self._die()
-        self._synced.setdefault(handle_path, 0)
-        return super().open_write(handle_path)
+        with self._lock:
+            if self._enter():
+                self._die()
+            self._synced.setdefault(handle_path, 0)
+            return super().open_write(handle_path)
 
     def open_append(self, path: str) -> FileHandle:
-        if self._site():
-            self._die()
-        self._synced.setdefault(
-            path, os.path.getsize(path) if os.path.exists(path) else 0
-        )
-        return super().open_append(path)
+        with self._lock:
+            if self._enter():
+                self._die()
+            self._synced.setdefault(
+                path, os.path.getsize(path) if os.path.exists(path) else 0
+            )
+            return super().open_append(path)
 
     def write(self, handle: FileHandle, data) -> None:
-        if self._site():
-            torn = int(len(data) * self.torn_fraction)
-            if torn:
-                super().write(handle, data[:torn])
-            self._die()
-        super().write(handle, data)
+        with self._lock:
+            if self._enter():
+                torn = int(len(data) * self.torn_fraction)
+                if torn:
+                    super().write(handle, data[:torn])
+                self._die()
+            super().write(handle, data)
 
     def fsync(self, handle: FileHandle) -> None:
-        if self._site():
-            self._die()
-        # No physical fsync: the loss model below is what simulates the
-        # missing flush, and skipping thousands of real fsyncs keeps
-        # the injection sweep fast.
-        self._synced[handle.path] = os.path.getsize(handle.path)
+        with self._lock:
+            if self._enter():
+                self._die()
+            # No physical fsync: the loss model below is what simulates
+            # the missing flush, and skipping thousands of real fsyncs
+            # keeps the injection sweep fast.
+            self._synced[handle.path] = os.path.getsize(handle.path)
 
     def close(self, handle: FileHandle) -> None:
         # Not a durability point and not a site: close never syncs.
-        self._check_alive()
+        # Deliberately allowed after a crash — the kernel closes a dead
+        # process's descriptors, and refusing here would only strand
+        # handles (ResourceWarning noise under PYTHONDEVMODE) without
+        # modeling anything real.
         super().close(handle)
 
     def rename(self, src: str, dst: str) -> None:
-        if self._site():
-            self._die()
-        super().rename(src, dst)
-        self._synced[dst] = self._synced.pop(
-            src, os.path.getsize(dst)
-        )
+        with self._lock:
+            if self._enter():
+                self._die()
+            super().rename(src, dst)
+            self._synced[dst] = self._synced.pop(
+                src, os.path.getsize(dst)
+            )
 
     def remove(self, path: str) -> None:
-        if self._site():
-            self._die()
-        super().remove(path)
-        self._synced.pop(path, None)
+        with self._lock:
+            if self._enter():
+                self._die()
+            super().remove(path)
+            self._synced.pop(path, None)
 
     def truncate(self, path: str, size: int) -> None:
-        if self._site():
-            self._die()
-        super().truncate(path, size)
-        self._synced[path] = min(self._synced.get(path, size), size)
+        with self._lock:
+            if self._enter():
+                self._die()
+            super().truncate(path, size)
+            self._synced[path] = min(self._synced.get(path, size), size)
 
     def fsync_dir(self, path: str) -> None:
-        if self._site():
-            self._die()
-        # Directory entries: modeled durable at rename time (see module
-        # docstring), so nothing further to record.
+        with self._lock:
+            if self._enter():
+                self._die()
+            # Directory entries: modeled durable at rename time (see
+            # module docstring), so nothing further to record.
 
     # -- read-only primitives (never sites, but dead after a crash) ------------
 

@@ -119,6 +119,7 @@ def write_section_file(
     magic: bytes,
     meta: dict,
     sections: list[tuple[str, np.ndarray | bytes]] = (),
+    fsync_every: int | None = None,
 ) -> None:
     """Atomically publish a section file at ``path``.
 
@@ -129,15 +130,30 @@ def write_section_file(
     validated or not at all; each section is its own ``fs.write`` call,
     which is what gives the fault harness one injection site per
     section.
+
+    ``fsync_every`` bounds how many dirty bytes can accumulate before
+    an intermediate fsync (writes are also split to that granularity) —
+    the RocksDB ``bytes_per_sync`` idea.  Publication stays atomic (the
+    rename still gates visibility); the point is to keep one
+    multi-megabyte background flush from entangling a concurrent
+    foreground fsync (the WAL's) in a single giant journal commit.
+    Callers needing a deterministic injection-site count (the crash
+    fuzz's synchronous sweeps) must leave it None.
     """
     algo = _DEFAULT_ALGO
     table: dict[str, dict] = {}
-    blobs: list[bytes] = []
+    blobs: list = []
     offset = 0
     for name, data in sections:
         if isinstance(data, np.ndarray):
+            # Zero-copy view, not ``tobytes()``: the copy is a
+            # multi-megabyte memcpy under the GIL, which on the
+            # background worker stalls concurrent foreground inserts.
+            # ``os.write`` and large-buffer crc32 both release the GIL,
+            # so handing the view straight down keeps the save
+            # GIL-quiet.
             arr = np.ascontiguousarray(data)
-            blob = arr.tobytes()
+            blob = memoryview(arr).cast("B")
             dtype = arr.dtype.str
         else:
             blob = bytes(data)
@@ -166,9 +182,21 @@ def write_section_file(
     try:
         fs.write(handle, header)
         fs.write(handle, payload)
+        pending = len(header) + len(payload)
         for blob in blobs:
-            if blob:
+            if not blob:
+                continue
+            if fsync_every is None:
                 fs.write(handle, blob)
+                continue
+            view = memoryview(blob)
+            for start in range(0, len(view), fsync_every):
+                chunk = view[start:start + fsync_every]
+                fs.write(handle, chunk)
+                pending += len(chunk)
+                if pending >= fsync_every:
+                    fs.fsync(handle)
+                    pending = 0
         fs.fsync(handle)
     finally:
         fs.close(handle)

@@ -23,7 +23,12 @@ discipline around the swap:
 * files the **new** state needs (run file, fresh WAL generation) are
   written and fsynced *before* the commit;
 * files only the **old** state needs (replaced runs, the previous WAL
-  generation) are deleted *after* it.
+  generation) are deleted *after* it — and with background compaction
+  (ISSUE 7) "after" stretches further: a replaced run stays on disk
+  until the last pinned read snapshot releases it.  That deferral is
+  crash-free by construction, because a retired-but-undeleted run is
+  exactly a manifest-unreferenced orphan, the category recovery
+  already garbage-collects.
 
 Corruption of a committed manifest raises
 :class:`~repro.lsm.format.CorruptRunError` rather than silently

@@ -22,9 +22,23 @@ per burst of mutations) and are cached until the next write, which
 keeps scalar probes O(1) dict hits and batch probes single
 ``searchsorted`` calls without paying a per-insert sort like the old
 ``bisect.insort`` delta list did.
+
+Concurrency (ISSUE 7): the LSM store now serves reads from reader
+threads while a single writer mutates the buffer, so the lazy
+materialization and every bulk mutation run under one internal lock.
+Without it, two readers racing into :meth:`_materialize` (or a reader
+racing a writer's ``dict.update``) could iterate a dict that changes
+size mid-``np.fromiter`` — a crash, not just a stale answer.  Scalar
+dict/set probes stay lock-free: each is a single atomic C-level
+operation, and a concurrent reader is entitled to either the before or
+the after state.  The materialized triple is immutable once built and
+swapped in atomically, so :meth:`views` hands readers a consistent
+(keys, values, tombstones) snapshot without copying.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -41,6 +55,10 @@ class Memtable:
         self._puts: dict[int, int] = {}
         self._tombstones: set[int] = set()
         self._sorted: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        #: Serializes mutation against lazy materialization; reads of
+        #: the already-materialized triple are lock-free (it is swapped
+        #: in atomically and never mutated in place).
+        self._lock = threading.Lock()
 
     # -- mutation ------------------------------------------------------------
 
@@ -49,9 +67,10 @@ class Memtable:
 
     def put(self, key: int, value: int) -> None:
         """Write ``key -> value``; overrides any earlier tombstone."""
-        self._tombstones.discard(key)
-        self._puts[key] = value
-        self._dirty()
+        with self._lock:
+            self._tombstones.discard(key)
+            self._puts[key] = value
+            self._dirty()
 
     def put_batch(
         self,
@@ -73,10 +92,11 @@ class Memtable:
             raise ValueError("keys and values must have the same length")
         if keys.size == 0:
             return
-        if clear_tombstones:
-            self.discard_tombstones(keys)
-        self._puts.update(zip(keys.tolist(), values.tolist()))
-        self._dirty()
+        with self._lock:
+            if clear_tombstones:
+                self._discard_tombstones_locked(keys)
+            self._puts.update(zip(keys.tolist(), values.tolist()))
+            self._dirty()
 
     def delete(self, key: int) -> None:
         """Blind LSM delete: drop any buffered put, record a tombstone.
@@ -84,9 +104,10 @@ class Memtable:
         No read is performed — the tombstone shadows older runs whether
         or not they hold the key (resolved at compaction time).
         """
-        self._puts.pop(key, None)
-        self._tombstones.add(key)
-        self._dirty()
+        with self._lock:
+            self._puts.pop(key, None)
+            self._tombstones.add(key)
+            self._dirty()
 
     def delete_batch(self, keys: np.ndarray) -> None:
         """Bulk :meth:`delete`: one dict sweep + one set update.
@@ -97,12 +118,13 @@ class Memtable:
         keys = np.asarray(keys, dtype=np.int64).ravel()
         if keys.size == 0:
             return
-        pop = self._puts.pop
-        items = keys.tolist()
-        for key in items:
-            pop(key, None)
-        self._tombstones.update(items)
-        self._dirty()
+        with self._lock:
+            pop = self._puts.pop
+            items = keys.tolist()
+            for key in items:
+                pop(key, None)
+            self._tombstones.update(items)
+            self._dirty()
 
     # Writable-index primitives: the single-run design decides *policy*
     # (e.g. "only tombstone keys the main index holds") itself, so it
@@ -110,36 +132,44 @@ class Memtable:
 
     def remove_put(self, key: int) -> bool:
         """Drop a buffered put without tombstoning; True if it existed."""
-        if key in self._puts:
-            del self._puts[key]
-            self._dirty()
-            return True
-        return False
+        with self._lock:
+            if key in self._puts:
+                del self._puts[key]
+                self._dirty()
+                return True
+            return False
 
     def add_tombstone(self, key: int) -> None:
-        self._tombstones.add(key)
-        self._dirty()
-
-    def discard_tombstone(self, key: int) -> None:
-        if key in self._tombstones:
-            self._tombstones.discard(key)
+        with self._lock:
+            self._tombstones.add(key)
             self._dirty()
 
-    def discard_tombstones(self, keys: np.ndarray) -> None:
-        """Drop every tombstone present in ``keys`` (one ``np.isin``)."""
+    def discard_tombstone(self, key: int) -> None:
+        with self._lock:
+            if key in self._tombstones:
+                self._tombstones.discard(key)
+                self._dirty()
+
+    def _discard_tombstones_locked(self, keys: np.ndarray) -> None:
         if not self._tombstones:
             return
-        keys = np.asarray(keys, dtype=np.int64).ravel()
         dead = np.fromiter(self._tombstones, dtype=np.int64)
         hit = keys[np.isin(keys, dead)]
         if hit.size:
             self._tombstones.difference_update(int(k) for k in hit)
             self._dirty()
 
+    def discard_tombstones(self, keys: np.ndarray) -> None:
+        """Drop every tombstone present in ``keys`` (one ``np.isin``)."""
+        keys = np.asarray(keys, dtype=np.int64).ravel()
+        with self._lock:
+            self._discard_tombstones_locked(keys)
+
     def clear(self) -> None:
-        self._puts.clear()
-        self._tombstones.clear()
-        self._dirty()
+        with self._lock:
+            self._puts.clear()
+            self._tombstones.clear()
+            self._dirty()
 
     # -- scalar probes ---------------------------------------------------------
 
@@ -156,19 +186,41 @@ class Memtable:
     # -- sorted views ----------------------------------------------------------
 
     def _materialize(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        # Double-checked: the common case (cache warm) reads one
+        # attribute lock-free — the triple is immutable once published.
         cached = self._sorted
-        if cached is None:
-            n = len(self._puts)
-            keys = np.fromiter(self._puts.keys(), dtype=np.int64, count=n)
-            values = np.fromiter(self._puts.values(), dtype=np.int64, count=n)
-            order = np.argsort(keys)
-            tombs = np.fromiter(
-                self._tombstones, dtype=np.int64, count=len(self._tombstones)
-            )
-            tombs.sort()
-            cached = (keys[order], values[order], tombs)
-            self._sorted = cached
+        if cached is not None:
+            return cached
+        with self._lock:
+            cached = self._sorted
+            if cached is None:
+                n = len(self._puts)
+                keys = np.fromiter(
+                    self._puts.keys(), dtype=np.int64, count=n
+                )
+                values = np.fromiter(
+                    self._puts.values(), dtype=np.int64, count=n
+                )
+                order = np.argsort(keys)
+                tombs = np.fromiter(
+                    self._tombstones,
+                    dtype=np.int64,
+                    count=len(self._tombstones),
+                )
+                tombs.sort()
+                cached = (keys[order], values[order], tombs)
+                self._sorted = cached
         return cached
+
+    def views(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One atomic (put keys, put values, tombstone keys) triple.
+
+        Readers that fetch :meth:`put_keys` and :meth:`tombstone_keys`
+        separately can interleave with a writer and pair views from two
+        different generations; this returns the single cached triple,
+        so the three arrays are always mutually consistent.
+        """
+        return self._materialize()
 
     def put_keys(self) -> np.ndarray:
         """Sorted buffered put keys (the classic delta array)."""

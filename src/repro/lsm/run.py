@@ -289,6 +289,11 @@ class SortedRun:
         self.sequence = int(sequence)
         self.level = int(level)
         self.leaf_target = int(leaf_target)
+        #: Snapshot pin count (ISSUE 7): reads pin every run in their
+        #: run-set snapshot so a background merge that supersedes the
+        #: run defers closing + deleting it until the count returns to
+        #: zero.  Mutated only under the store's state lock.
+        self.pins = 0
         self._n = int(keys.size)
         self._num_tombstones = int(np.count_nonzero(self._tombstones))
         self._source: SectionFile | None = None
@@ -304,13 +309,16 @@ class SortedRun:
 
     # -- persistence -----------------------------------------------------------
 
-    def save(self, fs, path: str) -> None:
+    def save(self, fs, path: str, *, fsync_every: int | None = None) -> None:
         """Write this run as one atomic checksummed section file.
 
         Data (keys/values/tombstones), index (the RMI's compiled
         state), and guard (bloom wire form) all land in a single file;
         see :mod:`repro.lsm.format` for the publish discipline.  Sets
         :attr:`path` on success — the name the manifest will record.
+        ``fsync_every`` is the incremental-flush bound for saves that
+        run concurrently with foreground WAL fsyncs (see
+        :func:`~repro.lsm.format.write_section_file`).
         """
         state = self.rmi.compiled_state()
         bloom_kind, bloom_blob = _serialize_bloom(self.bloom)
@@ -338,7 +346,8 @@ class SortedRun:
             ("bloom", bloom_blob),
         ]
         write_section_file(
-            fs, path, magic=RUN_MAGIC, meta=meta, sections=sections
+            fs, path, magic=RUN_MAGIC, meta=meta, sections=sections,
+            fsync_every=fsync_every,
         )
         self.path = path
 
@@ -383,6 +392,7 @@ class SortedRun:
                     )
         self._source = source
         self.path = path
+        self.pins = 0
         self._keys = None
         self._values = None
         self._tombstones = None

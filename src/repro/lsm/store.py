@@ -64,11 +64,50 @@ seal (default 1); the policy's remaining debt drains one window per
 subsequent seal, and :meth:`compact` still folds everything.
 Memory-only stores keep the unbounded cascade (their seals never hold
 an fsynced ack hostage, and layout-sensitive callers rely on it).
+
+Background compaction + snapshot reads (ISSUE 7)
+------------------------------------------------
+``background=True`` (or ``REPRO_LSM_BACKGROUND=1``) moves every
+policy-selected merge off the write path onto one daemon worker
+thread: a seal only *kicks* the worker, so the acking write batch
+never waits on a merge at all — the remaining write-path pauses are
+the seals themselves, and :attr:`LSMWriteStats.write_stalls` meters
+exactly the merges that did run inline (zero in background mode, the
+property the bench gates).
+
+Threading contract: **one writer, any number of readers**.  Write
+calls (`insert*` / `delete*` / `flush` / `compact`) must come from a
+single thread; reads (`lookup*`, `range_*`, `live_keys`) may race the
+writer and the compactor freely.  The machinery:
+
+* **Snapshot reads.**  Every read pins a ``(memtable-view, run-set)``
+  snapshot: the memtable's immutable materialized triple is grabbed
+  *first*, then the run list is copied and each run's pin count
+  incremented under the state lock.  Memtable-first ordering is the
+  loss-free direction — a seal that lands between the two grabs moves
+  data *into* the run set, so the reader sees it twice (newest-wins
+  dedup resolves the duplicate) rather than never.
+* **Atomic swap.**  The worker merges its window from a snapshot
+  without holding any structural lock, then swaps ``runs[start:stop]
+  = [merged]`` + commits the manifest under the structure lock.
+  Seals only ever *prepend*, so the window is relocated by identity
+  and its is-oldest (tombstone-GC eligibility) property is stable.
+* **Deferred deletion.**  Superseded runs are retired, and closed +
+  unlinked only once their pin count returns to zero — a reader
+  mid-probe never loses its memmap.  Retired files a crash strands
+  are manifest-unreferenced orphans the next recovery sweeps.
+
+Lock order (outermost first): merge lock (serializes the worker
+against explicit :meth:`compact`) → structure lock (serializes
+manifest-committing transitions: seal vs merge swap) → state lock
+(run-list reads/swaps, pins, retirement, id/sequence counters).
 """
 
 from __future__ import annotations
 
 import os
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -100,9 +139,28 @@ COMPACTION_POLICIES: dict[str, Callable[[], CompactionPolicy]] = {
     "leveled": LeveledCompaction,
 }
 
+#: Incremental-fsync bound for merged-run saves in background mode
+#: (RocksDB's ``bytes_per_sync``): caps how much dirty run-file data a
+#: concurrent foreground WAL fsync can get queued behind.
+_MERGE_SAVE_FSYNC_BYTES = 1 << 20
+
+
+class _StatsBase:
+    """Shared counter discipline: every mutation funnels through
+    :meth:`add` under one internal lock, so readers, the writer, and
+    the background compactor can bump counters concurrently without
+    losing increments (bare ``+=`` on a shared attribute is a
+    read-modify-write race)."""
+
+    def add(self, **deltas) -> None:
+        """Atomically add every ``counter=delta`` pair."""
+        with self._stats_lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
 
 @dataclass
-class LSMReadStats:
+class LSMReadStats(_StatsBase):
     """Read-amplification instrumentation.
 
     A *run probe* is one (query, run) RMI lookup actually executed; a
@@ -118,13 +176,17 @@ class LSMReadStats:
     run_probes: int = 0
     probe_misses: int = 0
     bloom_rejects: int = 0
+    _stats_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def reset(self) -> None:
-        self.lookups = 0
-        self.memtable_hits = 0
-        self.run_probes = 0
-        self.probe_misses = 0
-        self.bloom_rejects = 0
+        with self._stats_lock:
+            self.lookups = 0
+            self.memtable_hits = 0
+            self.run_probes = 0
+            self.probe_misses = 0
+            self.bloom_rejects = 0
 
     @property
     def negative_probes_eliminated(self) -> float:
@@ -133,13 +195,17 @@ class LSMReadStats:
 
 
 @dataclass
-class LSMWriteStats:
+class LSMWriteStats(_StatsBase):
     """Write-amplification instrumentation.
 
     ``keys_written`` counts every entry landed in the memtable;
     ``entries_sealed`` / ``entries_compacted`` count entries rewritten
     into runs, so ``write_amplification`` is (sealed + compacted) /
-    written — the LSM's defining cost curve.
+    written — the LSM's defining cost curve.  ``write_stalls`` counts
+    merge windows executed *inline on the write path* (a seal whose
+    caller waited for the merge) and ``stall_seconds`` their summed
+    wall time; with background compaction both stay zero — the axis
+    the tail-latency bench gates.
     """
 
     keys_written: int = 0
@@ -147,7 +213,12 @@ class LSMWriteStats:
     entries_sealed: int = 0
     compactions: int = 0
     entries_compacted: int = 0
+    write_stalls: int = 0
+    stall_seconds: float = 0.0
     extra: dict = field(default_factory=dict)
+    _stats_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def write_amplification(self) -> float:
@@ -156,6 +227,85 @@ class LSMWriteStats:
         return (self.entries_sealed + self.entries_compacted) / (
             self.keys_written
         )
+
+
+class _BackgroundCompactor:
+    """One daemon thread owning every policy-selected merge.
+
+    The write path :meth:`kick`\\ s after each seal and returns
+    immediately; the worker drains merge windows until the policy goes
+    quiet, then sleeps on its condition.  A failure (e.g. a simulated
+    crash from the fault harness) is captured and re-raised from the
+    next :meth:`drain` — the worker never takes the process down.
+    """
+
+    def __init__(self, store: "LearnedLSMStore"):
+        self._store = store
+        self._cond = threading.Condition()
+        self._pending = False
+        self._idle = True
+        self._stopped = False
+        self.error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._loop, name="lsm-compactor", daemon=True
+        )
+        self._thread.start()
+
+    def kick(self) -> None:
+        """Schedule a drain pass (cheap, non-blocking)."""
+        with self._cond:
+            self._pending = True
+            self._cond.notify_all()
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._stopped:
+                    self._cond.wait()
+                if self._stopped:
+                    return
+                self._pending = False
+                self._idle = False
+            try:
+                # Fresh no-progress signature set per burst: a new kick
+                # means new input (a seal), which legitimately reopens
+                # windows an earlier burst declared unproductive.
+                seen: set = set()
+                while self._store._background_merge_once(seen):
+                    pass
+            except BaseException as exc:  # noqa: BLE001 — surfaced via drain
+                with self._cond:
+                    self.error = exc
+                    self._idle = True
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                self._idle = True
+                self._cond.notify_all()
+
+    def drain(self) -> None:
+        """Block until no merge is running or pending; re-raise the
+        worker's error (sticky — every drain after a failure reports
+        it, like a poisoned queue)."""
+        with self._cond:
+            while (
+                self.error is None
+                and not self._stopped
+                and self._thread.is_alive()
+                and (self._pending or not self._idle)
+            ):
+                # Timed wait: immune to a notify lost to an unlucky
+                # interleaving of kick / burst-end.
+                self._cond.wait(timeout=0.05)
+            if self.error is not None:
+                raise self.error
+
+    def stop(self) -> None:
+        """Finish the in-flight window, then join the worker."""
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+        self._thread.join()
 
 
 class LearnedLSMStore:
@@ -192,10 +342,29 @@ class LearnedLSMStore:
         Maximum compaction merge windows executed per seal.  Defaults
         to 1 for durable stores (bounds acknowledged-write latency;
         remaining debt drains on later seals) and unbounded for
-        memory-only stores.
+        memory-only stores.  Ignored in background mode (the worker
+        drains every window off the write path anyway).
+    background:
+        ``True`` runs compaction on a daemon worker thread — seals
+        kick it and return, reads serve pinned snapshots, and
+        superseded runs are deleted only when unpinned (see the module
+        docstring).  ``None`` (default) reads the
+        ``REPRO_LSM_BACKGROUND`` env var (the CI stress lane's knob);
+        ``False`` pins the classic synchronous mode regardless of the
+        env.  Threading contract either way: one writer thread, any
+        number of reader threads.
+    wal_group_commit_bytes / wal_group_commit_interval:
+        Group-commit bounds for ``wal_fsync=False``: auto-fsync once
+        the unsynced WAL tail exceeds the byte budget, or once the
+        interval (seconds) since the last sync elapses — turning "may
+        lose everything since the last seal" into a bounded loss
+        window.  ``None`` disables each bound.
 
-    The store is a context manager; :meth:`close` is idempotent and
-    releases the WAL handle and all run memmaps.
+    The store is a context manager; :meth:`close` is idempotent,
+    stops the background worker, flushes + fsyncs pending WAL bytes
+    (also on the exception exit path — an error inside the ``with``
+    block cannot drop acknowledged writes), and releases all run
+    memmaps.
     """
 
     def __init__(
@@ -212,6 +381,9 @@ class LearnedLSMStore:
         filesystem=None,
         wal_fsync: bool = True,
         seal_merge_budget: int | None = None,
+        background: bool | None = None,
+        wal_group_commit_bytes: int | None = None,
+        wal_group_commit_interval: float | None = None,
     ):
         if memtable_capacity < 1:
             raise ValueError("memtable_capacity must be >= 1")
@@ -240,8 +412,27 @@ class LearnedLSMStore:
         self._wal: WriteAheadLog | None = None
         self._wal_name: str | None = None
         self._wal_fsync = bool(wal_fsync)
+        self._wal_group = dict(
+            group_commit_bytes=wal_group_commit_bytes,
+            group_commit_interval=wal_group_commit_interval,
+        )
         self.path = None if path is None else str(path)
         self.recovered_wal_records = 0
+        # Lock order (outer → inner): _merge_lock → _structure_lock →
+        # _state_lock.  See the module docstring.
+        self._merge_lock = threading.RLock()
+        self._structure_lock = threading.RLock()
+        self._state_lock = threading.RLock()
+        #: Superseded runs awaiting deferred deletion (pins > 0).
+        self._retired: list[SortedRun] = []
+        if background is None:
+            background = os.environ.get(
+                "REPRO_LSM_BACKGROUND", ""
+            ).strip() not in ("", "0")
+        self._background = bool(background)
+        #: Created at the end of __init__ so recovery-time seals stay
+        #: synchronous (deterministic for the crash-fuzz sweep).
+        self._compactor: _BackgroundCompactor | None = None
         if seal_merge_budget is not None and int(seal_merge_budget) < 1:
             raise ValueError("seal_merge_budget must be >= 1")
         self._seal_merge_budget = (
@@ -272,18 +463,32 @@ class LearnedLSMStore:
             self._fs = None
             if bulk is not None:
                 self.runs.append(self._bulk_run(*bulk))
-            return
-        self._fs = filesystem if filesystem is not None else RealFileSystem()
-        self._fs.makedirs(self.path)
-        if self._fs.exists(os.path.join(self.path, MANIFEST_NAME)):
-            if bulk is not None:
-                raise ValueError(
-                    "cannot bulk-load into an existing store directory; "
-                    "open it plain and insert instead"
-                )
-            self._recover()
         else:
-            self._init_fresh(bulk)
+            self._fs = (
+                filesystem if filesystem is not None else RealFileSystem()
+            )
+            self._fs.makedirs(self.path)
+            try:
+                if self._fs.exists(os.path.join(self.path, MANIFEST_NAME)):
+                    if bulk is not None:
+                        raise ValueError(
+                            "cannot bulk-load into an existing store "
+                            "directory; open it plain and insert instead"
+                        )
+                    self._recover()
+                else:
+                    self._init_fresh(bulk)
+            except BaseException:
+                # Failed bootstrap (corrupt manifest, injected crash):
+                # the caller never receives the store, so release every
+                # handle opened so far before propagating.
+                try:
+                    self.close()
+                except Exception:
+                    pass
+                raise
+        if self._background:
+            self._compactor = _BackgroundCompactor(self)
 
     # -- durable bootstrap -----------------------------------------------------
 
@@ -300,8 +505,9 @@ class LearnedLSMStore:
         return os.path.join(self.path, name)
 
     def _new_file_id(self) -> int:
-        self._file_id += 1
-        return self._file_id
+        with self._state_lock:
+            self._file_id += 1
+            return self._file_id
 
     def _new_run_name(self) -> str:
         return f"run-{self._new_file_id():08d}.run"
@@ -326,7 +532,10 @@ class LearnedLSMStore:
         WriteAheadLog.create(self._fs, self._file_path(self._wal_name))
         self._commit_manifest()
         self._wal = WriteAheadLog(
-            self._fs, self._file_path(self._wal_name), fsync=self._wal_fsync
+            self._fs,
+            self._file_path(self._wal_name),
+            fsync=self._wal_fsync,
+            **self._wal_group,
         )
 
     def _recover(self) -> None:
@@ -372,7 +581,9 @@ class LearnedLSMStore:
             else:
                 self.memtable.delete_batch(record.keys)
         self.recovered_wal_records = len(records)
-        self._wal = WriteAheadLog(fs, wal_path, fsync=self._wal_fsync)
+        self._wal = WriteAheadLog(
+            fs, wal_path, fsync=self._wal_fsync, **self._wal_group
+        )
         # A replayed memtable can be at or past capacity (the crash hit
         # mid-seal): finish the seal now, under the same crash-safe
         # protocol.
@@ -426,7 +637,10 @@ class LearnedLSMStore:
     def _rotate_wal_finish(self, old_name: str) -> None:
         self._fs.remove(self._file_path(old_name))
         self._wal = WriteAheadLog(
-            self._fs, self._file_path(self._wal_name), fsync=self._wal_fsync
+            self._fs,
+            self._file_path(self._wal_name),
+            fsync=self._wal_fsync,
+            **self._wal_group,
         )
 
     # -- lifecycle -------------------------------------------------------------
@@ -434,19 +648,32 @@ class LearnedLSMStore:
     def close(self) -> None:
         """Release the WAL handle and every run's memmaps; idempotent.
 
-        Pending WAL bytes are fsynced first (only relevant under
-        ``wal_fsync=False`` — the default path is already durable per
-        batch).  The memtable is *not* flushed to a run: its contents
-        live in the WAL and replay on the next open.
+        The background worker (if any) finishes its in-flight window
+        and joins first; then pending WAL bytes are fsynced (only
+        relevant under ``wal_fsync=False`` — the default path is
+        already durable per batch).  `__exit__` funnels here even when
+        the ``with`` block raised, so an exception-path exit flushes
+        acknowledged-but-unsynced writes instead of dropping them; run
+        memmaps are released even if that flush itself fails.  The
+        memtable is *not* flushed to a run: its contents live in the
+        WAL and replay on the next open.
         """
         if self._closed:
             return
         self._closed = True
-        if self._wal is not None:
-            self._wal.close()
-            self._wal = None
-        for run in self.runs:
-            run.close()
+        compactor, self._compactor = self._compactor, None
+        if compactor is not None:
+            compactor.stop()
+        wal, self._wal = self._wal, None
+        try:
+            if wal is not None:
+                wal.close()
+        finally:
+            with self._state_lock:
+                retired, self._retired = self._retired, []
+                runs = list(self.runs)
+            for run in retired + runs:
+                run.close()
 
     @property
     def closed(self) -> bool:
@@ -463,8 +690,9 @@ class LearnedLSMStore:
             raise ValueError("store is closed")
 
     def _next_sequence(self) -> int:
-        self._sequence += 1
-        return self._sequence
+        with self._state_lock:
+            self._sequence += 1
+            return self._sequence
 
     @staticmethod
     def _as_int64_keys(keys) -> np.ndarray:
@@ -499,7 +727,7 @@ class LearnedLSMStore:
                 np.array([value], dtype=np.int64),
             )
         self.memtable.put(key, value)
-        self.write_stats.keys_written += 1
+        self.write_stats.add(keys_written=1)
         self._maybe_seal()
 
     def insert_batch(self, keys, values=None) -> None:
@@ -524,7 +752,7 @@ class LearnedLSMStore:
         if self._wal is not None:
             self._wal.append_puts(keys, values)
         self.memtable.put_batch(keys, values)
-        self.write_stats.keys_written += int(keys.size)
+        self.write_stats.add(keys_written=int(keys.size))
         self._maybe_seal()
 
     def delete(self, key: int) -> None:
@@ -539,7 +767,7 @@ class LearnedLSMStore:
         if self._wal is not None:
             self._wal.append_deletes(np.array([key], dtype=np.int64))
         self.memtable.delete(key)
-        self.write_stats.keys_written += 1
+        self.write_stats.add(keys_written=1)
         self._maybe_seal()
 
     def delete_batch(self, keys) -> None:
@@ -555,7 +783,7 @@ class LearnedLSMStore:
         if self._wal is not None:
             self._wal.append_deletes(keys)
         self.memtable.delete_batch(keys)
-        self.write_stats.keys_written += int(keys.size)
+        self.write_stats.add(keys_written=int(keys.size))
         self._maybe_seal()
 
     def _maybe_seal(self) -> None:
@@ -563,8 +791,9 @@ class LearnedLSMStore:
             self.flush()
 
     def flush(self) -> None:
-        """Seal the memtable into a fresh L0 run, then let the policy
-        compact (budgeted per seal in durable mode).
+        """Seal the memtable into a fresh L0 run, then hand the policy
+        its merge debt — to the background worker when one exists,
+        inline (budgeted per seal in durable mode) otherwise.
 
         Durable seal protocol, in crash-safe order: write + fsync the
         run file → create + fsync the next WAL generation → commit the
@@ -573,139 +802,320 @@ class LearnedLSMStore:
         old WAL (the half-written run and fresh WAL are orphans); a
         crash after it recovers through the new run (the old WAL is the
         orphan).  Acknowledged writes survive either way.
+
+        Concurrent readers: the sealed run enters the run list *before*
+        the memtable clears, so a reader that misses the entries in the
+        memtable finds them in its run snapshot — the same data may be
+        visible in both for an instant, which newest-wins dedup
+        resolves; it is never visible in neither.
         """
         self._ensure_open()
-        if len(self.memtable) == 0:
-            return
-        keys, values, dead = self.memtable.snapshot()
-        tombstones: np.ndarray | None = dead
-        if not self.runs and dead.any():
-            # Nothing older to shadow: garbage-collect immediately.
-            live = ~dead
-            keys, values, tombstones = keys[live], values[live], None
-            if keys.size == 0:
-                # Every buffered entry was an unshadowed tombstone.
-                # Still rotate the WAL in durable mode, or replay would
-                # keep resurrecting (and re-discarding) them forever.
-                if self._wal is not None:
-                    old_wal = self._rotate_wal_begin()
-                    self._commit_manifest()
-                    self._rotate_wal_finish(old_wal)
-                self.memtable.clear()
+        with self._structure_lock:
+            if len(self.memtable) == 0:
                 return
-        run = SortedRun(
-            keys,
-            values,
-            tombstones,
-            sequence=self._next_sequence(),
-            level=0,
-            **self._run_kwargs,
-        )
-        if self._wal is not None:
-            run.save(self._fs, self._file_path(self._new_run_name()))
-            old_wal = self._rotate_wal_begin()
-            self.runs.insert(0, run)
-            self.memtable.clear()
-            self._commit_manifest()
-            self._rotate_wal_finish(old_wal)
-        else:
-            self.memtable.clear()
-            self.runs.insert(0, run)
-        self.write_stats.seals += 1
-        self.write_stats.entries_sealed += len(run)
-        self._compact(self._seal_merge_budget)
-
-    def _compact(self, budget: int | None = None) -> None:
-        """Run policy-selected merges; at most ``budget`` windows.
-
-        Durable merge protocol per window: write + fsync the merged
-        run file → commit the manifest with the window replaced →
-        delete the input run files.  A crash before the commit leaves
-        the old manifest (merged file is an orphan); after it, the
-        inputs are orphans — no intermediate point can lose a key or
-        resurrect a tombstoned one, because inputs outlive the commit
-        that supersedes them.
-        """
-        merges = 0
-        while (budget is None or merges < budget) and (
-            selection := self.policy.select(self.runs)
-        ) is not None:
-            start, stop, new_level = selection
-            window = self.runs[start:stop]
-            merged = merge_runs(
-                window,
-                # The merge output becomes the oldest data exactly when
-                # the window reaches the end of the list — only then is
-                # dropping tombstones safe.
-                drop_tombstones=stop == len(self.runs),
+            keys, values, dead = self.memtable.snapshot()
+            tombstones: np.ndarray | None = dead
+            if not self.runs and dead.any():
+                # Nothing older to shadow: garbage-collect immediately.
+                live = ~dead
+                keys, values, tombstones = keys[live], values[live], None
+                if keys.size == 0:
+                    # Every buffered entry was an unshadowed tombstone.
+                    # Still rotate the WAL in durable mode, or replay
+                    # would keep resurrecting (and re-discarding) them
+                    # forever.
+                    if self._wal is not None:
+                        old_wal = self._rotate_wal_begin()
+                        self._commit_manifest()
+                        self._rotate_wal_finish(old_wal)
+                    self.memtable.clear()
+                    return
+            run = SortedRun(
+                keys,
+                values,
+                tombstones,
+                sequence=self._next_sequence(),
+                level=0,
                 **self._run_kwargs,
             )
-            merged.level = new_level
             if self._wal is not None:
-                merged.save(self._fs, self._file_path(self._new_run_name()))
-                self.runs[start:stop] = [merged]
+                run.save(self._fs, self._file_path(self._new_run_name()))
+                old_wal = self._rotate_wal_begin()
+                with self._state_lock:
+                    self.runs.insert(0, run)
+                self.memtable.clear()
                 self._commit_manifest()
-                for run in window:
-                    run.close()
-                    self._fs.remove(run.path)
+                self._rotate_wal_finish(old_wal)
             else:
-                self.runs[start:stop] = [merged]
-            self.write_stats.compactions += 1
-            self.write_stats.entries_compacted += len(merged)
-            merges += 1
+                with self._state_lock:
+                    self.runs.insert(0, run)
+                self.memtable.clear()
+            self.write_stats.add(seals=1, entries_sealed=len(run))
+        if self._compactor is not None:
+            self._compactor.kick()
+        else:
+            self._compact(self._seal_merge_budget)
+
+    def _plan_merge(self, runs: list[SortedRun], seen: set):
+        """One validated, productive merge decision over a run-list
+        snapshot, or None.
+
+        This is the no-progress guard (ISSUE 7): ``policy.select`` is
+        re-consulted after every merge, and a policy whose bucket/level
+        boundaries shift under it can oscillate — re-selecting a window
+        that rewrites data without changing the layout, forever.  Two
+        checks bound that: a single-run window merged onto its own
+        level with nothing to GC is rejected outright (a pure no-op),
+        and a repeat of the exact (layout, selection) structural
+        signature within one drain breaks the loop (the state space of
+        signatures is finite, so termination is unconditional).
+        Returns ``(window, at_end, new_level)``.
+        """
+        selection = self.policy.select(runs)
+        if selection is None:
+            return None
+        start, stop, new_level = (
+            int(selection[0]), int(selection[1]), int(selection[2]),
+        )
+        if not 0 <= start < stop <= len(runs):
+            raise ValueError(
+                f"compaction policy selected invalid window "
+                f"{selection!r} over {len(runs)} runs"
+            )
+        signature = (
+            tuple((len(r), r.level) for r in runs),
+            (start, stop, new_level),
+        )
+        if signature in seen:
+            return None
+        seen.add(signature)
+        window = runs[start:stop]
+        # Tombstone GC is safe exactly when the window reaches the end
+        # of the (newest-first) list; seals only prepend, so the
+        # property decided on this snapshot holds through the commit.
+        at_end = stop == len(runs)
+        if (
+            stop - start == 1
+            and new_level == window[0].level
+            and not (at_end and window[0].num_tombstones)
+        ):
+            return None
+        return window, at_end, new_level
+
+    def _commit_merge(self, window: list[SortedRun], merged: SortedRun) -> None:
+        """Swap ``window`` → ``merged`` atomically; retire the inputs.
+
+        Durable merge protocol: write + fsync the merged run file →
+        swap + commit the manifest with the window replaced → delete
+        the input run files (deferred until unpinned).  A crash before
+        the commit leaves the old manifest (merged file is an orphan);
+        after it, the inputs are orphans — no intermediate point can
+        lose a key or resurrect a tombstoned one, because inputs
+        outlive the commit that supersedes them.
+
+        The window is relocated by identity: seals prepend while a
+        background merge runs, shifting indices but never breaking the
+        window's contiguity (only merges remove runs, and merges are
+        serialized by the merge lock).
+        """
+        # Durability is keyed on ``self.path`` here, not ``self._wal``:
+        # flush() parks ``_wal`` at None mid-rotation, and this check
+        # runs outside the structure lock — reading ``_wal`` raced that
+        # window and skipped the save entirely.
+        if self.path is not None:
+            # Saved before any lock: the file is an orphan until the
+            # manifest commit below, so seals and readers proceed
+            # through this (potentially long) I/O instead of queueing
+            # on the structure lock.  In background mode the save also
+            # fsyncs incrementally so the writer's per-batch WAL
+            # fsyncs never land behind one multi-megabyte flush; the
+            # synchronous path keeps the single trailing fsync so the
+            # crash fuzz's injection-site sequence stays deterministic.
+            merged.save(
+                self._fs,
+                self._file_path(self._new_run_name()),
+                fsync_every=_MERGE_SAVE_FSYNC_BYTES
+                if self._background
+                else None,
+            )
+        with self._structure_lock:
+            with self._state_lock:
+                start = self.runs.index(window[0])
+                assert self.runs[start:start + len(window)] == window
+                self.runs[start:start + len(window)] = [merged]
+                self._retired.extend(window)
+            if self.path is not None:
+                self._commit_manifest()
+        self._drain_retired()
+
+    def _drain_retired(self) -> None:
+        """Close + unlink retired runs nobody pins anymore.
+
+        Called after structural transitions, never from reader threads
+        (readers just unpin — they stay IO-free).  In synchronous
+        single-threaded use every pin count is already zero here, so
+        inputs are deleted at exactly the point the pre-snapshot code
+        deleted them — the crash-fuzz site sequence is unchanged.
+        """
+        with self._state_lock:
+            free = [r for r in self._retired if r.pins == 0]
+            if not free:
+                return
+            self._retired = [r for r in self._retired if r.pins > 0]
+        for run in free:
+            run.close()
+            if self._fs is not None and run.path is not None:
+                self._fs.remove(run.path)
+
+    def _background_merge_once(self, seen: set) -> bool:
+        """One window, executed on the worker thread; True if merged.
+
+        The expensive part — :func:`merge_runs` + the RMI rebuild —
+        runs without any structural lock, so the writer keeps sealing
+        and readers keep serving their pinned snapshots; only the swap
+        itself synchronizes.
+        """
+        with self._merge_lock:
+            if self._closed:
+                return False
+            with self._state_lock:
+                runs = list(self.runs)
+            plan = self._plan_merge(runs, seen)
+            if plan is None:
+                return False
+            window, at_end, new_level = plan
+            merged = merge_runs(
+                window, drop_tombstones=at_end, **self._run_kwargs
+            )
+            merged.level = new_level
+            self._commit_merge(window, merged)
+        self.write_stats.add(compactions=1, entries_compacted=len(merged))
+        return True
+
+    def _compact(self, budget: int | None = None) -> None:
+        """Inline (write-path) compaction: at most ``budget`` windows.
+
+        Every window executed here stalled the caller's write batch,
+        which is exactly what :attr:`LSMWriteStats.write_stalls` /
+        ``stall_seconds`` meter — the counters the tail-latency bench
+        asserts stay zero in background mode.
+        """
+        merges = 0
+        seen: set = set()
+        with self._merge_lock:
+            while budget is None or merges < budget:
+                with self._state_lock:
+                    runs = list(self.runs)
+                plan = self._plan_merge(runs, seen)
+                if plan is None:
+                    break
+                window, at_end, new_level = plan
+                began = time.perf_counter()
+                merged = merge_runs(
+                    window, drop_tombstones=at_end, **self._run_kwargs
+                )
+                merged.level = new_level
+                self._commit_merge(window, merged)
+                self.write_stats.add(
+                    compactions=1,
+                    entries_compacted=len(merged),
+                    write_stalls=1,
+                    stall_seconds=time.perf_counter() - began,
+                )
+                merges += 1
 
     def compact(self) -> None:
         """Force a full compaction: flush, then fold everything into
         one bottom run with tombstones garbage-collected (ignores the
-        per-seal merge budget — this is the explicit maintenance
-        call)."""
+        per-seal merge budget — this is the explicit maintenance call,
+        so its merge time is not metered as a write stall)."""
         self.flush()
-        if len(self.runs) > 1:
-            window = list(self.runs)
-            merged = merge_runs(
-                window, drop_tombstones=True, **self._run_kwargs
-            )
-            merged.level = max(r.level for r in window)
-            if self._wal is not None:
-                merged.save(self._fs, self._file_path(self._new_run_name()))
-                self.runs = [merged]
-                self._commit_manifest()
-                for run in window:
-                    run.close()
-                    self._fs.remove(run.path)
-            else:
-                self.runs = [merged]
-            self.write_stats.compactions += 1
-            self.write_stats.entries_compacted += len(merged)
+        with self._merge_lock:
+            with self._state_lock:
+                window = list(self.runs)
+            if len(window) > 1:
+                merged = merge_runs(
+                    window, drop_tombstones=True, **self._run_kwargs
+                )
+                merged.level = max(r.level for r in window)
+                self._commit_merge(window, merged)
+                self.write_stats.add(
+                    compactions=1, entries_compacted=len(merged)
+                )
+
+    def wait_for_compaction(self) -> None:
+        """Block until the background worker has drained its merge
+        debt, then sweep unpinned retired runs; re-raises any error
+        the worker hit.  No-op (beyond the sweep) in synchronous mode
+        — the write path already ran every merge inline.
+        """
+        if self._compactor is not None:
+            self._compactor.drain()
+        self._drain_retired()
+
+    # -- snapshot machinery ----------------------------------------------------
+
+    def _pin_runs(self) -> tuple[SortedRun, ...]:
+        """An immutable run-set snapshot, each run pinned against
+        deferred deletion.  Callers MUST pair with :meth:`_unpin_runs`
+        (try/finally).  Grab memtable views *before* calling this —
+        that ordering is what makes snapshots loss-free under a
+        concurrent seal (see the module docstring)."""
+        with self._state_lock:
+            runs = tuple(self.runs)
+            for run in runs:
+                run.pins += 1
+        return runs
+
+    def _unpin_runs(self, runs: tuple[SortedRun, ...]) -> None:
+        with self._state_lock:
+            for run in runs:
+                run.pins -= 1
 
     # -- point reads -----------------------------------------------------------
 
     def lookup(self, key: int):
         """The live value for ``key``, or None — scalar read path.
 
-        Memtable first (O(1) dict), then runs newest-first; each run's
-        bloom filter is consulted before its RMI runs.
+        Memtable first (O(1) lock-free dict probes), then a pinned run
+        snapshot newest-first; each run's bloom filter is consulted
+        before its RMI runs.
         """
         self._ensure_open()
         key = int(key)
-        stats = self.read_stats
-        stats.lookups += 1
         if self.memtable.is_tombstone(key):
-            stats.memtable_hits += 1
+            self.read_stats.add(lookups=1, memtable_hits=1)
             return None
         if self.memtable.has_put(key):
-            stats.memtable_hits += 1
-            return self.memtable.get(key)
-        for run in self.runs:
-            if key not in run.bloom:
-                stats.bloom_rejects += 1
-                continue
-            stats.run_probes += 1
-            hit, dead, value = run.probe(key)
-            if hit:
-                return None if dead else value
-            stats.probe_misses += 1
-        return None
+            value = self.memtable.get(key)
+            if value is not None:
+                self.read_stats.add(lookups=1, memtable_hits=1)
+                return value
+            # The entry vanished between probe and fetch (a racing
+            # seal): fall through to the runs, which now hold it.
+        rejects = probes = misses = 0
+        result = None
+        runs = self._pin_runs()
+        try:
+            for run in runs:
+                if key not in run.bloom:
+                    rejects += 1
+                    continue
+                probes += 1
+                hit, dead, value = run.probe(key)
+                if hit:
+                    result = None if dead else value
+                    break
+                misses += 1
+        finally:
+            self._unpin_runs(runs)
+        self.read_stats.add(
+            lookups=1,
+            run_probes=probes,
+            probe_misses=misses,
+            bloom_rejects=rejects,
+        )
+        return result
 
     def lookup_batch(self, keys) -> tuple[np.ndarray, np.ndarray]:
         """(values, found) for a whole key batch.
@@ -714,7 +1124,10 @@ class LearnedLSMStore:
         sees only the queries still unresolved, its bloom filter drops
         the ones it cannot hold, and its RMI probes the survivors —
         the batch analogue of the scalar walk, with identical results.
-        ``values[i]`` is 0 wherever ``found[i]`` is False.
+        ``values[i]`` is 0 wherever ``found[i]`` is False.  The whole
+        batch answers from one pinned (memtable-view, run-set)
+        snapshot, so a concurrent seal or background merge can neither
+        hide an entry nor unmap a run mid-probe.
         """
         self._ensure_open()
         queries = np.asarray(keys, dtype=np.int64).ravel()
@@ -723,41 +1136,53 @@ class LearnedLSMStore:
         found = np.zeros(m, dtype=bool)
         if m == 0:
             return values, found
-        stats = self.read_stats
-        stats.lookups += m
         resolved = np.zeros(m, dtype=bool)
-        put_keys = self.memtable.put_keys()
-        if put_keys.size:
-            pos = np.searchsorted(put_keys, queries)
-            safe = np.minimum(pos, put_keys.size - 1)
-            hit = (pos < put_keys.size) & (put_keys[safe] == queries)
-            values[hit] = self.memtable.put_values()[safe[hit]]
-            found |= hit
-            resolved |= hit
-        tombs = self.memtable.tombstone_keys()
-        if tombs.size:
-            pos = np.searchsorted(tombs, queries)
-            safe = np.minimum(pos, tombs.size - 1)
-            dead = (pos < tombs.size) & (tombs[safe] == queries)
-            resolved |= dead
-        stats.memtable_hits += int(np.count_nonzero(resolved))
-        for run in self.runs:
-            open_idx = np.nonzero(~resolved)[0]
-            if open_idx.size == 0:
-                break
-            sub = queries[open_idx]
-            passed = run.bloom_contains_batch(sub)
-            stats.bloom_rejects += int(sub.size - np.count_nonzero(passed))
-            cand_idx = open_idx[passed]
-            if cand_idx.size == 0:
-                continue
-            hit, dead, vals = run.probe_batch(queries[cand_idx])
-            stats.run_probes += int(cand_idx.size)
-            stats.probe_misses += int(np.count_nonzero(~hit))
-            live = hit & ~dead
-            values[cand_idx[live]] = vals[live]
-            found[cand_idx[live]] = True
-            resolved[cand_idx[hit]] = True
+        # One consistent (puts, values, tombstones) triple: fetching
+        # the three views separately could pair arrays from different
+        # memtable generations under a racing writer.
+        put_keys, put_values, tombs = self.memtable.views()
+        runs = self._pin_runs()
+        try:
+            if put_keys.size:
+                pos = np.searchsorted(put_keys, queries)
+                safe = np.minimum(pos, put_keys.size - 1)
+                hit = (pos < put_keys.size) & (put_keys[safe] == queries)
+                values[hit] = put_values[safe[hit]]
+                found |= hit
+                resolved |= hit
+            if tombs.size:
+                pos = np.searchsorted(tombs, queries)
+                safe = np.minimum(pos, tombs.size - 1)
+                dead = (pos < tombs.size) & (tombs[safe] == queries)
+                resolved |= dead
+            memtable_hits = int(np.count_nonzero(resolved))
+            rejects = probes = misses = 0
+            for run in runs:
+                open_idx = np.nonzero(~resolved)[0]
+                if open_idx.size == 0:
+                    break
+                sub = queries[open_idx]
+                passed = run.bloom_contains_batch(sub)
+                rejects += int(sub.size - np.count_nonzero(passed))
+                cand_idx = open_idx[passed]
+                if cand_idx.size == 0:
+                    continue
+                hit, dead, vals = run.probe_batch(queries[cand_idx])
+                probes += int(cand_idx.size)
+                misses += int(np.count_nonzero(~hit))
+                live = hit & ~dead
+                values[cand_idx[live]] = vals[live]
+                found[cand_idx[live]] = True
+                resolved[cand_idx[hit]] = True
+        finally:
+            self._unpin_runs(runs)
+        self.read_stats.add(
+            lookups=m,
+            memtable_hits=memtable_hits,
+            run_probes=probes,
+            probe_misses=misses,
+            bloom_rejects=rejects,
+        )
         return values, found
 
     def contains(self, key: int) -> bool:
@@ -823,14 +1248,20 @@ class LearnedLSMStore:
         # repo) and the memtable's hi = max(hi, lo) clamp does the same.
         sources: list[RangeScanResult] = []
         masks: list[np.ndarray | None] = []
+        # Memtable source before the run pin — the loss-free snapshot
+        # order under a concurrent seal.
         if len(self.memtable):
             mem, mem_flags = self._memtable_source(lows_f, highs_f)
             sources.append(mem)
             masks.append(mem_flags)
-        for run in self.runs:
-            result, flags = run.range_scan_batch(lows_f, highs_f)
-            sources.append(result)
-            masks.append(flags)
+        runs = self._pin_runs()
+        try:
+            for run in runs:
+                result, flags = run.range_scan_batch(lows_f, highs_f)
+                sources.append(result)
+                masks.append(flags)
+        finally:
+            self._unpin_runs(runs)
         if not sources:
             return RangeScanResult(
                 values=np.empty(0, dtype=np.int64),
@@ -876,13 +1307,17 @@ class LearnedLSMStore:
             sources.append(mem)
             masks.append(mem_flags)
             payloads.append(mem_vals)
-        for run in self.runs:
-            result, flags, vals = run.range_scan_batch(
-                lows_f, highs_f, with_values=True
-            )
-            sources.append(result)
-            masks.append(flags)
-            payloads.append(vals)
+        runs = self._pin_runs()
+        try:
+            for run in runs:
+                result, flags, vals = run.range_scan_batch(
+                    lows_f, highs_f, with_values=True
+                )
+                sources.append(result)
+                masks.append(flags)
+                payloads.append(vals)
+        finally:
+            self._unpin_runs(runs)
         if not sources:
             return (
                 RangeScanResult(
@@ -913,10 +1348,14 @@ class LearnedLSMStore:
         """All live keys, merged and deduplicated — O(N log N)."""
         self._ensure_open()
         mem_keys, _mem_values, mem_dead = self.memtable.snapshot()
-        parts = [mem_keys] + [r.keys for r in self.runs]
-        dead_parts = [mem_dead] + [r.tombstones for r in self.runs]
-        keys = np.concatenate(parts)
-        dead = np.concatenate(dead_parts)
+        runs = self._pin_runs()
+        try:
+            parts = [mem_keys] + [r.keys for r in runs]
+            dead_parts = [mem_dead] + [r.tombstones for r in runs]
+            keys = np.concatenate(parts)
+            dead = np.concatenate(dead_parts)
+        finally:
+            self._unpin_runs(runs)
         if keys.size == 0:
             return keys
         rank = np.repeat(
@@ -935,12 +1374,16 @@ class LearnedLSMStore:
         return len(self.runs)
 
     def size_bytes(self) -> int:
-        return self.memtable.size_bytes() + sum(
-            r.size_bytes() for r in self.runs
-        )
+        runs = self._pin_runs()
+        try:
+            return self.memtable.size_bytes() + sum(
+                r.size_bytes() for r in runs
+            )
+        finally:
+            self._unpin_runs(runs)
 
     def __repr__(self) -> str:
-        levels = [r.level for r in self.runs]
+        levels = [r.level for r in tuple(self.runs)]
         where = f", path={self.path!r}" if self.path is not None else ""
         return (
             f"LearnedLSMStore(runs={len(self.runs)}, levels={levels}, "

@@ -74,6 +74,12 @@ def _store(directory, fs=None):
         filesystem=fs,
         memtable_capacity=96,
         compaction=SizeTieredCompaction(min_runs=2),
+        # The sweep's determinism contract (dry-run site counts match
+        # crashing runs op for op) requires single-threaded compaction
+        # regardless of the REPRO_LSM_BACKGROUND stress-lane env var;
+        # threaded kills get their own tolerant fuzz in
+        # test_lsm_concurrency.py.
+        background=False,
     )
 
 
@@ -81,6 +87,7 @@ def run_workload(fs, directory, ops):
     """Drive ``ops`` then a full compact + close; returns the number of
     batches acknowledged before a crash (all of them if none)."""
     committed = 0
+    store = None
     try:
         store = _store(directory, fs)
         for kind, keys, vals in ops:
@@ -92,7 +99,13 @@ def run_workload(fs, directory, ops):
         store.compact()
         store.close()
     except SimulatedCrash:
-        pass
+        # Release the crashed store's descriptors (the kernel would on
+        # a real kill); durability-wise the crash already happened.
+        if store is not None:
+            try:
+                store.close()
+            except SimulatedCrash:
+                pass
     return committed
 
 

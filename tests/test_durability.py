@@ -578,3 +578,139 @@ class TestDurableStore:
             store.compact()
             assert store.num_runs == 1
             assert store.contains_batch(np.arange(4_096)).all()
+
+
+# -- group commit + exception-path sync (ISSUE 7) ------------------------------
+
+
+class TestGroupCommit:
+    """The ``wal_fsync=False`` loss window, bounded.
+
+    ``FaultInjectingFilesystem`` doubles as a durability *tracker*
+    here: its ``_synced`` map records each file's last-fsynced length,
+    so a test can assert exactly which bytes would survive a machine
+    crash without killing anything.
+    """
+
+    def _wal(self, fs, path, **kwargs):
+        WriteAheadLog.create(fs, path)
+        return WriteAheadLog(fs, path, fsync=False, **kwargs)
+
+    def test_byte_threshold_triggers_fsync(self, tmp_path):
+        fs = FaultInjectingFilesystem()
+        path = str(tmp_path / "wal.log")
+        wal = self._wal(fs, path, group_commit_bytes=150)
+        keys = np.arange(4, dtype=np.int64)
+        wal.append_puts(keys, keys)  # 77-byte frame: below the budget
+        assert fs._synced[path] == 0
+        assert wal.synced_records == 0
+        wal.append_puts(keys, keys)  # 154 >= 150: the group commits
+        assert fs._synced[path] == os.path.getsize(path)
+        assert wal.synced_records == 2
+        wal.append_puts(keys, keys)  # a fresh window opens
+        assert fs._synced[path] < os.path.getsize(path)
+        wal.close()
+        assert fs._synced[path] == os.path.getsize(path)
+
+    def test_interval_triggers_fsync(self, tmp_path):
+        now = [0.0]
+        fs = FaultInjectingFilesystem()
+        path = str(tmp_path / "wal.log")
+        wal = self._wal(
+            fs, path, group_commit_interval=5.0, clock=lambda: now[0]
+        )
+        keys = np.arange(4, dtype=np.int64)
+        wal.append_puts(keys, keys)
+        assert wal.synced_records == 0  # 0s elapsed
+        now[0] = 4.9
+        wal.append_puts(keys, keys)
+        assert wal.synced_records == 0
+        now[0] = 5.0
+        wal.append_puts(keys, keys)  # interval elapsed: sync
+        assert wal.synced_records == 3
+        assert fs._synced[path] == os.path.getsize(path)
+        wal.close()
+
+    def test_knob_validation(self, tmp_path):
+        fs = RealFileSystem()
+        path = str(tmp_path / "wal.log")
+        WriteAheadLog.create(fs, path)
+        with pytest.raises(ValueError, match="group_commit_bytes"):
+            WriteAheadLog(fs, path, group_commit_bytes=0)
+        with pytest.raises(ValueError, match="group_commit_interval"):
+            WriteAheadLog(fs, path, group_commit_interval=0.0)
+
+    def test_exception_exit_syncs_wal(self, tmp_path):
+        """An exception inside the ``with`` block must not drop
+        acknowledged-but-unsynced writes: ``__exit__`` → ``close``
+        flushes + fsyncs the WAL tail even on the error path."""
+        fs = FaultInjectingFilesystem()
+        d = str(tmp_path / "db")
+        with pytest.raises(RuntimeError, match="application bug"):
+            with LearnedLSMStore(
+                path=d, filesystem=fs, wal_fsync=False
+            ) as store:
+                store.insert_batch(np.arange(64, dtype=np.int64))
+                wal_path = store._wal.path
+                assert fs._synced[wal_path] < os.path.getsize(wal_path)
+                raise RuntimeError("application bug")
+        # Every appended byte reached the simulated platter.
+        assert fs._synced[wal_path] == os.path.getsize(wal_path)
+        with LearnedLSMStore(path=d) as store:
+            assert store.contains_batch(np.arange(64)).all()
+
+    def test_group_commit_bounds_loss_window(self, tmp_path):
+        """Machine-crash sweep under ``wal_fsync=False`` +
+        ``group_commit_bytes``: the recovered state is always a batch
+        prefix, and the acked batches it lost always fit inside the
+        byte budget — the bounded-loss contract the knob buys."""
+        budget = 200
+        frame = 8 + 5 + 2 * 8 * 4  # one 4-key put record, framed
+        max_lost = budget // frame + 1  # < budget pending + in-flight
+        batches = 40
+
+        def drive(fs, directory, acked):
+            store = LearnedLSMStore(
+                path=directory,
+                filesystem=fs,
+                wal_fsync=False,
+                memtable_capacity=10_000,
+                wal_group_commit_bytes=budget,
+            )
+            try:
+                for i in range(batches):
+                    keys = np.arange(4 * i, 4 * i + 4, dtype=np.int64)
+                    store.insert_batch(keys, keys * 10)
+                    acked[0] += 1
+            finally:
+                try:
+                    store.close()
+                except SimulatedCrash:
+                    pass  # descriptors still released (kernel model)
+
+        probe = FaultInjectingFilesystem()
+        drive(probe, str(tmp_path / "dry"), [0])
+        for crash_at in range(1, probe.ops + 1):
+            d = str(tmp_path / f"crash-{crash_at}")
+            fs = FaultInjectingFilesystem(crash_at=crash_at, mode="lose")
+            cell = [0]
+            try:
+                drive(fs, d, cell)
+            except SimulatedCrash:
+                pass
+            acked = cell[0]
+            with LearnedLSMStore(path=d) as store:
+                got = store.live_keys()
+                # Prefix: survivors are exactly batches 0..k-1.
+                assert got.size % 4 == 0
+                k = got.size // 4
+                assert np.array_equal(
+                    got, np.arange(4 * k, dtype=np.int64)
+                )
+                values, found = store.lookup_batch(got)
+                assert found.all()
+                assert np.array_equal(values, got * 10)
+            assert acked - k <= max_lost, (
+                f"site {crash_at}: acked {acked}, survived {k} — "
+                f"lost {acked - k} > bound {max_lost}"
+            )
