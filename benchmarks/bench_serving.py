@@ -1,0 +1,558 @@
+"""Serving benchmark: request coalescing + sharded stores (ISSUE 8).
+
+The batch engine's throughput only materializes if the serving layer
+feeds it batches.  This benchmark measures the two halves of that
+story end to end:
+
+* **coalescing** — closed-loop clients at 1/4/16 concurrency issue
+  single-key lookups against (a) a per-request front end that calls
+  the store once per request and (b) the
+  :class:`~repro.serving.coalescer.CoalescingIndexServer`, which
+  gathers every request arriving in an event-loop tick into one
+  ``lookup_batch``.  Reported per cell: ops/s and request-latency
+  p50/p99/p99.9.  The per-request cost is constant, so the coalesced
+  advantage grows with concurrency — the gate requires >= 5x at 16
+  clients.  An open-loop section then fixes the arrival rate and
+  reports latency against *scheduled* arrival times (the
+  coordinated-omission-safe form).
+* **sharding** — bulk-loaded :class:`ShardedLSMStore` at 1 vs 4
+  shards, large read batches fanned out ``via="worker"`` so each
+  shard's kernels run in its own process.  On a multi-core box the
+  gate requires >= 2x read throughput from 1 -> 4 shards; on smaller
+  runners (CI containers often expose a single vCPU, where four
+  workers timeshare one core and IPC is pure overhead) the gate
+  degrades to a sanity floor and the CPU count is recorded alongside
+  the ratio.
+* **correctness** — every path is checked bit-identical against a
+  single ``LearnedLSMStore`` oracle before any throughput number is
+  believed.
+
+Run standalone (not a pytest file):
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --json
+
+``--json`` appends a record to the shared ``BENCH_throughput.json``
+trajectory (tagged ``"section": "serving"``); the exit code enforces
+the gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_throughput import append_trajectory  # noqa: E402
+
+from repro.bench import Table  # noqa: E402
+from repro.lsm import LearnedLSMStore  # noqa: E402
+from repro.serving import (  # noqa: E402
+    CoalescingIndexServer,
+    ShardedLSMStore,
+)
+
+#: ISSUE 8 acceptance: coalesced throughput >= 5x the per-request
+#: front end at 16 concurrent clients.
+COALESCE_MIN_SPEEDUP_16 = 5.0
+
+#: ISSUE 8 acceptance on multi-core hardware: worker-fanout read
+#: throughput >= 2x from 1 shard to 4.  Judged only when the box has
+#: at least SHARD_GATE_MIN_CPUS cores — four workers on one vCPU
+#: timeshare a single core, so the parallel win cannot physically
+#: exist there and only the sanity floor applies.
+SHARD_MIN_SCALING = 2.0
+SHARD_GATE_MIN_CPUS = 4
+#: Below the CPU threshold: 4-shard throughput may not collapse under
+#: IPC overhead to less than this fraction of 1-shard throughput.
+SHARD_SANITY_FLOOR = 0.25
+
+CONCURRENCY_LEVELS = (1, 4, 16)
+
+
+# ---------------------------------------------------------------------------
+# closed-loop coalescing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClosedLoopResult:
+    frontend: str
+    clients: int
+    total_ops: int
+    ops_per_sec: float
+    p50_us: float
+    p99_us: float
+    p999_us: float
+    mean_batch: float
+    identical: bool
+
+
+def _percentiles(latencies: np.ndarray) -> tuple[float, float, float]:
+    p50, p99, p999 = np.percentile(latencies, [50.0, 99.0, 99.9])
+    return float(p50) * 1e6, float(p99) * 1e6, float(p999) * 1e6
+
+
+async def _closed_loop(
+    request_fn, queries: np.ndarray, clients: int, ops_per_client: int
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """``clients`` coroutines, each awaiting one request at a time.
+
+    Returns (elapsed seconds, per-request latencies, gathered values).
+    """
+    latencies = np.empty(clients * ops_per_client)
+    values = np.empty(clients * ops_per_client, dtype=np.int64)
+
+    async def client(c: int) -> None:
+        base = c * ops_per_client
+        for i in range(ops_per_client):
+            key = int(queries[base + i])
+            t0 = time.perf_counter()
+            value = await request_fn(key)
+            latencies[base + i] = time.perf_counter() - t0
+            values[base + i] = -1 if value is None else value
+
+    start = time.perf_counter()
+    await asyncio.gather(*(client(c) for c in range(clients)))
+    elapsed = time.perf_counter() - start
+    return elapsed, latencies, values
+
+
+def run_closed_loop(
+    store, queries: np.ndarray, expected: np.ndarray,
+    ops_per_client: int, *, label_suffix: str = "",
+) -> list[ClosedLoopResult]:
+    """Per-request vs coalesced front ends at each concurrency level.
+
+    ``expected`` holds the oracle's answer per query (-1 for absent);
+    every cell is bit-checked against it, so a front end that corrupts
+    the scatter cannot post a throughput number.
+    """
+    results: list[ClosedLoopResult] = []
+
+    async def per_request(key: int):
+        # What a non-batching server does: one store call per request.
+        # The sleep(0) is the fairness yield any real async handler
+        # pays between requests.
+        await asyncio.sleep(0)
+        values, found = store.lookup_batch(
+            np.array([key], dtype=np.int64)
+        )
+        return int(values[0]) if found[0] else None
+
+    for clients in CONCURRENCY_LEVELS:
+        total = clients * ops_per_client
+        workload = queries[:total]
+        expect = expected[:total]
+
+        elapsed, lat, got = asyncio.run(
+            _closed_loop(per_request, workload, clients, ops_per_client)
+        )
+        p50, p99, p999 = _percentiles(lat)
+        results.append(ClosedLoopResult(
+            frontend="per-request" + label_suffix,
+            clients=clients,
+            total_ops=total,
+            ops_per_sec=total / elapsed,
+            p50_us=p50, p99_us=p99, p999_us=p999,
+            mean_batch=1.0,
+            identical=bool(np.array_equal(got, expect)),
+        ))
+
+        async def coalesced_run():
+            srv = CoalescingIndexServer(store)
+            out = await _closed_loop(
+                srv.lookup, workload, clients, ops_per_client
+            )
+            return out, srv.stats
+
+        (elapsed, lat, got), stats = asyncio.run(coalesced_run())
+        p50, p99, p999 = _percentiles(lat)
+        results.append(ClosedLoopResult(
+            frontend="coalesced" + label_suffix,
+            clients=clients,
+            total_ops=total,
+            ops_per_sec=total / elapsed,
+            p50_us=p50, p99_us=p99, p999_us=p999,
+            mean_batch=stats.mean_point_batch(),
+            identical=bool(np.array_equal(got, expect)),
+        ))
+    return results
+
+
+def render_closed_loop(results: list[ClosedLoopResult]) -> str:
+    table = Table(
+        "Closed-loop serving: per-request front end vs coalescing "
+        "server",
+        [
+            "frontend", "clients", "ops", "ops/s",
+            "p50", "p99", "p99.9", "mean batch", "identical",
+        ],
+    )
+    for r in results:
+        table.add_row(
+            r.frontend,
+            str(r.clients),
+            f"{r.total_ops:,}",
+            f"{r.ops_per_sec:,.0f}",
+            f"{r.p50_us:,.0f}us",
+            f"{r.p99_us:,.0f}us",
+            f"{r.p999_us:,.0f}us",
+            f"{r.mean_batch:.1f}",
+            "yes" if r.identical else "NO",
+        )
+    return table.render()
+
+
+# ---------------------------------------------------------------------------
+# open-loop coalescing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpenLoopResult:
+    rate_per_sec: int
+    requests: int
+    achieved_per_sec: float
+    p50_us: float
+    p99_us: float
+    p999_us: float
+    identical: bool
+
+
+async def _open_loop(
+    srv: CoalescingIndexServer,
+    queries: np.ndarray,
+    rate: int,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Fixed-rate arrivals; latency is measured from each request's
+    *scheduled* arrival, so queueing delay under overload is charged
+    to the server rather than silently dropped (coordinated
+    omission)."""
+    n = queries.size
+    latencies = np.empty(n)
+    values = np.empty(n, dtype=np.int64)
+    start = time.perf_counter()
+
+    async def one(i: int) -> None:
+        scheduled = start + i / rate
+        delay = scheduled - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        value = await srv.lookup(int(queries[i]))
+        latencies[i] = time.perf_counter() - scheduled
+        values[i] = -1 if value is None else value
+
+    await asyncio.gather(*(one(i) for i in range(n)))
+    elapsed = time.perf_counter() - start
+    return latencies, values, elapsed
+
+
+def run_open_loop(
+    store, queries: np.ndarray, expected: np.ndarray,
+    rates: tuple[int, ...], requests: int,
+) -> list[OpenLoopResult]:
+    results: list[OpenLoopResult] = []
+    for rate in rates:
+        workload = queries[:requests]
+        expect = expected[:requests]
+
+        async def main():
+            srv = CoalescingIndexServer(store)
+            return await _open_loop(srv, workload, rate)
+
+        latencies, got, elapsed = asyncio.run(main())
+        p50, p99, p999 = _percentiles(latencies)
+        results.append(OpenLoopResult(
+            rate_per_sec=rate,
+            requests=requests,
+            achieved_per_sec=requests / elapsed,
+            p50_us=p50, p99_us=p99, p999_us=p999,
+            identical=bool(np.array_equal(got, expect)),
+        ))
+    return results
+
+
+def render_open_loop(results: list[OpenLoopResult]) -> str:
+    table = Table(
+        "Open-loop serving: fixed arrival rate through the coalescer "
+        "(latency vs scheduled arrival)",
+        [
+            "target req/s", "requests", "achieved req/s",
+            "p50", "p99", "p99.9", "identical",
+        ],
+    )
+    for r in results:
+        table.add_row(
+            f"{r.rate_per_sec:,}",
+            f"{r.requests:,}",
+            f"{r.achieved_per_sec:,.0f}",
+            f"{r.p50_us:,.0f}us",
+            f"{r.p99_us:,.0f}us",
+            f"{r.p999_us:,.0f}us",
+            "yes" if r.identical else "NO",
+        )
+    return table.render()
+
+
+# ---------------------------------------------------------------------------
+# sharded scaling
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardScalingResult:
+    num_shards: int
+    n: int
+    batch_size: int
+    worker_ops_per_sec: float
+    local_ops_per_sec: float
+    identical: bool
+
+
+def run_shard_scaling(
+    keys: np.ndarray, values: np.ndarray, queries: np.ndarray,
+    expected_values: np.ndarray, expected_found: np.ndarray,
+    shard_counts: tuple[int, ...] = (1, 4),
+    repeats: int = 3,
+) -> list[ShardScalingResult]:
+    """Worker-fanout read throughput per shard count.
+
+    One large batch per measurement: the splitter routes it, each
+    shard's sub-batch resolves inside its worker process, and the
+    client stitches.  The ``local`` column resolves the same batch on
+    the client's zero-copy views — the single-process ceiling the
+    worker path must beat when real cores exist.
+    """
+    results: list[ShardScalingResult] = []
+    for num_shards in shard_counts:
+        with ShardedLSMStore(num_shards, keys, values) as store:
+            got_v, got_f = store.lookup_batch(queries, via="worker")
+            identical = bool(
+                np.array_equal(got_f, expected_found)
+                and np.array_equal(
+                    got_v[got_f], expected_values[expected_found]
+                )
+            )
+            worker_s = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                store.lookup_batch(queries, via="worker")
+                worker_s = min(worker_s, time.perf_counter() - t0)
+            local_s = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                store.lookup_batch(queries, via="local")
+                local_s = min(local_s, time.perf_counter() - t0)
+        results.append(ShardScalingResult(
+            num_shards=num_shards,
+            n=int(keys.size),
+            batch_size=int(queries.size),
+            worker_ops_per_sec=queries.size / worker_s,
+            local_ops_per_sec=queries.size / local_s,
+            identical=identical,
+        ))
+    return results
+
+
+def render_shard_scaling(
+    results: list[ShardScalingResult], cpus: int
+) -> str:
+    table = Table(
+        "Sharded reads: worker-fanout vs client-local, by shard count",
+        [
+            "shards", "n", "batch", "worker ops/s",
+            "local ops/s", "identical",
+        ],
+    )
+    for r in results:
+        table.add_row(
+            str(r.num_shards),
+            f"{r.n:,}",
+            f"{r.batch_size:,}",
+            f"{r.worker_ops_per_sec:,.0f}",
+            f"{r.local_ops_per_sec:,.0f}",
+            "yes" if r.identical else "NO",
+        )
+    out = table.render()
+    base = results[0].worker_ops_per_sec
+    top = results[-1].worker_ops_per_sec
+    ratio = top / base
+    gated = cpus >= SHARD_GATE_MIN_CPUS
+    out += (
+        f"\nread scaling {results[0].num_shards} -> "
+        f"{results[-1].num_shards} shards: {ratio:.2f}x on {cpus} "
+        f"CPU(s) ("
+        + (
+            f"gate: >= {SHARD_MIN_SCALING:.1f}x"
+            if gated
+            else f"gate waived below {SHARD_GATE_MIN_CPUS} CPUs; "
+            f"sanity floor {SHARD_SANITY_FLOOR:.2f}x"
+        )
+        + ")"
+    )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# main
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--n", type=int, default=1_000_000,
+        help="resident keys in the served store (default 1M)",
+    )
+    parser.add_argument(
+        "--ops-per-client", type=int, default=400,
+        help="closed-loop requests each client issues (default 400)",
+    )
+    parser.add_argument(
+        "--open-requests", type=int, default=4_000,
+        help="open-loop request count per rate (default 4000)",
+    )
+    parser.add_argument(
+        "--shard-batch", type=int, default=400_000,
+        help="query batch size for the shard-scaling section",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI scale: shrink the store and workloads",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="append a record to the BENCH_throughput.json trajectory",
+    )
+    parser.add_argument(
+        "--json-path", type=Path, default=Path("BENCH_throughput.json"),
+        help="where --json writes its report",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.n = min(args.n, 100_000)
+        args.ops_per_client = min(args.ops_per_client, 150)
+        args.open_requests = min(args.open_requests, 1_500)
+        args.shard_batch = min(args.shard_batch, 150_000)
+    if args.json:
+        parent = args.json_path.resolve().parent
+        if not parent.is_dir():
+            parser.error(f"--json-path directory does not exist: {parent}")
+
+    rng = np.random.default_rng(8)
+    keys = np.unique(
+        rng.integers(0, 1 << 62, args.n, dtype=np.int64)
+    )
+    values = keys * 3
+
+    # Closed-loop workload: 90% present / 10% absent, shared across
+    # front ends so every cell answers the identical request stream.
+    max_ops = max(CONCURRENCY_LEVELS) * args.ops_per_client
+    num_queries = max(max_ops, args.open_requests)
+    queries = rng.choice(keys, num_queries)
+    absent = rng.integers(0, 1 << 62, num_queries // 10, dtype=np.int64)
+    queries[:absent.size] = absent
+    rng.shuffle(queries)
+
+    store = LearnedLSMStore(keys, values, background=False)
+    oracle_v, oracle_f = store.lookup_batch(queries)
+    expected = np.where(oracle_f, oracle_v, -1)
+
+    closed = run_closed_loop(
+        store, queries, expected, args.ops_per_client
+    )
+    print(render_closed_loop(closed))
+
+    open_rates = (2_000, 10_000)
+    open_results = run_open_loop(
+        store, queries, expected, open_rates, args.open_requests
+    )
+    print()
+    print(render_open_loop(open_results))
+    store.close()
+
+    # Shard scaling reuses the key set; the query batch is large so
+    # the per-shard sub-batches amortize the pipe round trip.
+    shard_queries = rng.choice(keys, args.shard_batch)
+    shard_absent = rng.integers(
+        0, 1 << 62, args.shard_batch // 10, dtype=np.int64
+    )
+    shard_queries[:shard_absent.size] = shard_absent
+    with LearnedLSMStore(keys, values, background=False) as oracle:
+        shard_v, shard_f = oracle.lookup_batch(shard_queries)
+    cpus = os.cpu_count() or 1
+    scaling = run_shard_scaling(
+        keys, values, shard_queries, shard_v, shard_f
+    )
+    print()
+    print(render_shard_scaling(scaling, cpus))
+
+    by_cell = {(r.frontend, r.clients): r for r in closed}
+    speedup_16 = (
+        by_cell[("coalesced", 16)].ops_per_sec
+        / by_cell[("per-request", 16)].ops_per_sec
+    )
+    scaling_ratio = (
+        scaling[-1].worker_ops_per_sec / scaling[0].worker_ops_per_sec
+    )
+    all_identical = (
+        all(r.identical for r in closed)
+        and all(r.identical for r in open_results)
+        and all(r.identical for r in scaling)
+    )
+    print(
+        f"\ncoalesced vs per-request at 16 clients: {speedup_16:.1f}x "
+        f"(gate: >= {COALESCE_MIN_SPEEDUP_16:.0f}x); "
+        f"mean coalesced batch at 16 clients: "
+        f"{by_cell[('coalesced', 16)].mean_batch:.1f} keys; "
+        f"all results oracle-identical: {all_identical}"
+    )
+
+    if args.json:
+        record = {
+            "recorded_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            "section": "serving",
+            "n": int(keys.size),
+            "smoke": args.smoke,
+            "cpus": cpus,
+            "coalesce_min_speedup_16": COALESCE_MIN_SPEEDUP_16,
+            "coalesce_speedup_16": speedup_16,
+            "shard_min_scaling": SHARD_MIN_SCALING,
+            "shard_gate_min_cpus": SHARD_GATE_MIN_CPUS,
+            "shard_scaling_ratio": scaling_ratio,
+            "all_identical": all_identical,
+            "closed_loop": [asdict(r) for r in closed],
+            "open_loop": [asdict(r) for r in open_results],
+            "shard_scaling": [asdict(r) for r in scaling],
+        }
+        payload = append_trajectory(args.json_path, record)
+        print(
+            f"wrote {args.json_path} "
+            f"({len(payload['trajectory'])} trajectory entries)"
+        )
+
+    ok = all_identical
+    ok = ok and speedup_16 >= COALESCE_MIN_SPEEDUP_16
+    if cpus >= SHARD_GATE_MIN_CPUS:
+        ok = ok and scaling_ratio >= SHARD_MIN_SCALING
+    else:
+        # One core: four workers timeshare it, so parallel speedup is
+        # physically impossible; only guard against IPC collapse.
+        ok = ok and scaling_ratio >= SHARD_SANITY_FLOOR
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1118,6 +1118,11 @@ class DurabilityResult:
     first_query_seconds: float
     replay_records: int
     replay_seconds: float
+    paged_queries: int
+    paged_cold_preads: int
+    paged_cold_bytes: int
+    paged_warm_preads: int
+    paged_identical: bool
 
 
 def run_durability(n: int, seed: int = 42) -> DurabilityResult:
@@ -1132,6 +1137,11 @@ def run_durability(n: int, seed: int = 42) -> DurabilityResult:
     and the first batch query then pays the mapping cost exactly once.
     *Replay*: an unsealed WAL tail (a simulated kill -9 with buffered
     writes) is replayed into the memtable on open.
+    *Paged reads*: a :class:`PagedLearnedIndex` aimed straight at the
+    compacted run file's key section counts real ``os.pread`` syscalls
+    for the same probe batch cold (``posix_fadvise(DONTNEED)`` first)
+    and warm (buffer pool + OS cache populated), with results checked
+    bit-identical against ``np.searchsorted`` over the run's keys.
     """
     import shutil
     import tempfile
@@ -1173,6 +1183,42 @@ def run_durability(n: int, seed: int = 42) -> DurabilityResult:
         reopened.lookup_batch(probes)
         first_query_s = time.perf_counter() - start
 
+        # Paged pread accounting over the compacted run file: the same
+        # probe batch twice, cold (page cache dropped) then warm (the
+        # buffer pool sized to hold every key page), counting actual
+        # syscalls (ISSUE 8 satellite).
+        from repro.lsm.faultfs import RealFileSystem
+        from repro.lsm.format import RUN_MAGIC, SectionFile
+        from repro.lsm.paged_runs import paged_index_over_run
+
+        run_path = str(max(
+            Path(directory).glob("run-*.run"),
+            key=lambda p: p.stat().st_size,
+        ))
+        fs = RealFileSystem()
+        run_keys = SectionFile(fs, run_path, magic=RUN_MAGIC).array("keys")
+        page_size = 256
+        paged = paged_index_over_run(
+            fs, run_path,
+            page_size=page_size,
+            buffer_pages=(run_keys.size + page_size - 1) // page_size,
+        )
+        paged_queries = rng.choice(run_keys, 4_096)
+        expect_pos = np.searchsorted(run_keys, paged_queries)
+        try:
+            paged.store.drop_cache()
+            cold_pos = paged.lookup_batch(paged_queries)
+            cold_preads = paged.store.preads
+            cold_bytes = paged.store.bytes_read
+            warm_pos = paged.lookup_batch(paged_queries)
+            warm_preads = paged.store.preads - cold_preads
+        finally:
+            paged.store.close()
+        paged_identical = bool(
+            np.array_equal(cold_pos, expect_pos)
+            and np.array_equal(warm_pos, expect_pos)
+        )
+
         # Unsealed tail: buffered writes whose only record is the WAL.
         tail = rng.integers(0, 1 << 62, capacity - 1, dtype=np.int64)
         for offset in range(0, tail.size, 1_024):
@@ -1199,6 +1245,11 @@ def run_durability(n: int, seed: int = 42) -> DurabilityResult:
         first_query_seconds=first_query_s,
         replay_records=replay_records,
         replay_seconds=replay_s,
+        paged_queries=int(paged_queries.size),
+        paged_cold_preads=cold_preads,
+        paged_cold_bytes=cold_bytes,
+        paged_warm_preads=warm_preads,
+        paged_identical=paged_identical,
     )
 
 
@@ -1231,6 +1282,25 @@ def render_durability(result: DurabilityResult) -> str:
         f"{result.replay_seconds * 1e3:,.1f}ms",
     )
     out = table.render()
+    paged = Table(
+        "Paged lookups over the compacted run file (real os.pread "
+        "syscalls, cold vs warm)",
+        [
+            "queries",
+            "cold preads",
+            "cold bytes",
+            "warm preads",
+            "identical",
+        ],
+    )
+    paged.add_row(
+        f"{result.paged_queries:,}",
+        f"{result.paged_cold_preads:,}",
+        f"{result.paged_cold_bytes:,}",
+        f"{result.paged_warm_preads:,}",
+        "yes" if result.paged_identical else "NO",
+    )
+    out += "\n\n" + paged.render()
     out += (
         f"\nWAL-on insert throughput vs memory-only: "
         f"{result.wal_vs_mem_ratio:.2f}x "
@@ -1666,6 +1736,10 @@ def main(argv: list[str] | None = None) -> int:
     # The laziness invariant is structural, not a timing: it holds at
     # any scale, so it gates even smoke runs.
     ok = ok and durability.reopen_lazy
+    # Paged preads must return the same positions as searchsorted over
+    # the run's keys, and the warm pass must hit the buffer pool.
+    ok = ok and durability.paged_identical
+    ok = ok and durability.paged_warm_preads < durability.paged_cold_preads
     # ISSUE 7 gates, judged at every scale including --smoke: with the
     # background worker on, no merge ever stalls an acking write (the
     # stall counter stays zero — and the sync baseline's counter must

@@ -161,6 +161,95 @@ def batch_dup_fraction(queries: np.ndarray, sample: int = 4096) -> float:
     return float(1.0 - est_unique / m)
 
 
+def pack_requests(arrays: list) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate per-request query arrays into one flat batch.
+
+    The gather half of the serving layer's coalescing contract (ISSUE
+    8): many small per-request arrays become the single large batch the
+    vectorized kernels were built for.  Returns ``(flat, offsets)``
+    with ``offsets`` int64 of length ``len(arrays) + 1`` — request
+    ``i`` owns ``flat[offsets[i]:offsets[i + 1]]``, which is exactly
+    the slice :func:`unpack_results` hands back after the batch call.
+    """
+    if not arrays:
+        return np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
+    offsets = np.zeros(len(arrays) + 1, dtype=np.int64)
+    np.cumsum([a.size for a in arrays], out=offsets[1:])
+    flat = (
+        np.concatenate(arrays)
+        if len(arrays) > 1
+        else np.asarray(arrays[0]).ravel()
+    )
+    return flat, offsets
+
+
+def unpack_results(flat: np.ndarray, offsets: np.ndarray) -> list:
+    """Scatter a flat batch result back into per-request views.
+
+    The inverse of :func:`pack_requests`: ``out[i]`` is the slice of
+    ``flat`` belonging to request ``i`` (zero-copy views of the batch
+    result — callers that outlive the batch should copy).
+    """
+    return [
+        flat[int(offsets[i]):int(offsets[i + 1])]
+        for i in range(offsets.size - 1)
+    ]
+
+
+class GroupScatter:
+    """Stable group-by over parallel arrays with an exact inverse.
+
+    Built once from an integer group id per element (e.g. the shard
+    that owns each query key), it exposes the per-group slices for the
+    fan-out and reassembles per-group results back into original order
+    for the fan-in — the routing kernel under the sharded store's
+    batch reads and writes.
+
+    The sort is ``kind="stable"`` so elements within a group keep
+    their batch order: duplicate keys routed to the same shard resolve
+    last-wins exactly like the unsharded write path.
+    """
+
+    __slots__ = ("order", "offsets", "num_groups", "size")
+
+    def __init__(self, group_ids: np.ndarray, num_groups: int):
+        group_ids = np.asarray(group_ids, dtype=np.int64).ravel()
+        self.num_groups = int(num_groups)
+        self.size = int(group_ids.size)
+        self.order = np.argsort(group_ids, kind="stable")
+        counts = np.bincount(
+            group_ids, minlength=self.num_groups
+        ).astype(np.int64)
+        self.offsets = np.zeros(self.num_groups + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.offsets[1:])
+
+    def indices(self, group: int) -> np.ndarray:
+        """Original positions of group ``group``'s elements."""
+        return self.order[
+            int(self.offsets[group]):int(self.offsets[group + 1])
+        ]
+
+    def take(self, arr: np.ndarray, group: int) -> np.ndarray:
+        """``arr``'s elements belonging to ``group``, in batch order."""
+        return arr[self.indices(group)]
+
+    def count(self, group: int) -> int:
+        return int(self.offsets[group + 1] - self.offsets[group])
+
+    def scatter(self, per_group, out: np.ndarray) -> np.ndarray:
+        """Write per-group result arrays back to original positions.
+
+        ``per_group[g]`` must be aligned to :meth:`take`'s output for
+        group ``g`` (or None to leave that group's slots untouched —
+        the caller's fill value shows through, e.g. "not found").
+        """
+        for group, result in enumerate(per_group):
+            if result is None:
+                continue
+            out[self.indices(group)] = result
+        return out
+
+
 class QueryBatch:
     """Queries prepared for exact comparison against one key column.
 

@@ -94,6 +94,9 @@ class RealFileSystem:
     def rename(self, src: str, dst: str) -> None:
         os.replace(src, dst)
 
+    def link(self, src: str, dst: str) -> None:
+        os.link(src, dst)
+
     def remove(self, path: str) -> None:
         os.remove(path)
 
@@ -257,6 +260,18 @@ class FaultInjectingFilesystem(RealFileSystem):
                 self._die()
             super().rename(src, dst)
             self._synced[dst] = self._synced.pop(
+                src, os.path.getsize(dst)
+            )
+
+    def link(self, src: str, dst: str) -> None:
+        with self._lock:
+            if self._enter():
+                self._die()
+            super().link(src, dst)
+            # The new name aliases an inode whose durable length is the
+            # source's: a backup taken just before a crash loses bytes
+            # exactly when the source would have.
+            self._synced[dst] = self._synced.get(
                 src, os.path.getsize(dst)
             )
 

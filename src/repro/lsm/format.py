@@ -22,12 +22,17 @@ always produced whole via the atomic-publish discipline (write to
 mid-write leaves only an unreferenced ``.tmp`` orphan — a reader never
 sees a partially written section file.
 
-Checksums: the issue calls for CRC32C; the stdlib has no CRC32C and
-this environment cannot grow dependencies, so the format *records the
-checksum algorithm* in its header byte and uses hardware-accelerated
-``crc32c`` when the optional package is importable, falling back to
-``zlib.crc32`` (also C speed) otherwise.  Readers dispatch on the
-recorded byte, so files stay portable across both environments.
+Checksums: the format *records the checksum algorithm* in its header
+byte.  Writers default to hardware-accelerated ``crc32c`` when the
+optional package is importable and ``zlib.crc32`` (also C speed)
+otherwise; ``REPRO_CHECKSUM=crc32c`` / ``=crc32`` overrides the
+choice.  Readers dispatch on the recorded byte — and since PR 8 a
+vendored slice-by-8 software CRC32C (:func:`software_crc32c`,
+bit-compatible with the wheel) backs the CRC32C id everywhere, so a
+file written on a machine with the wheel always verifies on a machine
+without it instead of raising.  The software path is pure Python
+(~ms/MB), which is why it is the *fallback* verifier, not the default
+writer.
 
 Section reads are *lazy and verified*: :meth:`SectionFile.array` maps
 a section with ``np.memmap`` and checks its checksum on first
@@ -49,7 +54,11 @@ __all__ = [
     "CorruptRunError",
     "RUN_MAGIC",
     "MANIFEST_MAGIC",
+    "ALGO_CRC32",
+    "ALGO_CRC32C",
     "checksum",
+    "crc32c",
+    "software_crc32c",
     "SectionFile",
     "write_section_file",
 ]
@@ -71,15 +80,98 @@ ALGO_CRC32C = 2
 try:  # pragma: no cover - exercised only where the wheel exists
     import crc32c as _crc32c_mod
 
-    def _crc32c(data) -> int:
-        return int(_crc32c_mod.crc32c(bytes(data)))
-
     _HAVE_CRC32C = True
 except ImportError:
     _crc32c_mod = None
     _HAVE_CRC32C = False
 
-_DEFAULT_ALGO = ALGO_CRC32C if _HAVE_CRC32C else ALGO_CRC32
+
+def _build_crc32c_tables() -> list[list[int]]:
+    """Slice-by-8 lookup tables for the Castagnoli polynomial.
+
+    The standard construction (Intel's slicing-by-8, as vendored by
+    LevelDB/RocksDB): table 0 is the classic byte-at-a-time table for
+    the reflected polynomial 0x82F63B78; table k advances a CRC by one
+    byte-position more than table k-1, so eight lookups fold eight
+    input bytes at once.
+    """
+    poly = 0x82F63B78
+    tables = [[0] * 256 for _ in range(8)]
+    t0 = tables[0]
+    for n in range(256):
+        c = n
+        for _ in range(8):
+            c = (c >> 1) ^ poly if c & 1 else c >> 1
+        t0[n] = c
+    for n in range(256):
+        c = t0[n]
+        for k in range(1, 8):
+            c = t0[c & 0xFF] ^ (c >> 8)
+            tables[k][n] = c
+    return tables
+
+
+_CRC32C_TABLES: list[list[int]] | None = None
+
+
+def software_crc32c(data) -> int:
+    """Pure-Python CRC32C (Castagnoli), bit-compatible with the
+    ``crc32c`` wheel — RFC 3720 test vector ``b"123456789"`` →
+    ``0xE3069283``.
+
+    Slice-by-8 over 8-byte words; roughly three orders of magnitude
+    slower than the hardware instruction, so it serves as the
+    *verification fallback* for CRC32C-stamped files on machines
+    without the wheel (and as the writer only under an explicit
+    ``REPRO_CHECKSUM=crc32c`` opt-in).
+    """
+    global _CRC32C_TABLES
+    if _CRC32C_TABLES is None:
+        _CRC32C_TABLES = _build_crc32c_tables()
+    t0, t1, t2, t3, t4, t5, t6, t7 = _CRC32C_TABLES
+    buf = bytes(data)
+    n = len(buf)
+    crc = 0xFFFFFFFF
+    end8 = n & ~7
+    for (word,) in struct.iter_unpack("<Q", memoryview(buf)[:end8]):
+        lo = crc ^ (word & 0xFFFFFFFF)
+        hi = word >> 32
+        crc = (
+            t7[lo & 0xFF]
+            ^ t6[(lo >> 8) & 0xFF]
+            ^ t5[(lo >> 16) & 0xFF]
+            ^ t4[lo >> 24]
+            ^ t3[hi & 0xFF]
+            ^ t2[(hi >> 8) & 0xFF]
+            ^ t1[(hi >> 16) & 0xFF]
+            ^ t0[hi >> 24]
+        )
+    for byte in buf[end8:]:
+        crc = t0[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def crc32c(data) -> int:
+    """CRC32C via the wheel when importable, software otherwise."""
+    if _HAVE_CRC32C:
+        return int(_crc32c_mod.crc32c(bytes(data)))
+    return software_crc32c(data)
+
+
+def _default_algo() -> int:
+    choice = os.environ.get("REPRO_CHECKSUM", "").strip().lower()
+    if choice == "crc32c":
+        return ALGO_CRC32C
+    if choice == "crc32":
+        return ALGO_CRC32
+    if choice:
+        raise ValueError(
+            f"REPRO_CHECKSUM={choice!r} (known: crc32, crc32c)"
+        )
+    return ALGO_CRC32C if _HAVE_CRC32C else ALGO_CRC32
+
+
+_DEFAULT_ALGO = _default_algo()
 
 
 class CorruptRunError(Exception):
@@ -97,12 +189,7 @@ def checksum(data, algo: int = _DEFAULT_ALGO) -> int:
     if algo == ALGO_CRC32:
         return zlib.crc32(data) & 0xFFFFFFFF
     if algo == ALGO_CRC32C:
-        if not _HAVE_CRC32C:
-            raise CorruptRunError(
-                "file was written with CRC32C but the crc32c module is "
-                "not available to verify it"
-            )
-        return _crc32c(data)
+        return crc32c(data)
     raise CorruptRunError(f"unknown checksum algorithm id {algo}")
 
 

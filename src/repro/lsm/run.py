@@ -307,6 +307,72 @@ class SortedRun:
         if keys.size:
             self._bloom.add_batch(keys)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        keys: np.ndarray,
+        values: np.ndarray,
+        tombstones: np.ndarray,
+        *,
+        compiled_state: dict | None = None,
+        bloom=None,
+        sequence: int = 0,
+        level: int = 0,
+        leaf_target: int = DEFAULT_LEAF_TARGET,
+    ) -> "SortedRun":
+        """Wrap existing arrays as a run without copying or retraining.
+
+        The zero-copy rebuild path (ISSUE 8): a serving client that
+        receives a sealed run's key/value/tombstone arrays plus its
+        RMI's ``compiled_state()`` tables and its guard object — e.g.
+        mapped out of a shared-memory segment — reconstructs a run
+        answering every probe bit-identically to the original, in
+        O(leaves), with the arrays still aliasing the shared pages.
+
+        ``compiled_state=None`` trains a fresh vectorized RMI (the
+        arrays are still adopted without copy); ``bloom=None`` builds
+        the default guard over ``keys``.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        tombstones = np.asarray(tombstones, dtype=bool)
+        if values.size != keys.size or tombstones.size != keys.size:
+            raise ValueError("values/tombstones must parallel keys")
+        self = cls.__new__(cls)
+        self._keys = keys
+        self._values = values
+        self._tombstones = tombstones
+        self.sequence = int(sequence)
+        self.level = int(level)
+        self.leaf_target = int(leaf_target)
+        self.pins = 0
+        self._n = int(keys.size)
+        self._num_tombstones = int(np.count_nonzero(tombstones))
+        self._source = None
+        self.path = None
+        if compiled_state is not None:
+            self._rmi = RecursiveModelIndex.from_compiled_arrays(
+                keys,
+                root_slope=float(compiled_state["root_slope"]),
+                root_intercept=float(compiled_state["root_intercept"]),
+                slopes=compiled_state["slopes"],
+                intercepts=compiled_state["intercepts"],
+                lo_offsets=compiled_state["lo_offsets"],
+                hi_offsets=compiled_state["hi_offsets"],
+            )
+        else:
+            leaves = max(1, -(-keys.size // max(leaf_target, 1)))
+            self._rmi = RecursiveModelIndex(
+                keys, stage_sizes=(1, leaves), build_mode="vectorized"
+            )
+        if bloom is not None:
+            self._bloom = bloom
+        else:
+            self._bloom = _default_bloom(keys.size, 0.01)
+            if keys.size:
+                self._bloom.add_batch(keys)
+        return self
+
     # -- persistence -----------------------------------------------------------
 
     def save(self, fs, path: str, *, fsync_every: int | None = None) -> None:

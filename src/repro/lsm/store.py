@@ -130,7 +130,14 @@ from .run import DEFAULT_LEAF_TARGET, SortedRun
 from .wal import RECORD_PUT, WriteAheadLog
 from .wal import replay as wal_replay
 
-__all__ = ["LearnedLSMStore", "LSMReadStats", "LSMWriteStats"]
+__all__ = [
+    "LearnedLSMStore",
+    "LSMReadStats",
+    "LSMWriteStats",
+    "StoreSnapshot",
+    "resolve_point_batch",
+    "resolve_range_batch",
+]
 
 #: name -> zero-argument policy factory for the ``compaction=`` string
 #: shorthand.
@@ -143,6 +150,241 @@ COMPACTION_POLICIES: dict[str, Callable[[], CompactionPolicy]] = {
 #: (RocksDB's ``bytes_per_sync``): caps how much dirty run-file data a
 #: concurrent foreground WAL fsync can get queued behind.
 _MERGE_SAVE_FSYNC_BYTES = 1 << 20
+
+
+def resolve_point_batch(
+    queries: np.ndarray,
+    put_keys: np.ndarray,
+    put_values: np.ndarray,
+    tomb_keys: np.ndarray,
+    runs,
+    stats: "LSMReadStats | None" = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(values, found) for a query batch over an explicit read state.
+
+    The store's newest-first batch walk, factored out of the store so
+    any holder of a consistent ``(memtable views, run sequence)`` pair
+    can run it: :meth:`LearnedLSMStore.lookup_batch` over its live
+    state, :class:`StoreSnapshot` over a pinned one, and the serving
+    layer's shared-memory clients over runs rebuilt in another process
+    (ISSUE 8) — all bit-identical, because they are the same code.
+
+    ``put_keys``/``tomb_keys`` must be sorted (the memtable's ``views``
+    contract); ``runs`` iterates newest-first.  ``stats`` receives the
+    usual read-amplification counters when provided.
+    """
+    m = queries.size
+    values = np.zeros(m, dtype=np.int64)
+    found = np.zeros(m, dtype=bool)
+    if m == 0:
+        return values, found
+    resolved = np.zeros(m, dtype=bool)
+    if put_keys.size:
+        pos = np.searchsorted(put_keys, queries)
+        safe = np.minimum(pos, put_keys.size - 1)
+        hit = (pos < put_keys.size) & (put_keys[safe] == queries)
+        values[hit] = put_values[safe[hit]]
+        found |= hit
+        resolved |= hit
+    if tomb_keys.size:
+        pos = np.searchsorted(tomb_keys, queries)
+        safe = np.minimum(pos, tomb_keys.size - 1)
+        dead = (pos < tomb_keys.size) & (tomb_keys[safe] == queries)
+        resolved |= dead
+    memtable_hits = int(np.count_nonzero(resolved))
+    rejects = probes = misses = 0
+    for run in runs:
+        open_idx = np.nonzero(~resolved)[0]
+        if open_idx.size == 0:
+            break
+        sub = queries[open_idx]
+        passed = run.bloom_contains_batch(sub)
+        rejects += int(sub.size - np.count_nonzero(passed))
+        cand_idx = open_idx[passed]
+        if cand_idx.size == 0:
+            continue
+        hit, dead, vals = run.probe_batch(queries[cand_idx])
+        probes += int(cand_idx.size)
+        misses += int(np.count_nonzero(~hit))
+        live = hit & ~dead
+        values[cand_idx[live]] = vals[live]
+        found[cand_idx[live]] = True
+        resolved[cand_idx[hit]] = True
+    if stats is not None:
+        stats.add(
+            lookups=m,
+            memtable_hits=memtable_hits,
+            run_probes=probes,
+            probe_misses=misses,
+            bloom_rejects=rejects,
+        )
+    return values, found
+
+
+def _memtable_range_source(
+    keys: np.ndarray,
+    mem_values: np.ndarray,
+    dead: np.ndarray,
+    lows: np.ndarray,
+    highs: np.ndarray,
+    *,
+    with_values: bool = False,
+):
+    """Range-scan one memtable snapshot triple like a run would.
+
+    Endpoints resolve through the query core like every run's RMI does
+    — a raw searchsorted would promote the int64 snapshot to float64
+    under float endpoints, making memtable-resident data answer
+    differently from run-resident data beyond 2^53.
+    """
+    column = SortedKeyColumn(keys)
+    lo = column.rank_in(keys, column.prepare(lows), side="left")
+    hi = column.rank_in(keys, column.prepare(highs), side="right")
+    hi = np.maximum(hi, lo)
+    values, offsets = assemble_slices(keys, lo, hi)
+    flags, _ = assemble_slices(dead, lo, hi)
+    result = RangeScanResult(values=values, offsets=offsets)
+    if not with_values:
+        return result, flags
+    payloads, _ = assemble_slices(mem_values, lo, hi)
+    return result, flags, payloads
+
+
+def resolve_range_batch(
+    lows: np.ndarray,
+    highs: np.ndarray,
+    memtable_snapshot,
+    runs,
+    *,
+    with_values: bool = False,
+):
+    """Merged live range results over an explicit read state.
+
+    The counterpart of :func:`resolve_point_batch` for ranges: every
+    source — the ``(keys, values, dead)`` memtable snapshot triple (or
+    None) plus each run's vectorized scan — contributes its entries,
+    and one :func:`~repro.range_scan.merge_scan_results` pass
+    interleaves them newest-first, deduplicates to the newest version
+    per key, and drops keys whose newest version is a tombstone.
+    Returns a :class:`RangeScanResult`, plus the parallel payload
+    array when ``with_values``.
+    """
+    n = lows.size
+    sources: list[RangeScanResult] = []
+    masks: list[np.ndarray | None] = []
+    payloads: list[np.ndarray] = []
+    if memtable_snapshot is not None and memtable_snapshot[0].size:
+        mem_keys, mem_values, mem_dead = memtable_snapshot
+        parts = _memtable_range_source(
+            mem_keys, mem_values, mem_dead, lows, highs,
+            with_values=with_values,
+        )
+        sources.append(parts[0])
+        masks.append(parts[1])
+        if with_values:
+            payloads.append(parts[2])
+    for run in runs:
+        parts = run.range_scan_batch(lows, highs, with_values=with_values)
+        sources.append(parts[0])
+        masks.append(parts[1])
+        if with_values:
+            payloads.append(parts[2])
+    if not sources:
+        empty = RangeScanResult(
+            values=np.empty(0, dtype=np.int64),
+            offsets=np.zeros(n + 1, dtype=np.int64),
+        )
+        return (empty, np.empty(0, dtype=np.int64)) if with_values else empty
+    if with_values:
+        merged, values = merge_scan_results(
+            sources, drop_masks=masks, payloads=payloads
+        )
+        return (
+            RangeScanResult(
+                values=np.asarray(merged.values, dtype=np.int64),
+                offsets=merged.offsets,
+            ),
+            np.asarray(values, dtype=np.int64),
+        )
+    merged = merge_scan_results(sources, drop_masks=masks)
+    return RangeScanResult(
+        values=np.asarray(merged.values, dtype=np.int64),
+        offsets=merged.offsets,
+    )
+
+
+class StoreSnapshot:
+    """A pinned point-in-time read view of a :class:`LearnedLSMStore`.
+
+    Captures the memtable's materialized snapshot triple and a pinned
+    run set in the loss-free order (memtable first — see the module
+    docstring), then answers ``lookup_batch`` / ``range_query_batch``
+    / ``range_items_batch`` from exactly that state no matter how many
+    writes, seals, or compactions land afterwards.  This is the PR 7
+    epoch-read contract as a first-class object — the serving layer
+    pins one per shard to read a consistent cross-shard epoch
+    (ISSUE 8).
+
+    Use as a context manager, or call :meth:`release` explicitly
+    (idempotent); an unreleased snapshot blocks deletion of every run
+    it pins.
+    """
+
+    def __init__(self, store: "LearnedLSMStore"):
+        self._store = store
+        keys, values, dead = store.memtable.snapshot()
+        self.memtable_snapshot = (keys, values, dead)
+        live = ~dead
+        self._put_keys = keys[live]
+        self._put_values = values[live]
+        self._tomb_keys = keys[dead]
+        self.runs = store._pin_runs()
+        self._released = False
+
+    def lookup_batch(self, keys) -> tuple[np.ndarray, np.ndarray]:
+        """(values, found) against the pinned state — same contract as
+        :meth:`LearnedLSMStore.lookup_batch`."""
+        self._ensure_live()
+        queries = np.asarray(keys, dtype=np.int64).ravel()
+        return resolve_point_batch(
+            queries, self._put_keys, self._put_values, self._tomb_keys,
+            self.runs, stats=self._store.read_stats,
+        )
+
+    def range_query_batch(self, lows, highs) -> RangeScanResult:
+        """Live keys per closed range, against the pinned state."""
+        self._ensure_live()
+        lows, highs = LearnedLSMStore._range_endpoints(lows, highs)
+        return resolve_range_batch(
+            lows, highs, self.memtable_snapshot, self.runs
+        )
+
+    def range_items_batch(self, lows, highs):
+        """Live (key, value) pairs per closed range, pinned state."""
+        self._ensure_live()
+        lows, highs = LearnedLSMStore._range_endpoints(lows, highs)
+        return resolve_range_batch(
+            lows, highs, self.memtable_snapshot, self.runs,
+            with_values=True,
+        )
+
+    def _ensure_live(self) -> None:
+        if self._released:
+            raise ValueError("snapshot has been released")
+
+    def release(self) -> None:
+        """Unpin every run (idempotent).  Deferred deletions the
+        snapshot was blocking proceed at the store's next sweep."""
+        if self._released:
+            return
+        self._released = True
+        self._store._unpin_runs(self.runs)
+
+    def __enter__(self) -> "StoreSnapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
 
 
 class _StatsBase:
@@ -1072,6 +1314,69 @@ class LearnedLSMStore:
             for run in runs:
                 run.pins -= 1
 
+    def snapshot(self) -> StoreSnapshot:
+        """A pinned point-in-time read view (see :class:`StoreSnapshot`).
+
+        Safe from any reader thread; release it (context manager or
+        :meth:`StoreSnapshot.release`) when done — it holds every run
+        of its epoch against deletion until then.
+        """
+        self._ensure_open()
+        return StoreSnapshot(self)
+
+    # -- backup ----------------------------------------------------------------
+
+    def backup(self, dest: str) -> None:
+        """Snapshot the durable state into directory ``dest``.
+
+        Runs and the manifest are immutable rename-published inodes, so
+        the backup hard-links them — O(runs) metadata operations, no
+        data copy no matter how large the store (the reason LSM stores
+        back up this way in practice).  Only the WAL, which is appended
+        in place, is copied byte-for-byte; it is synced first so the
+        copy contains every acknowledged write.  The result is a
+        directory ``LearnedLSMStore(path=dest)`` opens like any other
+        store, holding exactly the state at the backup point.
+
+        Counts as a write-path call under the threading contract (it
+        reads the live WAL); holds the structure lock, so it excludes
+        seals and merge commits but not in-flight merge I/O.  The
+        manifest is linked *last* and the directory fsynced after, so
+        a crash mid-backup leaves a manifest-less directory that can
+        never be mistaken for a valid store.
+        """
+        self._ensure_open()
+        if self.path is None:
+            raise ValueError("backup requires a durable store (path=...)")
+        dest = str(dest)
+        if os.path.abspath(dest) == os.path.abspath(self.path):
+            raise ValueError("backup destination is the store directory")
+        fs = self._fs
+        with self._structure_lock:
+            fs.makedirs(dest)
+            if fs.listdir(dest):
+                raise ValueError(f"backup destination {dest!r} not empty")
+            if self._wal is not None:
+                self._wal.sync()
+            with self._state_lock:
+                runs = list(self.runs)
+            for run in runs:
+                name = os.path.basename(run.path)
+                fs.link(run.path, os.path.join(dest, name))
+            wal_src = self._file_path(self._wal_name)
+            wal_dst = os.path.join(dest, self._wal_name)
+            handle = fs.open_write(wal_dst)
+            try:
+                fs.write(handle, fs.read_bytes(wal_src))
+                fs.fsync(handle)
+            finally:
+                fs.close(handle)
+            fs.link(
+                self._file_path(MANIFEST_NAME),
+                os.path.join(dest, MANIFEST_NAME),
+            )
+            fs.fsync_dir(dest)
+
     # -- point reads -----------------------------------------------------------
 
     def lookup(self, key: int):
@@ -1131,59 +1436,18 @@ class LearnedLSMStore:
         """
         self._ensure_open()
         queries = np.asarray(keys, dtype=np.int64).ravel()
-        m = queries.size
-        values = np.zeros(m, dtype=np.int64)
-        found = np.zeros(m, dtype=bool)
-        if m == 0:
-            return values, found
-        resolved = np.zeros(m, dtype=bool)
         # One consistent (puts, values, tombstones) triple: fetching
         # the three views separately could pair arrays from different
         # memtable generations under a racing writer.
         put_keys, put_values, tombs = self.memtable.views()
         runs = self._pin_runs()
         try:
-            if put_keys.size:
-                pos = np.searchsorted(put_keys, queries)
-                safe = np.minimum(pos, put_keys.size - 1)
-                hit = (pos < put_keys.size) & (put_keys[safe] == queries)
-                values[hit] = put_values[safe[hit]]
-                found |= hit
-                resolved |= hit
-            if tombs.size:
-                pos = np.searchsorted(tombs, queries)
-                safe = np.minimum(pos, tombs.size - 1)
-                dead = (pos < tombs.size) & (tombs[safe] == queries)
-                resolved |= dead
-            memtable_hits = int(np.count_nonzero(resolved))
-            rejects = probes = misses = 0
-            for run in runs:
-                open_idx = np.nonzero(~resolved)[0]
-                if open_idx.size == 0:
-                    break
-                sub = queries[open_idx]
-                passed = run.bloom_contains_batch(sub)
-                rejects += int(sub.size - np.count_nonzero(passed))
-                cand_idx = open_idx[passed]
-                if cand_idx.size == 0:
-                    continue
-                hit, dead, vals = run.probe_batch(queries[cand_idx])
-                probes += int(cand_idx.size)
-                misses += int(np.count_nonzero(~hit))
-                live = hit & ~dead
-                values[cand_idx[live]] = vals[live]
-                found[cand_idx[live]] = True
-                resolved[cand_idx[hit]] = True
+            return resolve_point_batch(
+                queries, put_keys, put_values, tombs, runs,
+                stats=self.read_stats,
+            )
         finally:
             self._unpin_runs(runs)
-        self.read_stats.add(
-            lookups=m,
-            memtable_hits=memtable_hits,
-            run_probes=probes,
-            probe_misses=misses,
-            bloom_rejects=rejects,
-        )
-        return values, found
 
     def contains(self, key: int) -> bool:
         """Does a live (non-tombstoned) entry exist for ``key``?"""
@@ -1196,29 +1460,8 @@ class LearnedLSMStore:
 
     # -- range reads -----------------------------------------------------------
 
-    def _memtable_source(
-        self, lows: np.ndarray, highs: np.ndarray, *, with_values: bool = False
-    ):
-        keys, mem_values, dead = self.memtable.snapshot()
-        # Endpoints resolve through the query core like every run's RMI
-        # does — a raw searchsorted would promote the int64 snapshot to
-        # float64 under float endpoints, making memtable-resident data
-        # answer differently from run-resident data beyond 2^53.
-        column = SortedKeyColumn(keys)
-        lo = column.rank_in(keys, column.prepare(lows), side="left")
-        hi = column.rank_in(keys, column.prepare(highs), side="right")
-        hi = np.maximum(hi, lo)
-        values, offsets = assemble_slices(keys, lo, hi)
-        flags, _ = assemble_slices(dead, lo, hi)
-        result = RangeScanResult(values=values, offsets=offsets)
-        if not with_values:
-            return result, flags
-        payloads, _ = assemble_slices(mem_values, lo, hi)
-        return result, flags, payloads
-
-    def _range_endpoints(
-        self, lows, highs
-    ) -> tuple[np.ndarray, np.ndarray]:
+    @staticmethod
+    def _range_endpoints(lows, highs) -> tuple[np.ndarray, np.ndarray]:
         """Normalize endpoint arrays, keeping their native dtype so
         int64 ranges resolve exactly through every run's query core."""
         lows = np.asarray(lows).ravel()
@@ -1246,32 +1489,14 @@ class LearnedLSMStore:
         # Inverted ranges come out empty in every source: the run RMIs
         # pin them (closed-interval semantics shared with the whole
         # repo) and the memtable's hi = max(hi, lo) clamp does the same.
-        sources: list[RangeScanResult] = []
-        masks: list[np.ndarray | None] = []
-        # Memtable source before the run pin — the loss-free snapshot
-        # order under a concurrent seal.
-        if len(self.memtable):
-            mem, mem_flags = self._memtable_source(lows_f, highs_f)
-            sources.append(mem)
-            masks.append(mem_flags)
+        # Memtable snapshot before the run pin — the loss-free order
+        # under a concurrent seal.
+        mem = self.memtable.snapshot() if len(self.memtable) else None
         runs = self._pin_runs()
         try:
-            for run in runs:
-                result, flags = run.range_scan_batch(lows_f, highs_f)
-                sources.append(result)
-                masks.append(flags)
+            return resolve_range_batch(lows_f, highs_f, mem, runs)
         finally:
             self._unpin_runs(runs)
-        if not sources:
-            return RangeScanResult(
-                values=np.empty(0, dtype=np.int64),
-                offsets=np.zeros(lows_f.size + 1, dtype=np.int64),
-            )
-        merged = merge_scan_results(sources, drop_masks=masks)
-        return RangeScanResult(
-            values=np.asarray(merged.values, dtype=np.int64),
-            offsets=merged.offsets,
-        )
 
     def range_items_batch(
         self, lows, highs
@@ -1297,45 +1522,14 @@ class LearnedLSMStore:
                 ),
                 np.empty(0, dtype=np.int64),
             )
-        sources: list[RangeScanResult] = []
-        masks: list[np.ndarray | None] = []
-        payloads: list[np.ndarray] = []
-        if len(self.memtable):
-            mem, mem_flags, mem_vals = self._memtable_source(
-                lows_f, highs_f, with_values=True
-            )
-            sources.append(mem)
-            masks.append(mem_flags)
-            payloads.append(mem_vals)
+        mem = self.memtable.snapshot() if len(self.memtable) else None
         runs = self._pin_runs()
         try:
-            for run in runs:
-                result, flags, vals = run.range_scan_batch(
-                    lows_f, highs_f, with_values=True
-                )
-                sources.append(result)
-                masks.append(flags)
-                payloads.append(vals)
+            return resolve_range_batch(
+                lows_f, highs_f, mem, runs, with_values=True
+            )
         finally:
             self._unpin_runs(runs)
-        if not sources:
-            return (
-                RangeScanResult(
-                    values=np.empty(0, dtype=np.int64),
-                    offsets=np.zeros(lows_f.size + 1, dtype=np.int64),
-                ),
-                np.empty(0, dtype=np.int64),
-            )
-        merged, values = merge_scan_results(
-            sources, drop_masks=masks, payloads=payloads
-        )
-        return (
-            RangeScanResult(
-                values=np.asarray(merged.values, dtype=np.int64),
-                offsets=merged.offsets,
-            ),
-            np.asarray(values, dtype=np.int64),
-        )
 
     def range_query(self, low, high) -> np.ndarray:
         """Scalar range read: all live keys in ``[low, high]``."""

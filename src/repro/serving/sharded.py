@@ -1,0 +1,767 @@
+"""Key-range-sharded LSM store with zero-copy cross-process reads.
+
+:class:`ShardedLSMStore` partitions the key space across N
+:class:`~repro.lsm.store.LearnedLSMStore` shards, each owned by a
+worker *process* (real parallelism — each worker's kernel loops run on
+its own interpreter).  Writes route through a learned-CDF-balanced
+:class:`~repro.serving.splitter.CDFSplitter`; reads come in two
+flavours:
+
+* ``via="local"`` — the client resolves point/range batches itself,
+  over :class:`~repro.lsm.run.SortedRun` views rebuilt from the
+  workers' shared-memory segments (:mod:`repro.serving.shm`).  Zero
+  IPC, zero copy: the client's probes touch the same physical pages
+  the workers sealed.  This is the low-latency path for the small
+  batches a coalescing front end produces.
+* ``via="worker"`` — per-shard sub-batches fan out over the command
+  pipes and resolve inside the worker processes concurrently.  This is
+  the throughput path for large batches: N shards bring N cores to one
+  batch, which is what the 1 → 4 shard scaling gate measures.
+
+``via="auto"`` (default) picks by per-shard sub-batch size.
+
+Consistency: each worker ack carries the shard's current epoch (run
+set + memtable snapshot) and the client adopts it before issuing
+another command, so a client that writes then reads always sees its
+own write.  :meth:`ShardedLSMStore.snapshot` pins every shard's
+current epoch into a :class:`ShardedSnapshot` — the PR 7 epoch-read
+contract across the shard boundary: the snapshot answers from exactly
+that cross-shard state while workers keep sealing, compacting, and
+unlinking superseded segments (Linux keeps pinned mappings valid).
+
+Threading contract mirrors the underlying store: one thread drives
+writes and epoch adoption (the asyncio event loop, in the serving
+stack); local reads and snapshot reads may not run concurrently with
+that thread's epoch adoption — in practice everything lives on the
+loop thread, where the contract holds by construction.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import get_context
+
+import numpy as np
+
+from ..core.engine import GroupScatter
+from ..lsm.store import (
+    LearnedLSMStore,
+    resolve_point_batch,
+    resolve_range_batch,
+)
+from ..range_scan import RangeScanResult
+from .shm import (
+    RunPublisher,
+    attach_memtable,
+    attach_run,
+    default_prefix,
+    segment_names,
+)
+from .splitter import CDFSplitter
+
+__all__ = ["ShardedLSMStore", "ShardedSnapshot"]
+
+#: ``via="auto"`` fans a read out to the workers once the *per-shard*
+#: sub-batch reaches this size; below it, the pipe round-trip costs
+#: more than the local zero-copy resolve saves.
+WORKER_BATCH_THRESHOLD = 2_048
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_BOOL = np.empty(0, dtype=bool)
+
+
+def _try_close(shm) -> bool:
+    """Close a mapping unless numpy views still export its buffer (a
+    caller may briefly hold a result view); deferred retries catch it
+    once the exports die."""
+    try:
+        shm.close()
+        return True
+    except BufferError:
+        return False
+
+
+def _shard_worker(conn, shard_id: int, store_kwargs: dict) -> None:
+    """Worker-process main loop: own one shard, answer commands, and
+    publish every post-write epoch through shared memory."""
+    store = LearnedLSMStore(**store_kwargs)
+    publisher = RunPublisher(default_prefix(shard_id))
+    try:
+        conn.send({"ok": True, "epoch": publisher.publish(store)})
+        while True:
+            cmd = conn.recv()
+            # A new command proves the client processed the previous
+            # ack (it adopts epochs before sending again), so every
+            # segment that ack superseded is now unreferenced.
+            publisher.unlink_retired()
+            op = cmd["op"]
+            if op == "close":
+                conn.send({"ok": True, "result": None, "epoch": None})
+                return
+            try:
+                result = None
+                epoch = None
+                if op == "insert_batch":
+                    store.insert_batch(cmd["keys"], cmd["values"])
+                    epoch = publisher.publish(store)
+                elif op == "delete_batch":
+                    store.delete_batch(cmd["keys"])
+                    epoch = publisher.publish(store)
+                elif op == "flush":
+                    store.flush()
+                    epoch = publisher.publish(store)
+                elif op == "compact":
+                    store.compact()
+                    epoch = publisher.publish(store)
+                elif op == "lookup_batch":
+                    result = store.lookup_batch(cmd["keys"])
+                elif op == "range_query_batch":
+                    scan = store.range_query_batch(
+                        cmd["lows"], cmd["highs"]
+                    )
+                    result = (
+                        np.asarray(scan.values), np.asarray(scan.offsets),
+                    )
+                elif op == "range_items_batch":
+                    scan, payloads = store.range_items_batch(
+                        cmd["lows"], cmd["highs"]
+                    )
+                    result = (
+                        np.asarray(scan.values),
+                        np.asarray(scan.offsets),
+                        payloads,
+                    )
+                elif op == "backup":
+                    store.backup(cmd["dest"])
+                elif op == "stats":
+                    result = {
+                        "num_runs": store.num_runs,
+                        "live_keys": int(len(store)),
+                        "seals": store.write_stats.seals,
+                        "compactions": store.write_stats.compactions,
+                        "memtable": len(store.memtable),
+                    }
+                else:
+                    raise ValueError(f"unknown op {op!r}")
+                conn.send({"ok": True, "result": result, "epoch": epoch})
+            except Exception as exc:  # noqa: BLE001 — relayed to client
+                conn.send({
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+    finally:
+        publisher.close()
+        store.close()
+        conn.close()
+
+
+class _ClientEpoch:
+    """One shard's published state, mapped into the client process."""
+
+    __slots__ = (
+        "names", "runs", "memtable_snapshot",
+        "put_keys", "put_values", "tomb_keys",
+        "_mem_shm", "pins",
+    )
+
+    def __init__(self, desc: dict, cache: dict):
+        self.names = segment_names(desc)
+        self.runs = []
+        for run_desc in desc["runs"]:
+            entry = cache.get(run_desc["name"])
+            if entry is None:
+                entry = attach_run(run_desc)
+                cache[run_desc["name"]] = entry
+            self.runs.append(entry[1])
+        mem_desc = desc.get("memtable")
+        if mem_desc is None:
+            self._mem_shm = None
+            triple = (_EMPTY_I64, _EMPTY_I64, _EMPTY_BOOL)
+        else:
+            self._mem_shm, triple = attach_memtable(mem_desc)
+        keys, values, dead = triple
+        self.memtable_snapshot = triple
+        # Mask indexing copies, so the derived arrays survive the
+        # segment; only the triple itself aliases shared pages.
+        live = ~dead
+        self.put_keys = keys[live]
+        self.put_values = values[live]
+        self.tomb_keys = keys[dead]
+        self.pins = 0
+
+    def drop_mappings(self) -> list:
+        """Release every reference into shared pages (the memtable
+        mapping closes here; run mappings belong to the cache).
+        Returns any mapping that could not close yet (live exports)."""
+        self.runs = []
+        self.memtable_snapshot = None
+        shm, self._mem_shm = self._mem_shm, None
+        if shm is not None and not _try_close(shm):
+            return [shm]
+        return []
+
+
+class ShardedSnapshot:
+    """A pinned cross-shard epoch: every read answers from the exact
+    per-shard states current at construction, no matter what the
+    workers do afterwards.  Release when done (context manager)."""
+
+    def __init__(self, store: "ShardedLSMStore"):
+        self._store = store
+        self._epochs = list(store._epochs)
+        for epoch in self._epochs:
+            epoch.pins += 1
+        self._released = False
+
+    def lookup_batch(self, keys) -> tuple[np.ndarray, np.ndarray]:
+        self._ensure_live()
+        return self._store._local_points(keys, self._epochs)
+
+    def range_query_batch(self, lows, highs) -> RangeScanResult:
+        self._ensure_live()
+        return self._store._local_ranges(lows, highs, self._epochs)
+
+    def range_items_batch(self, lows, highs):
+        self._ensure_live()
+        return self._store._local_ranges(
+            lows, highs, self._epochs, with_values=True
+        )
+
+    def _ensure_live(self) -> None:
+        if self._released:
+            raise ValueError("snapshot has been released")
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        for shard, epoch in enumerate(self._epochs):
+            epoch.pins -= 1
+            self._store._sweep_epochs(shard)
+
+    def __enter__(self) -> "ShardedSnapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+class ShardedLSMStore:
+    """N worker-owned LSM shards behind one batch read/write surface.
+
+    Parameters
+    ----------
+    num_shards:
+        Worker process count (= key-range partitions).
+    keys / values:
+        Optional bulk load, routed by the splitter and loaded inside
+        each worker at startup (no write amplification, like the
+        single store's bulk path).
+    sample_keys:
+        Training sample for the CDF splitter; defaults to the bulk
+        ``keys``, or a uniform int64 split when neither is given.
+    splitter:
+        Explicit :class:`CDFSplitter` (overrides ``sample_keys``).
+    path:
+        Durable root; shard ``i`` lives at ``path/shard-<i>``.
+    store_kwargs:
+        Extra :class:`LearnedLSMStore` keyword arguments applied to
+        every shard (``memtable_capacity``, ``compaction``, ...).
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        keys=None,
+        values=None,
+        *,
+        sample_keys=None,
+        splitter: CDFSplitter | None = None,
+        path: str | None = None,
+        store_kwargs: dict | None = None,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = int(num_shards)
+        if splitter is not None:
+            if splitter.num_shards != self.num_shards:
+                raise ValueError("splitter shard count mismatch")
+            self.splitter = splitter
+        else:
+            sample = sample_keys if sample_keys is not None else keys
+            self.splitter = (
+                CDFSplitter.fit(sample, self.num_shards)
+                if sample is not None
+                else CDFSplitter.uniform(self.num_shards)
+            )
+        bulk_keys = [None] * self.num_shards
+        bulk_values = [None] * self.num_shards
+        if keys is not None:
+            keys = LearnedLSMStore._as_int64_keys(keys)
+            if values is None:
+                values = keys
+            else:
+                values = np.asarray(values, dtype=np.int64).ravel()
+                if values.size != keys.size:
+                    raise ValueError("values must parallel keys")
+            route = GroupScatter(
+                self.splitter.shard_of_batch(keys), self.num_shards
+            )
+            for shard in range(self.num_shards):
+                idx = route.indices(shard)
+                if idx.size:
+                    bulk_keys[shard] = keys[idx]
+                    bulk_values[shard] = values[idx]
+        base_kwargs = dict(store_kwargs or {})
+        # Workers compact synchronously so every structural change
+        # rides a command ack — the epoch protocol's invariant.
+        base_kwargs["background"] = False
+        ctx = get_context("spawn")
+        self._procs = []
+        self._conns = []
+        self._closed = False
+        self._caches: list[dict] = [{} for _ in range(self.num_shards)]
+        #: Superseded-but-pinned epochs per shard.
+        self._pinned: list[list[_ClientEpoch]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        #: Mappings awaiting close (BufferError-deferred) per shard.
+        self._deferred: list[list] = [[] for _ in range(self.num_shards)]
+        self._epochs: list[_ClientEpoch | None] = [None] * self.num_shards
+        try:
+            for shard in range(self.num_shards):
+                kwargs = dict(base_kwargs)
+                if path is not None:
+                    kwargs["path"] = os.path.join(path, f"shard-{shard}")
+                if bulk_keys[shard] is not None:
+                    kwargs["keys"] = bulk_keys[shard]
+                    kwargs["values"] = bulk_values[shard]
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker,
+                    args=(child, shard, kwargs),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self._procs.append(proc)
+                self._conns.append(parent)
+            for shard in range(self.num_shards):
+                ack = self._recv(shard)
+                self._adopt(shard, ack["epoch"])
+        except BaseException:
+            self.close()
+            raise
+
+    # -- protocol plumbing -----------------------------------------------------
+
+    def _recv(self, shard: int) -> dict:
+        try:
+            ack = self._conns[shard].recv()
+        except EOFError:
+            raise RuntimeError(f"shard {shard} worker died") from None
+        if not ack.get("ok"):
+            raise RuntimeError(
+                f"shard {shard}: {ack.get('error', 'unknown error')}"
+            )
+        return ack
+
+    def _roundtrip(self, shard: int, cmd: dict) -> dict:
+        self._conns[shard].send(cmd)
+        ack = self._recv(shard)
+        if ack.get("epoch") is not None:
+            self._adopt(shard, ack["epoch"])
+        return ack
+
+    def _fanout(self, commands: dict[int, dict]) -> dict[int, dict]:
+        """Send one command per shard, then collect acks — the workers
+        execute concurrently between the two loops."""
+        for shard, cmd in commands.items():
+            self._conns[shard].send(cmd)
+        acks: dict[int, dict] = {}
+        errors = []
+        for shard in commands:
+            try:
+                ack = self._recv(shard)
+            except RuntimeError as exc:
+                errors.append(exc)
+                continue
+            if ack.get("epoch") is not None:
+                self._adopt(shard, ack["epoch"])
+            acks[shard] = ack
+        if errors:
+            raise errors[0]
+        return acks
+
+    # -- epoch adoption --------------------------------------------------------
+
+    def _adopt(self, shard: int, desc: dict) -> None:
+        old = self._epochs[shard]
+        self._epochs[shard] = _ClientEpoch(desc, self._caches[shard])
+        if old is not None:
+            if old.pins > 0:
+                self._pinned[shard].append(old)
+            else:
+                self._deferred[shard] += old.drop_mappings()
+        self._sweep_epochs(shard)
+
+    def _sweep_epochs(self, shard: int) -> None:
+        """Drop released superseded epochs, then close run segments no
+        live epoch references (current + still-pinned)."""
+        pinned = [e for e in self._pinned[shard] if e.pins > 0]
+        deferred = []
+        for epoch in self._pinned[shard]:
+            if epoch.pins == 0:
+                deferred += epoch.drop_mappings()
+        self._pinned[shard] = pinned
+        live_epochs = pinned + (
+            [self._epochs[shard]] if self._epochs[shard] else []
+        )
+        referenced = set().union(*(e.names for e in live_epochs), set())
+        cache = self._caches[shard]
+        for name in [n for n in cache if n not in referenced]:
+            shm = cache[name][0]
+            # Drop the cache's run reference before closing — the run's
+            # arrays are views into this very mapping.
+            del cache[name]
+            if not _try_close(shm):
+                deferred.append(shm)
+        deferred += [s for s in self._deferred[shard] if not _try_close(s)]
+        self._deferred[shard] = deferred
+
+    # -- write path ------------------------------------------------------------
+
+    def insert(self, key: int, value: int | None = None) -> None:
+        self.insert_batch(
+            np.array([key], dtype=np.int64),
+            None if value is None else np.array([value], dtype=np.int64),
+        )
+
+    def insert_batch(self, keys, values=None) -> None:
+        """Route the batch to its owning shards; one concurrent
+        sub-batch write per shard, last-wins on duplicates preserved
+        (the scatter is stable)."""
+        self._ensure_open()
+        keys = LearnedLSMStore._as_int64_keys(keys)
+        if values is None:
+            values = keys
+        else:
+            values = np.asarray(values, dtype=np.int64).ravel()
+            if values.size != keys.size:
+                raise ValueError("keys and values must have the same length")
+        if keys.size == 0:
+            return
+        route = GroupScatter(
+            self.splitter.shard_of_batch(keys), self.num_shards
+        )
+        commands = {}
+        for shard in range(self.num_shards):
+            idx = route.indices(shard)
+            if idx.size:
+                commands[shard] = {
+                    "op": "insert_batch",
+                    "keys": keys[idx],
+                    "values": values[idx],
+                }
+        self._fanout(commands)
+
+    def delete(self, key: int) -> None:
+        self.delete_batch(np.array([key], dtype=np.int64))
+
+    def delete_batch(self, keys) -> None:
+        self._ensure_open()
+        keys = LearnedLSMStore._as_int64_keys(keys)
+        if keys.size == 0:
+            return
+        route = GroupScatter(
+            self.splitter.shard_of_batch(keys), self.num_shards
+        )
+        commands = {}
+        for shard in range(self.num_shards):
+            idx = route.indices(shard)
+            if idx.size:
+                commands[shard] = {"op": "delete_batch", "keys": keys[idx]}
+        self._fanout(commands)
+
+    def flush(self) -> None:
+        self._ensure_open()
+        self._fanout({s: {"op": "flush"} for s in range(self.num_shards)})
+
+    def compact(self) -> None:
+        self._ensure_open()
+        self._fanout({s: {"op": "compact"} for s in range(self.num_shards)})
+
+    def backup(self, dest: str) -> None:
+        """Per-shard backups under ``dest/shard-<i>`` (hard-link
+        snapshots — see :meth:`LearnedLSMStore.backup`)."""
+        self._ensure_open()
+        self._fanout({
+            s: {"op": "backup", "dest": os.path.join(dest, f"shard-{s}")}
+            for s in range(self.num_shards)
+        })
+
+    # -- read path -------------------------------------------------------------
+
+    def lookup(self, key: int):
+        values, found = self.lookup_batch(
+            np.array([key], dtype=np.int64), via="local"
+        )
+        return int(values[0]) if found[0] else None
+
+    def contains(self, key: int) -> bool:
+        return self.lookup(key) is not None
+
+    def lookup_batch(
+        self, keys, *, via: str = "auto"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(values, found) across all shards — same contract as
+        :meth:`LearnedLSMStore.lookup_batch`."""
+        self._ensure_open()
+        queries = np.asarray(keys, dtype=np.int64).ravel()
+        if self._use_workers(queries.size, via):
+            return self._worker_points(queries)
+        return self._local_points(queries, self._epochs)
+
+    def range_query_batch(
+        self, lows, highs, *, via: str = "auto"
+    ) -> RangeScanResult:
+        """Live keys per closed range, stitched across shards (shard
+        intervals are ordered, so per-shard sorted results concatenate
+        sorted)."""
+        self._ensure_open()
+        lows = np.asarray(lows, dtype=np.int64).ravel()
+        highs = np.asarray(highs, dtype=np.int64).ravel()
+        if self._use_workers(lows.size, via):
+            return self._worker_ranges(lows, highs)
+        return self._local_ranges(lows, highs, self._epochs)
+
+    def range_items_batch(
+        self, lows, highs, *, via: str = "auto"
+    ) -> tuple[RangeScanResult, np.ndarray]:
+        self._ensure_open()
+        lows = np.asarray(lows, dtype=np.int64).ravel()
+        highs = np.asarray(highs, dtype=np.int64).ravel()
+        if self._use_workers(lows.size, via):
+            return self._worker_ranges(lows, highs, with_values=True)
+        return self._local_ranges(
+            lows, highs, self._epochs, with_values=True
+        )
+
+    def range_query(self, low, high) -> np.ndarray:
+        result = self.range_query_batch([low], [high], via="local")
+        return np.asarray(result[0], dtype=np.int64)
+
+    def snapshot(self) -> ShardedSnapshot:
+        """Pin the current cross-shard epoch for consistent reads."""
+        self._ensure_open()
+        return ShardedSnapshot(self)
+
+    def _use_workers(self, batch_size: int, via: str) -> bool:
+        if via == "local":
+            return False
+        if via == "worker":
+            return True
+        if via != "auto":
+            raise ValueError(f"via must be auto/local/worker, not {via!r}")
+        return (
+            self.num_shards > 1
+            and batch_size >= WORKER_BATCH_THRESHOLD * self.num_shards
+        )
+
+    def _local_points(self, keys, epochs) -> tuple[np.ndarray, np.ndarray]:
+        queries = np.asarray(keys, dtype=np.int64).ravel()
+        values = np.zeros(queries.size, dtype=np.int64)
+        found = np.zeros(queries.size, dtype=bool)
+        if queries.size == 0:
+            return values, found
+        route = GroupScatter(
+            self.splitter.shard_of_batch(queries), self.num_shards
+        )
+        for shard in range(self.num_shards):
+            idx = route.indices(shard)
+            if idx.size == 0:
+                continue
+            epoch = epochs[shard]
+            sub_values, sub_found = resolve_point_batch(
+                queries[idx], epoch.put_keys, epoch.put_values,
+                epoch.tomb_keys, epoch.runs,
+            )
+            values[idx] = sub_values
+            found[idx] = sub_found
+        return values, found
+
+    def _worker_points(self, queries) -> tuple[np.ndarray, np.ndarray]:
+        values = np.zeros(queries.size, dtype=np.int64)
+        found = np.zeros(queries.size, dtype=bool)
+        route = GroupScatter(
+            self.splitter.shard_of_batch(queries), self.num_shards
+        )
+        commands = {}
+        for shard in range(self.num_shards):
+            idx = route.indices(shard)
+            if idx.size:
+                commands[shard] = {
+                    "op": "lookup_batch", "keys": queries[idx],
+                }
+        acks = self._fanout(commands)
+        for shard, ack in acks.items():
+            idx = route.indices(shard)
+            sub_values, sub_found = ack["result"]
+            values[idx] = sub_values
+            found[idx] = sub_found
+        return values, found
+
+    def _stitch_ranges(
+        self, m: int, pieces: list[tuple], with_values: bool
+    ):
+        """Reassemble per-shard CSR results into one per-range CSR.
+
+        ``pieces`` is ``[(range_ids, values[, payloads]), ...]`` in
+        ascending shard order; a stable sort by range id then keeps
+        shard order within each range, and shard intervals ascend, so
+        each range's keys come out sorted.
+        """
+        if pieces:
+            range_rep = np.concatenate([p[0] for p in pieces])
+            values_all = np.concatenate([p[1] for p in pieces])
+        else:
+            range_rep = _EMPTY_I64
+            values_all = _EMPTY_I64
+        order = np.argsort(range_rep, kind="stable")
+        offsets = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(range_rep, minlength=m), out=offsets[1:]
+        ) if range_rep.size else None
+        result = RangeScanResult(
+            values=values_all[order], offsets=offsets
+        )
+        if not with_values:
+            return result
+        if pieces:
+            payloads_all = np.concatenate([p[2] for p in pieces])
+        else:
+            payloads_all = _EMPTY_I64
+        return result, payloads_all[order]
+
+    def _local_ranges(
+        self, lows, highs, epochs, *, with_values: bool = False
+    ):
+        lows = np.asarray(lows, dtype=np.int64).ravel()
+        highs = np.asarray(highs, dtype=np.int64).ravel()
+        if lows.size != highs.size:
+            raise ValueError("lows and highs must have the same length")
+        m = lows.size
+        overlap = self.splitter.shards_overlapping(lows, highs)
+        pieces = []
+        for shard in range(self.num_shards):
+            sel = np.nonzero(overlap[shard])[0]
+            if sel.size == 0:
+                continue
+            epoch = epochs[shard]
+            parts = resolve_range_batch(
+                lows[sel], highs[sel], epoch.memtable_snapshot,
+                epoch.runs, with_values=with_values,
+            )
+            scan = parts[0] if with_values else parts
+            counts = np.diff(scan.offsets)
+            range_ids = np.repeat(sel, counts)
+            piece = (range_ids, np.asarray(scan.values, dtype=np.int64))
+            if with_values:
+                piece += (np.asarray(parts[1], dtype=np.int64),)
+            pieces.append(piece)
+        return self._stitch_ranges(m, pieces, with_values)
+
+    def _worker_ranges(self, lows, highs, *, with_values: bool = False):
+        if lows.size != highs.size:
+            raise ValueError("lows and highs must have the same length")
+        m = lows.size
+        overlap = self.splitter.shards_overlapping(lows, highs)
+        op = "range_items_batch" if with_values else "range_query_batch"
+        commands = {}
+        selections = {}
+        for shard in range(self.num_shards):
+            sel = np.nonzero(overlap[shard])[0]
+            if sel.size:
+                selections[shard] = sel
+                commands[shard] = {
+                    "op": op, "lows": lows[sel], "highs": highs[sel],
+                }
+        acks = self._fanout(commands)
+        pieces = []
+        for shard in sorted(acks):
+            sel = selections[shard]
+            result = acks[shard]["result"]
+            values, offsets = result[0], result[1]
+            range_ids = np.repeat(sel, np.diff(offsets))
+            piece = (range_ids, np.asarray(values, dtype=np.int64))
+            if with_values:
+                piece += (np.asarray(result[2], dtype=np.int64),)
+            pieces.append(piece)
+        return self._stitch_ranges(m, pieces, with_values)
+
+    # -- accounting / lifecycle ------------------------------------------------
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard store statistics, straight from the workers."""
+        self._ensure_open()
+        acks = self._fanout(
+            {s: {"op": "stats"} for s in range(self.num_shards)}
+        )
+        return [acks[s]["result"] for s in range(self.num_shards)]
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ValueError("store is closed")
+
+    def close(self) -> None:
+        """Stop every worker and release every mapping; idempotent.
+        Outstanding snapshots become invalid."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send({"op": "close"})
+            except (OSError, ValueError):
+                pass
+        for conn in self._conns:
+            try:
+                conn.recv()
+            except (EOFError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+        for shard in range(self.num_shards):
+            epoch = self._epochs[shard]
+            if epoch is not None:
+                self._deferred[shard] += epoch.drop_mappings()
+            self._epochs[shard] = None
+            for pinned in self._pinned[shard]:
+                self._deferred[shard] += pinned.drop_mappings()
+            self._pinned[shard] = []
+            cache = self._caches[shard]
+            for name in list(cache):
+                shm = cache[name][0]
+                del cache[name]
+                if not _try_close(shm):
+                    self._deferred[shard].append(shm)
+            self._deferred[shard] = [
+                s for s in self._deferred[shard] if not _try_close(s)
+            ]
+
+    def __enter__(self) -> "ShardedLSMStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedLSMStore(num_shards={self.num_shards}, "
+            f"closed={self._closed})"
+        )

@@ -1,0 +1,293 @@
+"""Zero-copy run publication over ``multiprocessing.shared_memory``.
+
+The sharded store's workers own their LSM shards; clients in other
+processes still want the kernel layer's read speed without copying
+megabytes of run data over a pipe per epoch.  Immutability makes that
+cheap: a sealed run's arrays never change, so the worker writes each
+run's flat state — key/value/tombstone arrays, the RMI's compiled
+tables, the bloom guard's wire bytes — into one shared-memory segment
+*once*, and every subsequent epoch that still contains the run ships
+only the segment's name.  The client maps the segment and rebuilds a
+:class:`~repro.lsm.run.SortedRun` via
+:meth:`~repro.lsm.run.SortedRun.from_arrays` whose arrays alias the
+shared pages — bit-identical probes, zero copies, O(leaves) rebuild.
+
+The memtable is the one mutable source, so each published epoch
+carries a fresh (small, bounded by the memtable capacity) snapshot
+triple segment.
+
+Lifecycle protocol (the cross-process half of the PR 7 epoch
+contract):
+
+* The worker publishes an epoch descriptor in every command ack; the
+  client attaches all new segments *while processing the ack*, before
+  it sends another command.
+* A segment superseded while publishing epoch E is therefore safe to
+  unlink as soon as the *next* command arrives (its arrival proves the
+  client processed E's ack).  Linux keeps existing mappings valid
+  after unlink, so a client epoch pinned by a long-lived snapshot
+  keeps reading the (now anonymous) pages.
+* The client closes its mapping of a segment only when no live epoch
+  — current or snapshot-pinned — references it.
+
+Attaching never registers with the resource tracker (only creation
+does, on this platform), so worker-side ``unlink`` plus client-side
+``close`` is a complete cleanup story with no release RPC.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..lsm.run import SortedRun, _deserialize_bloom, _serialize_bloom
+
+__all__ = [
+    "RunPublisher",
+    "attach_run",
+    "attach_memtable",
+    "segment_names",
+]
+
+_ALIGN = 8
+
+
+def _layout(parts: list[tuple[str, int]]) -> tuple[dict, int]:
+    """8-aligned sequential section table: name -> [offset, nbytes]."""
+    table = {}
+    offset = 0
+    for name, nbytes in parts:
+        offset += -offset % _ALIGN
+        table[name] = [offset, nbytes]
+        offset += nbytes
+    return table, max(offset, 1)
+
+
+def _view(shm, dtype, offset: int, nbytes: int, *, writable: bool):
+    count = nbytes // np.dtype(dtype).itemsize
+    arr = np.frombuffer(shm.buf, dtype=dtype, count=count, offset=offset)
+    if not writable:
+        arr = arr.view()
+        arr.flags.writeable = False
+    return arr
+
+
+class RunPublisher:
+    """Worker-side segment registry: one segment per live run, one per
+    epoch for the memtable snapshot, retirement deferred until the
+    client has provably seen the superseding epoch.
+
+    Keyed by run *identity*, not sequence number — merged runs inherit
+    ``sequence=max(inputs)``, so sequences repeat across a shard's
+    lifetime while ``id(run)`` is unique for as long as the publisher
+    holds its strong reference (which it does, in the entry itself).
+    """
+
+    def __init__(self, prefix: str):
+        self._prefix = prefix
+        #: id(run) -> (name, shm, desc, run) for every published run.
+        self._segments: dict[int, tuple] = {}
+        #: Segments superseded in the latest publish; unlinkable once
+        #: the next command arrives.
+        self._retired: list[tuple] = []
+        self._mem_current: tuple | None = None
+        self._counter = 0
+
+    def _new_name(self, tag: str) -> str:
+        self._counter += 1
+        return f"{self._prefix}{tag}{self._counter:06d}"
+
+    def _create_run_segment(self, run: SortedRun) -> tuple:
+        state = run.rmi.compiled_state()
+        slopes = np.ascontiguousarray(state["slopes"], dtype=np.float64)
+        intercepts = np.ascontiguousarray(
+            state["intercepts"], dtype=np.float64
+        )
+        lo = np.ascontiguousarray(state["lo_offsets"], dtype=np.int64)
+        hi = np.ascontiguousarray(state["hi_offsets"], dtype=np.int64)
+        bloom_kind, bloom_blob = _serialize_bloom(run.bloom)
+        n = len(run)
+        table, total = _layout([
+            ("keys", n * 8),
+            ("values", n * 8),
+            ("tombstones", n),
+            ("slopes", slopes.nbytes),
+            ("intercepts", intercepts.nbytes),
+            ("lo_offsets", lo.nbytes),
+            ("hi_offsets", hi.nbytes),
+            ("bloom", len(bloom_blob)),
+        ])
+        name = self._new_name("r")
+        shm = shared_memory.SharedMemory(name=name, create=True, size=total)
+        for section, arr in (
+            ("keys", np.ascontiguousarray(run.keys, dtype=np.int64)),
+            ("values", np.ascontiguousarray(run.values, dtype=np.int64)),
+            (
+                "tombstones",
+                np.ascontiguousarray(run.tombstones, dtype=np.uint8),
+            ),
+            ("slopes", slopes),
+            ("intercepts", intercepts),
+            ("lo_offsets", lo),
+            ("hi_offsets", hi),
+        ):
+            off, nbytes = table[section]
+            _view(shm, arr.dtype, off, nbytes, writable=True)[:] = arr
+        off, nbytes = table["bloom"]
+        shm.buf[off:off + nbytes] = bloom_blob
+        desc = {
+            "name": name,
+            "n": n,
+            "sequence": run.sequence,
+            "level": run.level,
+            "root_slope": float(state["root_slope"]),
+            "root_intercept": float(state["root_intercept"]),
+            "bloom_kind": bloom_kind,
+            "sections": table,
+        }
+        return name, shm, desc, run
+
+    def _publish_memtable(self, triple) -> dict | None:
+        if self._mem_current is not None:
+            self._retired.append(self._mem_current[:2])
+            self._mem_current = None
+        keys, values, dead = triple
+        n = int(keys.size)
+        if n == 0:
+            return None
+        table, total = _layout([
+            ("keys", n * 8), ("values", n * 8), ("dead", n),
+        ])
+        name = self._new_name("m")
+        shm = shared_memory.SharedMemory(name=name, create=True, size=total)
+        for section, arr in (
+            ("keys", np.ascontiguousarray(keys, dtype=np.int64)),
+            ("values", np.ascontiguousarray(values, dtype=np.int64)),
+            ("dead", np.ascontiguousarray(dead, dtype=np.uint8)),
+        ):
+            off, nbytes = table[section]
+            _view(shm, arr.dtype, off, nbytes, writable=True)[:] = arr
+        desc = {"name": name, "n": n, "sections": table}
+        self._mem_current = (name, shm, desc)
+        return desc
+
+    def publish(self, store) -> dict:
+        """Current epoch as a descriptor of segment names + metadata.
+
+        Pins a :meth:`~repro.lsm.store.LearnedLSMStore.snapshot` for
+        the duration, so the run set and memtable triple are one
+        consistent epoch even if the store's background machinery were
+        active; fills segments only for runs not yet published.
+        """
+        with store.snapshot() as snap:
+            live_ids = set()
+            run_descs = []
+            for run in snap.runs:
+                rid = id(run)
+                live_ids.add(rid)
+                entry = self._segments.get(rid)
+                if entry is None:
+                    entry = self._create_run_segment(run)
+                    self._segments[rid] = entry
+                run_descs.append(entry[2])
+            for rid in [r for r in self._segments if r not in live_ids]:
+                name, shm, _desc, _run = self._segments.pop(rid)
+                self._retired.append((name, shm))
+            mem_desc = self._publish_memtable(snap.memtable_snapshot)
+        return {"runs": run_descs, "memtable": mem_desc}
+
+    def unlink_retired(self) -> None:
+        """Unlink segments superseded by an epoch the client has seen.
+
+        Call on receipt of a new command: the client processes acks
+        before sending again, so everything retired by the previous
+        publish is now unreferenced by any epoch it could still adopt.
+        """
+        retired, self._retired = self._retired, []
+        for _name, shm in retired:
+            shm.close()
+            shm.unlink()
+
+    def close(self) -> None:
+        """Unlink everything (worker shutdown)."""
+        self.unlink_retired()
+        segments, self._segments = self._segments, {}
+        for _name, shm, _desc, _run in segments.values():
+            shm.close()
+            shm.unlink()
+        if self._mem_current is not None:
+            self._mem_current[1].close()
+            self._mem_current[1].unlink()
+            self._mem_current = None
+
+
+def attach_run(desc: dict) -> tuple[shared_memory.SharedMemory, SortedRun]:
+    """Map a published run segment into this process.
+
+    Returns the mapping (the caller owns its ``close()``) and a
+    :class:`SortedRun` whose arrays alias it — every probe
+    bit-identical to the worker's own run, per the
+    :meth:`~repro.lsm.run.SortedRun.from_arrays` contract.
+    """
+    shm = shared_memory.SharedMemory(name=desc["name"])
+    sections = desc["sections"]
+
+    def view(section, dtype):
+        off, nbytes = sections[section]
+        return _view(shm, dtype, off, nbytes, writable=False)
+
+    off, nbytes = sections["bloom"]
+    bloom = _deserialize_bloom(
+        desc["bloom_kind"],
+        bytes(shm.buf[off:off + nbytes]),
+        f"shm:{desc['name']}",
+    )
+    run = SortedRun.from_arrays(
+        view("keys", np.int64),
+        view("values", np.int64),
+        view("tombstones", np.uint8).view(np.bool_),
+        compiled_state={
+            "root_slope": desc["root_slope"],
+            "root_intercept": desc["root_intercept"],
+            "slopes": view("slopes", np.float64),
+            "intercepts": view("intercepts", np.float64),
+            "lo_offsets": view("lo_offsets", np.int64),
+            "hi_offsets": view("hi_offsets", np.int64),
+        },
+        bloom=bloom,
+        sequence=desc["sequence"],
+        level=desc["level"],
+    )
+    return shm, run
+
+
+def attach_memtable(desc: dict) -> tuple[shared_memory.SharedMemory, tuple]:
+    """Map a published memtable snapshot triple (keys, values, dead)."""
+    shm = shared_memory.SharedMemory(name=desc["name"])
+    sections = desc["sections"]
+
+    def view(section, dtype):
+        off, nbytes = sections[section]
+        return _view(shm, dtype, off, nbytes, writable=False)
+
+    triple = (
+        view("keys", np.int64),
+        view("values", np.int64),
+        view("dead", np.uint8).view(np.bool_),
+    )
+    return shm, triple
+
+
+def segment_names(epoch_desc: dict) -> set[str]:
+    """Every segment name an epoch descriptor references."""
+    names = {run["name"] for run in epoch_desc["runs"]}
+    if epoch_desc.get("memtable"):
+        names.add(epoch_desc["memtable"]["name"])
+    return names
+
+
+def default_prefix(shard: int) -> str:
+    """A segment-name prefix unique per (process, shard)."""
+    return f"rsv{os.getpid()}s{shard}"

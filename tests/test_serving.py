@@ -1,0 +1,699 @@
+"""Serving-layer unit tests: coalescer edge cases, CDF splitter,
+CRC32C fallback, backup/restore, and real pread accounting (ISSUE 8).
+
+The sharded-store integration tests (worker processes, shared memory)
+live in ``test_sharded.py``; everything here runs in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import glob
+import os
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.paged import FilePageStore
+from repro.lsm.faultfs import RealFileSystem
+from repro.lsm.format import (
+    ALGO_CRC32C,
+    _HAVE_CRC32C,
+    checksum,
+    crc32c,
+    software_crc32c,
+)
+from repro.lsm.paged_runs import paged_index_over_run
+from repro.lsm.store import LearnedLSMStore
+from repro.serving import CoalescingIndexServer, CDFSplitter
+from repro.serving.coalescer import CoalescerStats
+
+
+# ---------------------------------------------------------------------------
+# CDF splitter
+# ---------------------------------------------------------------------------
+
+
+class TestCDFSplitter:
+    def test_fit_balances_skewed_keys(self, lognormal_small):
+        split = CDFSplitter.fit(lognormal_small, 4)
+        counts = np.bincount(
+            split.shard_of_batch(lognormal_small), minlength=4
+        )
+        # Quantile boundaries put ~1/4 of the mass per shard even on a
+        # heavy-tailed distribution (a fixed-width split would not).
+        assert counts.min() >= 0.8 * lognormal_small.size / 4
+        assert counts.max() <= 1.2 * lognormal_small.size / 4
+
+    def test_uniform_fallback_covers_domain(self):
+        split = CDFSplitter.uniform(4)
+        keys = np.array(
+            [-(2**63), -1, 0, 2**63 - 1], dtype=np.int64
+        )
+        shards = split.shard_of_batch(keys)
+        assert shards[0] == 0 and shards[-1] == 3
+        assert np.all((shards >= 0) & (shards < 4))
+
+    def test_intervals_partition_and_match_routing(self, uniform_small):
+        split = CDFSplitter.fit(uniform_small, 3)
+        shards = split.shard_of_batch(uniform_small)
+        for shard in range(3):
+            lo, hi = split.shard_interval(shard)
+            mask = shards == shard
+            if mask.any():
+                owned = uniform_small[mask]
+                assert owned.min() >= lo and owned.max() <= hi
+        # Intervals tile the domain with no gap or overlap.
+        for shard in range(2):
+            assert (
+                split.shard_interval(shard)[1] + 1
+                == split.shard_interval(shard + 1)[0]
+            )
+
+    def test_shards_overlapping(self, uniform_small):
+        split = CDFSplitter.fit(uniform_small, 4)
+        b = split.boundaries
+        lows = np.array(
+            [int(b[0]), int(b[0]), 10, 10], dtype=np.int64
+        )
+        highs = np.array(
+            [int(b[2]), int(b[0]), 5, int(b[2]) - 1], dtype=np.int64
+        )
+        overlap = split.shards_overlapping(lows, highs)
+        assert overlap.shape == (4, 4)
+        # Range 0 spans shards 1..3's start; range 1 is a point on a
+        # boundary key (owned by the right shard); range 2 inverted.
+        assert list(np.nonzero(overlap[:, 0])[0]) == [1, 2, 3]
+        assert list(np.nonzero(overlap[:, 1])[0]) == [1]
+        assert not overlap[:, 2].any()
+        assert overlap[:, 3].any()
+
+    def test_empty_sample_and_bad_args(self):
+        split = CDFSplitter.fit(np.empty(0, dtype=np.int64), 3)
+        assert split.num_shards == 3
+        with pytest.raises(ValueError):
+            CDFSplitter(np.array([2, 1], dtype=np.int64), 3)
+        with pytest.raises(ValueError):
+            CDFSplitter(np.array([1], dtype=np.int64), 3)
+        with pytest.raises(ValueError):
+            CDFSplitter.fit([1, 2, 3], 0)
+
+    def test_single_shard(self):
+        split = CDFSplitter.fit([5, 6, 7], 1)
+        assert split.shard_of_batch([-(2**63), 0, 2**63 - 1]).max() == 0
+
+
+# ---------------------------------------------------------------------------
+# Coalescer
+# ---------------------------------------------------------------------------
+
+
+class _CountingStore:
+    """In-memory store recording every batch call it receives."""
+
+    def __init__(self, keys, values):
+        self._keys = np.asarray(keys, dtype=np.int64)
+        self._values = np.asarray(values, dtype=np.int64)
+        self.point_calls: list[int] = []
+        self.range_calls: list[int] = []
+
+    def lookup_batch(self, keys):
+        queries = np.asarray(keys, dtype=np.int64).ravel()
+        self.point_calls.append(int(queries.size))
+        pos = np.searchsorted(self._keys, queries)
+        pos = np.minimum(pos, self._keys.size - 1)
+        found = (
+            (self._keys.size > 0) & (self._keys[pos] == queries)
+        )
+        return np.where(found, self._values[pos], 0), found
+
+    def range_query_batch(self, lows, highs):
+        from repro.range_scan import RangeScanResult
+
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        self.range_calls.append(int(lows.size))
+        starts = np.searchsorted(self._keys, lows, side="left")
+        ends = np.searchsorted(self._keys, highs, side="right")
+        ends = np.maximum(ends, starts)
+        offsets = np.zeros(lows.size + 1, dtype=np.int64)
+        np.cumsum(ends - starts, out=offsets[1:])
+        values = (
+            np.concatenate(
+                [self._keys[s:e] for s, e in zip(starts, ends)]
+            )
+            if lows.size
+            else np.empty(0, dtype=np.int64)
+        )
+        return RangeScanResult(values=values, offsets=offsets)
+
+
+class _PoisonStore(_CountingStore):
+    """Raises whenever a designated key appears in a batch."""
+
+    def __init__(self, keys, values, poison: int):
+        super().__init__(keys, values)
+        self.poison = poison
+
+    def lookup_batch(self, keys):
+        queries = np.asarray(keys, dtype=np.int64).ravel()
+        if np.any(queries == self.poison):
+            self.point_calls.append(int(queries.size))
+            raise RuntimeError("poisoned request")
+        return super().lookup_batch(queries)
+
+
+@pytest.fixture()
+def kv():
+    keys = np.arange(0, 10_000, 7, dtype=np.int64)
+    return keys, keys * 3
+
+
+class TestCoalescer:
+    def test_concurrent_lookups_become_one_batch(self, kv):
+        keys, values = kv
+        store = _CountingStore(keys, values)
+
+        async def main():
+            srv = CoalescingIndexServer(store)
+            sample = keys[100:164]
+            results = await asyncio.gather(
+                *(srv.lookup(int(k)) for k in sample)
+            )
+            assert results == [int(k) * 3 for k in sample]
+            return srv.stats
+
+        stats = asyncio.run(main())
+        # 64 requests, one store call of 64 keys.
+        assert store.point_calls == [64]
+        assert stats.requests_served == 64
+        assert stats.mean_point_batch() == 64.0
+
+    def test_mixed_hits_misses_and_ranges(self, kv):
+        keys, values = kv
+        store = _CountingStore(keys, values)
+
+        async def main():
+            srv = CoalescingIndexServer(store)
+            hit, miss = int(keys[5]), int(keys[5]) + 1
+            v_hit, v_miss, scan = await asyncio.gather(
+                srv.lookup(hit),
+                srv.lookup(miss),
+                srv.range_query(int(keys[10]), int(keys[20])),
+            )
+            assert v_hit == hit * 3
+            assert v_miss is None
+            assert np.array_equal(scan, keys[10:21])
+
+        asyncio.run(main())
+        assert store.point_calls == [2]
+        assert store.range_calls == [1]
+
+    def test_range_batches_coalesce_and_slice_back(self, kv):
+        keys, values = kv
+        store = _CountingStore(keys, values)
+
+        async def main():
+            srv = CoalescingIndexServer(store)
+            r1, r2 = await asyncio.gather(
+                srv.range_query_batch(
+                    [int(keys[0]), int(keys[50])],
+                    [int(keys[5]), int(keys[52])],
+                ),
+                srv.range_query_batch(
+                    [int(keys[100])], [int(keys[110])]
+                ),
+            )
+            assert np.array_equal(r1[0], keys[0:6])
+            assert np.array_equal(r1[1], keys[50:53])
+            assert np.array_equal(r2[0], keys[100:111])
+
+        asyncio.run(main())
+        # 2 + 1 ranges coalesced into one 3-range store call.
+        assert store.range_calls == [3]
+
+    def test_max_batch_splits_at_request_granularity(self, kv):
+        keys, values = kv
+        store = _CountingStore(keys, values)
+
+        async def main():
+            srv = CoalescingIndexServer(store, max_batch=8)
+            reqs = [keys[i * 3:(i + 1) * 3] for i in range(5)]
+            results = await asyncio.gather(
+                *(srv.lookup_batch(r) for r in reqs)
+            )
+            for r, (vals, found) in zip(reqs, results):
+                assert found.all()
+                assert np.array_equal(vals, r * 3)
+
+        asyncio.run(main())
+        # 5 requests x 3 keys with max_batch=8: chunks of 6, 6, 3 —
+        # never a request split across store calls.
+        assert store.point_calls == [6, 6, 3]
+
+    def test_oversized_request_forms_own_chunk(self, kv):
+        keys, values = kv
+        store = _CountingStore(keys, values)
+
+        async def main():
+            srv = CoalescingIndexServer(store, max_batch=4)
+            big = keys[:10]
+            (vals, found), small = await asyncio.gather(
+                srv.lookup_batch(big), srv.lookup(int(keys[0]))
+            )
+            assert found.all() and np.array_equal(vals, big * 3)
+            assert small == int(keys[0]) * 3
+
+        asyncio.run(main())
+        assert sorted(store.point_calls) == [1, 10]
+
+    def test_exception_isolated_to_poisoned_request(self, kv):
+        keys, values = kv
+        poison = int(keys.max()) + 1000
+        store = _PoisonStore(keys, values, poison)
+
+        async def main():
+            srv = CoalescingIndexServer(store)
+            good = [srv.lookup(int(k)) for k in keys[:3]]
+            bad = srv.lookup(poison)
+            results = await asyncio.gather(
+                *good, bad, return_exceptions=True
+            )
+            assert results[:3] == [int(k) * 3 for k in keys[:3]]
+            assert isinstance(results[3], RuntimeError)
+            return srv.stats
+
+        stats = asyncio.run(main())
+        # One failed 4-key batch, then 4 solo fallback calls of which
+        # only the poisoned one raised.
+        assert store.point_calls[0] == 4
+        assert stats.fallback_requests == 4
+        assert stats.requests_served == 3
+
+    def test_cancellation_mid_window(self, kv):
+        keys, values = kv
+        store = _CountingStore(keys, values)
+
+        async def main():
+            srv = CoalescingIndexServer(store, max_wait=0.05)
+            doomed = asyncio.ensure_future(srv.lookup(int(keys[0])))
+            kept = asyncio.ensure_future(srv.lookup(int(keys[1])))
+            await asyncio.sleep(0.005)  # inside the window
+            doomed.cancel()
+            assert await kept == int(keys[1]) * 3
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            return srv.stats
+
+        stats = asyncio.run(main())
+        # The cancelled request never reached the store.
+        assert store.point_calls == [1]
+        assert stats.requests_cancelled == 1
+
+    def test_client_timeout_then_recovery(self, kv):
+        keys, values = kv
+        store = _CountingStore(keys, values)
+
+        async def main():
+            srv = CoalescingIndexServer(store, max_wait=0.2)
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    srv.lookup(int(keys[0])), timeout=0.01
+                )
+            # The server stays healthy for later clients.
+            assert await srv.lookup(int(keys[1])) == int(keys[1]) * 3
+            return srv.stats
+
+        stats = asyncio.run(main())
+        assert stats.requests_cancelled == 1
+        assert stats.requests_served == 1
+
+    def test_all_cancelled_is_empty_tick(self, kv):
+        keys, values = kv
+        store = _CountingStore(keys, values)
+
+        async def main():
+            srv = CoalescingIndexServer(store, max_wait=0.02)
+            tasks = [
+                asyncio.ensure_future(srv.lookup(int(k)))
+                for k in keys[:4]
+            ]
+            await asyncio.sleep(0)
+            for t in tasks:
+                t.cancel()
+            await asyncio.sleep(0.05)  # let the window expire
+            return srv.stats
+
+        stats = asyncio.run(main())
+        # Flush ran, found only corpses, and never touched the store.
+        assert store.point_calls == []
+        assert stats.empty_ticks >= 1
+        assert stats.requests_cancelled == 4
+
+    def test_max_wait_window_accumulates_stragglers(self, kv):
+        keys, values = kv
+        store = _CountingStore(keys, values)
+
+        async def main():
+            srv = CoalescingIndexServer(store, max_wait=0.1)
+            tasks = []
+            for k in keys[:3]:
+                tasks.append(
+                    asyncio.ensure_future(srv.lookup(int(k)))
+                )
+                await asyncio.sleep(0.005)  # staggered arrivals
+            results = await asyncio.gather(*tasks)
+            assert results == [int(k) * 3 for k in keys[:3]]
+
+        asyncio.run(main())
+        # All three staggered arrivals landed in one window.
+        assert store.point_calls == [3]
+
+    def test_full_window_flushes_before_timer(self, kv):
+        keys, values = kv
+        store = _CountingStore(keys, values)
+
+        async def main():
+            srv = CoalescingIndexServer(
+                store, max_wait=10.0, max_batch=2
+            )
+            # Without the overflow flush this would wait 10 seconds.
+            results = await asyncio.wait_for(
+                asyncio.gather(
+                    srv.lookup(int(keys[0])), srv.lookup(int(keys[1]))
+                ),
+                timeout=1.0,
+            )
+            assert results == [int(keys[0]) * 3, int(keys[1]) * 3]
+
+        asyncio.run(main())
+        assert store.point_calls == [2]
+
+    def test_bad_args(self, kv):
+        keys, values = kv
+        store = _CountingStore(keys, values)
+        with pytest.raises(ValueError):
+            CoalescingIndexServer(store, max_wait=-1)
+        with pytest.raises(ValueError):
+            CoalescingIndexServer(store, max_batch=0)
+
+        async def main():
+            srv = CoalescingIndexServer(store)
+            with pytest.raises(ValueError):
+                await srv.range_query_batch([1, 2], [3])
+
+        asyncio.run(main())
+
+    def test_works_against_real_lsm_store(self, kv):
+        keys, values = kv
+        with LearnedLSMStore(keys, values, background=False) as store:
+
+            async def main():
+                srv = CoalescingIndexServer(store)
+                sample = keys[::500]
+                results = await asyncio.gather(
+                    *(srv.lookup(int(k)) for k in sample),
+                    srv.range_query(int(keys[0]), int(keys[30])),
+                )
+                assert results[:-1] == [int(k) * 3 for k in sample]
+                assert np.array_equal(results[-1], keys[:31])
+
+            asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# CRC32C software fallback
+# ---------------------------------------------------------------------------
+
+
+def _bitwise_crc32c(data: bytes) -> int:
+    """Textbook reflected CRC-32C — the slow oracle the sliced
+    implementation must match bit-for-bit."""
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ (0x82F63B78 if crc & 1 else 0)
+    return crc ^ 0xFFFFFFFF
+
+
+class TestCRC32C:
+    # RFC 3720 appendix B.4 test vectors.
+    VECTORS = [
+        (b"123456789", 0xE3069283),
+        (bytes(32), 0x8A9136AA),
+        (b"\xff" * 32, 0x62A8AB43),
+        (bytes(range(32)), 0x46DD794E),
+    ]
+
+    @pytest.mark.parametrize("data,expect", VECTORS)
+    def test_rfc3720_vectors(self, data, expect):
+        assert software_crc32c(data) == expect
+        assert crc32c(data) == expect
+
+    def test_matches_bitwise_oracle(self, rng):
+        for size in (0, 1, 7, 8, 9, 63, 64, 65, 1000):
+            data = rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+            assert software_crc32c(data) == _bitwise_crc32c(data), size
+
+    @pytest.mark.skipif(
+        not _HAVE_CRC32C, reason="crc32c wheel not installed"
+    )
+    def test_matches_wheel(self, rng):  # pragma: no cover - needs wheel
+        import crc32c as wheel
+
+        data = rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+        assert software_crc32c(data) == wheel.crc32c(data)
+
+    def test_checksum_dispatch_uses_crc32c(self):
+        data = b"123456789"
+        assert checksum(data, ALGO_CRC32C) == 0xE3069283
+        assert checksum(data, ALGO_CRC32C) != (
+            zlib.crc32(data) & 0xFFFFFFFF
+        )
+
+    def test_accepts_memoryview_and_arrays(self):
+        arr = np.arange(32, dtype=np.uint8)
+        assert software_crc32c(memoryview(arr)) == 0x46DD794E
+
+    def test_store_round_trip_under_crc32c_env(self, tmp_path):
+        """A store written with REPRO_CHECKSUM=crc32c verifies and
+        reopens — the fallback is a fully working writer too."""
+        import repro.lsm.format as fmt
+
+        old = fmt._DEFAULT_ALGO
+        fmt._DEFAULT_ALGO = ALGO_CRC32C
+        try:
+            keys = np.arange(0, 2_000, dtype=np.int64)
+            with LearnedLSMStore(
+                keys, keys * 2, path=str(tmp_path), background=False
+            ) as store:
+                store.flush()
+            with LearnedLSMStore(
+                path=str(tmp_path), background=False
+            ) as store:
+                values, found = store.lookup_batch(keys[::97])
+                assert found.all()
+                assert np.array_equal(values, keys[::97] * 2)
+        finally:
+            fmt._DEFAULT_ALGO = old
+
+
+# ---------------------------------------------------------------------------
+# Backup / restore
+# ---------------------------------------------------------------------------
+
+
+class TestBackup:
+    def _fill(self, store, keys):
+        store.insert_batch(keys, keys * 5)
+        store.delete_batch(keys[::10])
+        store.flush()
+
+    def test_backup_restores_identically(self, tmp_path):
+        keys = np.arange(0, 30_000, 3, dtype=np.int64)
+        src_dir, dst_dir = tmp_path / "src", tmp_path / "dst"
+        with LearnedLSMStore(
+            path=str(src_dir), background=False,
+            memtable_capacity=4_096,
+        ) as store:
+            self._fill(store, keys)
+            # Unflushed tail rides the WAL copy.
+            store.insert_batch(
+                np.array([10**9, 10**9 + 1], dtype=np.int64)
+            )
+            store.backup(str(dst_dir))
+            expect_v, expect_f = store.lookup_batch(keys)
+
+        with LearnedLSMStore(
+            path=str(dst_dir), background=False
+        ) as restored:
+            values, found = restored.lookup_batch(keys)
+            assert np.array_equal(found, expect_f)
+            assert np.array_equal(values[found], expect_v[found])
+            v, f = restored.lookup_batch(
+                np.array([10**9, 10**9 + 1], dtype=np.int64)
+            )
+            assert f.all(), "WAL tail lost in backup"
+
+    def test_backup_isolated_from_later_writes(self, tmp_path):
+        keys = np.arange(0, 10_000, dtype=np.int64)
+        src_dir, dst_dir = tmp_path / "src", tmp_path / "dst"
+        with LearnedLSMStore(
+            path=str(src_dir), background=False,
+            memtable_capacity=2_048,
+        ) as store:
+            self._fill(store, keys)
+            store.backup(str(dst_dir))
+            # Mutate the source heavily after the backup: overwrites,
+            # seals, and a full compaction (new inodes via rename).
+            store.insert_batch(keys, keys * 999)
+            store.flush()
+            store.compact()
+
+        with LearnedLSMStore(
+            path=str(dst_dir), background=False
+        ) as restored:
+            probe = keys[1:100]
+            values, found = restored.lookup_batch(probe)
+            deleted = probe % 10 == 0
+            assert np.array_equal(found, ~deleted)
+            assert np.array_equal(values[found], probe[~deleted] * 5)
+
+    def test_backup_refuses_bad_destinations(self, tmp_path):
+        keys = np.arange(100, dtype=np.int64)
+        src_dir = tmp_path / "src"
+        with LearnedLSMStore(
+            path=str(src_dir), background=False
+        ) as store:
+            store.insert_batch(keys)
+            store.flush()
+            with pytest.raises(ValueError):
+                store.backup(str(src_dir))
+            busy = tmp_path / "busy"
+            busy.mkdir()
+            (busy / "junk").write_text("x")
+            with pytest.raises(ValueError):
+                store.backup(str(busy))
+
+    def test_memory_store_cannot_backup(self, tmp_path):
+        with LearnedLSMStore(background=False) as store:
+            with pytest.raises(ValueError):
+                store.backup(str(tmp_path / "d"))
+
+    def test_backup_is_hard_links_not_copies(self, tmp_path):
+        keys = np.arange(0, 50_000, dtype=np.int64)
+        src_dir, dst_dir = tmp_path / "src", tmp_path / "dst"
+        with LearnedLSMStore(
+            path=str(src_dir), background=False
+        ) as store:
+            store.insert_batch(keys)
+            store.flush()
+            store.backup(str(dst_dir))
+        run_names = [
+            os.path.basename(p)
+            for p in glob.glob(str(dst_dir / "run-*.run"))
+        ]
+        assert run_names, "backup contains no runs"
+        for name in run_names:
+            assert os.path.samefile(
+                str(src_dir / name), str(dst_dir / name)
+            ), "run was copied, not linked"
+
+
+# ---------------------------------------------------------------------------
+# Real pread accounting over run files
+# ---------------------------------------------------------------------------
+
+
+class TestPreadAccounting:
+    @pytest.fixture()
+    def run_file(self, tmp_path):
+        keys = np.arange(0, 200_000, 4, dtype=np.int64)
+        with LearnedLSMStore(
+            keys, keys, path=str(tmp_path), background=False
+        ) as store:
+            store.compact()
+        paths = glob.glob(str(tmp_path / "run-*.run"))
+        assert len(paths) == 1
+        return np.asarray(keys), paths[0]
+
+    def test_preads_counted_and_results_exact(self, run_file, rng):
+        keys, path = run_file
+        index = paged_index_over_run(RealFileSystem(), path)
+        try:
+            store = index.store
+            assert isinstance(store, FilePageStore)
+            queries = rng.choice(keys, 512, replace=False)
+            positions = index.lookup_batch(queries)
+            assert np.array_equal(
+                positions, np.searchsorted(keys, queries)
+            )
+            cold = store.preads
+            assert cold > 0
+            assert store.bytes_read >= cold * 8
+
+            # Same batch again: the tiny page buffer plus the OS cache
+            # still issues preads, but drop_cache + reset shows the
+            # cold/warm asymmetry explicitly.
+            store.reset_io()
+            index.lookup_batch(queries)
+            warm = store.preads
+            assert warm <= cold
+
+            store.drop_cache()
+            store.reset_io()
+            index.lookup_batch(queries)
+            assert store.preads >= warm
+        finally:
+            index.store.close()
+
+    def test_sequential_batch_buffers_pages(self, run_file):
+        keys, path = run_file
+        index = paged_index_over_run(
+            RealFileSystem(), path, page_size=512
+        )
+        try:
+            store = index.store
+            index.lookup_batch(keys[:2048])  # 4 pages, sequential
+            # Batched page fetches coalesce: far fewer preads than
+            # queries.
+            assert store.preads <= 8
+        finally:
+            index.store.close()
+
+    def test_partial_reads_fetch_fewer_bytes(self, run_file, rng):
+        keys, path = run_file
+        fs = RealFileSystem()
+        full = paged_index_over_run(fs, path, partial_reads=False)
+        partial = paged_index_over_run(fs, path, partial_reads=True)
+        try:
+            # Partial clipping applies on the scalar path only.
+            queries = rng.choice(keys, 64, replace=False)
+            expect = np.searchsorted(keys, queries)
+            for q, pos in zip(queries.tolist(), expect.tolist()):
+                page, slot = full.lookup(q)
+                assert page * full.page_size + slot == pos
+                page, slot = partial.lookup(q)
+                assert page * partial.page_size + slot == pos
+            assert (
+                partial.store.bytes_read < full.store.bytes_read
+            ), "partial preads should touch fewer bytes"
+        finally:
+            full.store.close()
+            partial.store.close()
+
+    def test_close_then_read_raises(self, run_file):
+        _keys, path = run_file
+        index = paged_index_over_run(RealFileSystem(), path)
+        index.store.close()
+        with pytest.raises((ValueError, OSError)):
+            index.lookup_batch(np.array([0], dtype=np.int64))
+
+
+class TestCoalescerStatsShape:
+    def test_defaults(self):
+        stats = CoalescerStats()
+        assert stats.mean_point_batch() == 0.0
+        assert stats.ticks == 0
