@@ -56,6 +56,7 @@ from bench_throughput import append_trajectory  # noqa: E402
 
 from repro.bench import Table  # noqa: E402
 from repro.lsm import LearnedLSMStore  # noqa: E402
+from repro.obs import summarize_latencies  # noqa: E402
 from repro.serving import (  # noqa: E402
     CoalescingIndexServer,
     ShardedLSMStore,
@@ -98,8 +99,11 @@ class ClosedLoopResult:
 
 
 def _percentiles(latencies: np.ndarray) -> tuple[float, float, float]:
-    p50, p99, p999 = np.percentile(latencies, [50.0, 99.0, 99.9])
-    return float(p50) * 1e6, float(p99) * 1e6, float(p999) * 1e6
+    """Microsecond p50/p99/p99.9 via the shared obs histogram — the
+    same quantile math the throughput bench and the serving stack's
+    online latency histograms use."""
+    p50, p99, p999 = summarize_latencies(latencies, (50.0, 99.0, 99.9))
+    return p50 * 1e6, p99 * 1e6, p999 * 1e6
 
 
 async def _closed_loop(

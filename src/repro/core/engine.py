@@ -52,6 +52,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..btree.search_baselines import Counter, exponential_search
+from ..obs import default_registry
+from ..obs import state as obs_state
 from ..util import scalar_view
 from .search import vectorized_bounded_search, verify_lower_bound_batch
 
@@ -716,6 +718,12 @@ class CompiledPlan:
         inference twice.
         """
         compare = qb.compare
+        if obs_state.enabled:
+            # One branch on the hot path when disabled; the batch
+            # counters feed the obs exporters and the auto-tuning arc.
+            reg = default_registry()
+            reg.counter("engine.lookup_batch.calls").inc()
+            reg.counter("engine.lookup_batch.keys").inc(int(compare.size))
         if sort is None:
             sort = compare.size >= SORTED_BATCH_THRESHOLD and (
                 batch_dup_fraction(compare) >= SORTED_BATCH_MIN_DUP_FRACTION

@@ -46,9 +46,24 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs import MetricsRegistry
 from ..range_scan import RangeScanResult, assemble_slices
 from .rmi import RecursiveModelIndex
 from .search import vectorized_bounded_search
+
+
+def _io_counter(slot: str):
+    """IO-accounting fields are views over the store's obs registry:
+    ``store.page_reads += 1`` reads and writes the ``paged.io.*``
+    counter, so exporters see the same numbers the tests pin."""
+
+    def _get(self):
+        return self._io_counters[slot].value
+
+    def _set(self, value):
+        self._io_counters[slot].set(value)
+
+    return property(_get, _set)
 
 __all__ = ["PageStore", "FilePageStore", "PagedLearnedIndex"]
 
@@ -63,6 +78,9 @@ class PageStore:
     lets callers fetch a byte sub-range of a page (modern NVMe / object
     stores); otherwise whole pages transfer.
     """
+
+    page_reads = _io_counter("page_reads")
+    bytes_read = _io_counter("bytes_read")
 
     def __init__(
         self,
@@ -93,8 +111,11 @@ class PageStore:
             chunk = keys[logical * page_size:(logical + 1) * page_size]
             self._pages[int(physical_of_logical[logical])] = chunk
         self.translation = physical_of_logical  # logical -> physical
-        self.page_reads = 0
-        self.bytes_read = 0
+        self.registry = MetricsRegistry()
+        self._io_counters = {
+            name: self.registry.counter("paged.io." + name)
+            for name in ("page_reads", "bytes_read")
+        }
 
     def read_page(
         self, physical: int, first_slot: int = 0, last_slot: int | None = None
@@ -152,6 +173,10 @@ class FilePageStore:
     it owns a file descriptor.
     """
 
+    page_reads = _io_counter("page_reads")
+    bytes_read = _io_counter("bytes_read")
+    preads = _io_counter("preads")
+
     def __init__(
         self,
         path: str,
@@ -175,9 +200,11 @@ class FilePageStore:
         self.num_pages = max((self._count + page_size - 1) // page_size, 1)
         # Contiguous file region: logical page i *is* physical page i.
         self.translation = np.arange(self.num_pages, dtype=np.int64)
-        self.page_reads = 0
-        self.bytes_read = 0
-        self.preads = 0
+        self.registry = MetricsRegistry()
+        self._io_counters = {
+            name: self.registry.counter("paged.io." + name)
+            for name in ("page_reads", "bytes_read", "preads")
+        }
 
     def _pread(self, first: int, last: int) -> np.ndarray:
         """Elements [first, last) of the key region, one syscall."""

@@ -86,12 +86,12 @@ is what makes ``WritableLearnedIndex.merge`` retrains cheap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..btree.search_baselines import exponential_search
+from ..obs import MetricsRegistry
 from ..models.base import ConstantModel, Model
 from ..models.cdf import (
     ErrorStats,
@@ -141,26 +141,55 @@ BUILD_MODES = ("vectorized", "scalar")
 DEFAULT_LEAF_ERROR = 128
 
 
-@dataclass
-class RMIStats:
-    """Lookup instrumentation for benchmarks and the cost model."""
+def _stat_field(slot: str):
+    """Property mapping ``stats.<slot>`` (including ``+=``) onto the
+    backing registry counter."""
 
-    lookups: int = 0
-    comparisons: int = 0
-    fixups: int = 0
-    window_total: int = 0
-    extra: dict = field(default_factory=dict)
+    def _get(self):
+        return self._counters[slot].value
+
+    def _set(self, value):
+        self._counters[slot].set(value)
+
+    return property(_get, _set)
+
+
+class RMIStats:
+    """Lookup instrumentation for benchmarks and the cost model.
+
+    A thin view over a per-index :class:`repro.obs.MetricsRegistry`:
+    each field reads/writes a named ``rmi.*`` counter, so the same
+    numbers surface through the obs exporters while the historical
+    ``stats.lookups += 1`` idiom keeps working unchanged.
+    """
+
+    _FIELDS = ("lookups", "comparisons", "fixups", "window_total")
+
+    lookups = _stat_field("lookups")
+    comparisons = _stat_field("comparisons")
+    fixups = _stat_field("fixups")
+    window_total = _stat_field("window_total")
+
+    def __init__(self, registry=None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter("rmi." + name)
+            for name in self._FIELDS
+        }
+        self.extra: dict = {}
 
     def reset(self) -> None:
-        self.lookups = 0
-        self.comparisons = 0
-        self.fixups = 0
-        self.window_total = 0
+        for counter in self._counters.values():
+            counter.set(0)
         self.extra.clear()
 
     @property
     def mean_window(self) -> float:
         return self.window_total / self.lookups if self.lookups else 0.0
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{n}={getattr(self, n)}" for n in self._FIELDS)
+        return f"RMIStats({body})"
 
 
 class RecursiveModelIndex:

@@ -108,12 +108,13 @@ from __future__ import annotations
 import os
 import threading
 import time
-from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from ..core.engine import SortedKeyColumn
+from ..obs import MetricsRegistry
+from ..obs import span as obs_span
 from ..range_scan import RangeScanResult, assemble_slices, merge_scan_results
 from .compaction import (
     CompactionPolicy,
@@ -387,21 +388,53 @@ class StoreSnapshot:
         self.release()
 
 
+def _counter_field(slot: str, doc: str | None = None):
+    """Property exposing registry counter ``slot`` as a plain attribute."""
+
+    def _get(self):
+        return self._counters[slot].value
+
+    def _set(self, value):
+        self._counters[slot].set(value)
+
+    return property(_get, _set, doc=doc)
+
+
 class _StatsBase:
-    """Shared counter discipline: every mutation funnels through
-    :meth:`add` under one internal lock, so readers, the writer, and
-    the background compactor can bump counters concurrently without
-    losing increments (bare ``+=`` on a shared attribute is a
+    """Stats objects are thin views over a :class:`repro.obs`
+    :class:`~repro.obs.registry.MetricsRegistry`: every public field is
+    a property reading a named counter, so the same numbers flow into
+    exporters and cross-process merges with no parallel bookkeeping.
+    Each counter takes its own lock, so :meth:`add` keeps the
+    lost-increment-free concurrency discipline the old shared-lock
+    dataclasses had (bare ``+=`` on a shared attribute is a
     read-modify-write race)."""
+
+    _FIELDS: tuple = ()
+    _PREFIX = ""
+
+    def __init__(self, registry=None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(self._PREFIX + name)
+            for name in self._FIELDS
+        }
 
     def add(self, **deltas) -> None:
         """Atomically add every ``counter=delta`` pair."""
-        with self._stats_lock:
-            for name, delta in deltas.items():
-                setattr(self, name, getattr(self, name) + delta)
+        counters = self._counters
+        for name, delta in deltas.items():
+            counters[name].inc(delta)
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.set(0)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{n}={getattr(self, n)}" for n in self._FIELDS)
+        return f"{type(self).__name__}({body})"
 
 
-@dataclass
 class LSMReadStats(_StatsBase):
     """Read-amplification instrumentation.
 
@@ -413,22 +446,20 @@ class LSMReadStats(_StatsBase):
     ``bloom_rejects / (bloom_rejects + probe_misses)``.
     """
 
-    lookups: int = 0
-    memtable_hits: int = 0
-    run_probes: int = 0
-    probe_misses: int = 0
-    bloom_rejects: int = 0
-    _stats_lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+    _FIELDS = (
+        "lookups",
+        "memtable_hits",
+        "run_probes",
+        "probe_misses",
+        "bloom_rejects",
     )
+    _PREFIX = "lsm.read."
 
-    def reset(self) -> None:
-        with self._stats_lock:
-            self.lookups = 0
-            self.memtable_hits = 0
-            self.run_probes = 0
-            self.probe_misses = 0
-            self.bloom_rejects = 0
+    lookups = _counter_field("lookups")
+    memtable_hits = _counter_field("memtable_hits")
+    run_probes = _counter_field("run_probes")
+    probe_misses = _counter_field("probe_misses")
+    bloom_rejects = _counter_field("bloom_rejects")
 
     @property
     def negative_probes_eliminated(self) -> float:
@@ -436,7 +467,6 @@ class LSMReadStats(_StatsBase):
         return self.bloom_rejects / total if total else 0.0
 
 
-@dataclass
 class LSMWriteStats(_StatsBase):
     """Write-amplification instrumentation.
 
@@ -450,17 +480,28 @@ class LSMWriteStats(_StatsBase):
     the tail-latency bench gates.
     """
 
-    keys_written: int = 0
-    seals: int = 0
-    entries_sealed: int = 0
-    compactions: int = 0
-    entries_compacted: int = 0
-    write_stalls: int = 0
-    stall_seconds: float = 0.0
-    extra: dict = field(default_factory=dict)
-    _stats_lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+    _FIELDS = (
+        "keys_written",
+        "seals",
+        "entries_sealed",
+        "compactions",
+        "entries_compacted",
+        "write_stalls",
+        "stall_seconds",
     )
+    _PREFIX = "lsm.write."
+
+    keys_written = _counter_field("keys_written")
+    seals = _counter_field("seals")
+    entries_sealed = _counter_field("entries_sealed")
+    compactions = _counter_field("compactions")
+    entries_compacted = _counter_field("entries_compacted")
+    write_stalls = _counter_field("write_stalls")
+    stall_seconds = _counter_field("stall_seconds")
+
+    def __init__(self, registry=None) -> None:
+        super().__init__(registry)
+        self.extra: dict = {}
 
     @property
     def write_amplification(self) -> float:
@@ -682,8 +723,12 @@ class LearnedLSMStore:
             if seal_merge_budget is not None
             else (1 if self.path is not None else None)
         )
-        self.read_stats = LSMReadStats()
-        self.write_stats = LSMWriteStats()
+        #: Per-store metrics registry; the public stats objects are
+        #: views over it, so ``registry.snapshot()`` exports the same
+        #: counters and ``ShardedLSMStore`` can merge them per shard.
+        self.registry = MetricsRegistry()
+        self.read_stats = LSMReadStats(self.registry)
+        self.write_stats = LSMWriteStats(self.registry)
 
         bulk = None
         if keys is not None:
@@ -964,10 +1009,11 @@ class LearnedLSMStore:
         key = int(key)
         value = key if value is None else int(value)
         if self._wal is not None:
-            self._wal.append_puts(
-                np.array([key], dtype=np.int64),
-                np.array([value], dtype=np.int64),
-            )
+            with obs_span("lsm.wal.append", records=1):
+                self._wal.append_puts(
+                    np.array([key], dtype=np.int64),
+                    np.array([value], dtype=np.int64),
+                )
         self.memtable.put(key, value)
         self.write_stats.add(keys_written=1)
         self._maybe_seal()
@@ -992,7 +1038,8 @@ class LearnedLSMStore:
         if keys.size == 0:
             return
         if self._wal is not None:
-            self._wal.append_puts(keys, values)
+            with obs_span("lsm.wal.append", records=int(keys.size)):
+                self._wal.append_puts(keys, values)
         self.memtable.put_batch(keys, values)
         self.write_stats.add(keys_written=int(keys.size))
         self._maybe_seal()
@@ -1007,7 +1054,8 @@ class LearnedLSMStore:
         self._ensure_open()
         key = int(key)
         if self._wal is not None:
-            self._wal.append_deletes(np.array([key], dtype=np.int64))
+            with obs_span("lsm.wal.append", records=1, deletes=True):
+                self._wal.append_deletes(np.array([key], dtype=np.int64))
         self.memtable.delete(key)
         self.write_stats.add(keys_written=1)
         self._maybe_seal()
@@ -1023,7 +1071,8 @@ class LearnedLSMStore:
         if keys.size == 0:
             return
         if self._wal is not None:
-            self._wal.append_deletes(keys)
+            with obs_span("lsm.wal.append", records=int(keys.size), deletes=True):
+                self._wal.append_deletes(keys)
         self.memtable.delete_batch(keys)
         self.write_stats.add(keys_written=int(keys.size))
         self._maybe_seal()
@@ -1072,27 +1121,31 @@ class LearnedLSMStore:
                         self._rotate_wal_finish(old_wal)
                     self.memtable.clear()
                     return
-            run = SortedRun(
-                keys,
-                values,
-                tombstones,
-                sequence=self._next_sequence(),
-                level=0,
-                **self._run_kwargs,
-            )
-            if self._wal is not None:
-                run.save(self._fs, self._file_path(self._new_run_name()))
-                old_wal = self._rotate_wal_begin()
-                with self._state_lock:
-                    self.runs.insert(0, run)
-                self.memtable.clear()
-                self._commit_manifest()
-                self._rotate_wal_finish(old_wal)
-            else:
-                with self._state_lock:
-                    self.runs.insert(0, run)
-                self.memtable.clear()
-            self.write_stats.add(seals=1, entries_sealed=len(run))
+            with obs_span("lsm.seal") as seal_attrs:
+                run = SortedRun(
+                    keys,
+                    values,
+                    tombstones,
+                    sequence=self._next_sequence(),
+                    level=0,
+                    **self._run_kwargs,
+                )
+                if self._wal is not None:
+                    run.save(self._fs, self._file_path(self._new_run_name()))
+                    old_wal = self._rotate_wal_begin()
+                    with self._state_lock:
+                        self.runs.insert(0, run)
+                    self.memtable.clear()
+                    self._commit_manifest()
+                    self._rotate_wal_finish(old_wal)
+                else:
+                    with self._state_lock:
+                        self.runs.insert(0, run)
+                    self.memtable.clear()
+                self.write_stats.add(seals=1, entries_sealed=len(run))
+                if seal_attrs is not None:
+                    seal_attrs["entries"] = len(run)
+                    seal_attrs["durable"] = self._wal is not None
         if self._compactor is not None:
             self._compactor.kick()
         else:
@@ -1226,11 +1279,16 @@ class LearnedLSMStore:
             if plan is None:
                 return False
             window, at_end, new_level = plan
-            merged = merge_runs(
-                window, drop_tombstones=at_end, **self._run_kwargs
-            )
-            merged.level = new_level
-            self._commit_merge(window, merged)
+            with obs_span(
+                "lsm.compact.window", background=True, runs=len(window)
+            ) as attrs:
+                merged = merge_runs(
+                    window, drop_tombstones=at_end, **self._run_kwargs
+                )
+                merged.level = new_level
+                self._commit_merge(window, merged)
+                if attrs is not None:
+                    attrs["entries"] = len(merged)
         self.write_stats.add(compactions=1, entries_compacted=len(merged))
         return True
 
@@ -1253,11 +1311,14 @@ class LearnedLSMStore:
                     break
                 window, at_end, new_level = plan
                 began = time.perf_counter()
-                merged = merge_runs(
-                    window, drop_tombstones=at_end, **self._run_kwargs
-                )
-                merged.level = new_level
-                self._commit_merge(window, merged)
+                with obs_span(
+                    "lsm.compact.window", background=False, runs=len(window)
+                ):
+                    merged = merge_runs(
+                        window, drop_tombstones=at_end, **self._run_kwargs
+                    )
+                    merged.level = new_level
+                    self._commit_merge(window, merged)
                 self.write_stats.add(
                     compactions=1,
                     entries_compacted=len(merged),

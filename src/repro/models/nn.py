@@ -22,10 +22,15 @@ module implements the substrate from scratch:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 __all__ = ["MLP", "NeuralRegressionModel", "FrameworkModel"]
 
+from ..obs import default_registry
+from ..obs import span as obs_span
+from ..obs import state as obs_state
 from .base import Model
 
 
@@ -497,19 +502,52 @@ class FrameworkModel:
                 raise ValueError(f"input {name!r} rank mismatch")
 
     def run(self, feed: dict) -> dict:
-        """Session run: validate, copy, interpret the graph, wrap output."""
+        """Session run: validate, copy, interpret the graph, wrap output.
+
+        With obs enabled, the per-node layer trace ships to the
+        profiler as an ``nn.session.run`` span (one timed entry per
+        node) and each kernel's wall time lands in the default-registry
+        histogram ``nn.op.<op>`` — the real-session behaviour the old
+        build-then-discard trace stood in for.  Disabled, no trace is
+        built at all.
+        """
         self._validate_feed(feed)
         tensor = np.array(feed["key"], dtype=np.float64, copy=True)
-        trace = []
-        for node in self._graph:
-            kernel = self._kernels.get(node["op"])
-            if kernel is None:
-                raise RuntimeError(f"no kernel for op {node['op']!r}")
-            tensor = kernel(tensor, node["attrs"])
-            if not isinstance(tensor, np.ndarray):
-                raise RuntimeError(f"kernel {node['name']} returned non-tensor")
-            trace.append((node["name"], tensor.shape, tensor.dtype.name))
-        del trace  # a real session would ship this to its profiler
+        profiling = obs_state.enabled
+        trace = [] if profiling else None
+        with obs_span("nn.session.run", nodes=len(self._graph)) as attrs:
+            op_hist = default_registry().histogram if profiling else None
+            for node in self._graph:
+                kernel = self._kernels.get(node["op"])
+                if kernel is None:
+                    raise RuntimeError(f"no kernel for op {node['op']!r}")
+                t0 = time.perf_counter() if profiling else 0.0
+                tensor = kernel(tensor, node["attrs"])
+                if not isinstance(tensor, np.ndarray):
+                    raise RuntimeError(
+                        f"kernel {node['name']} returned non-tensor"
+                    )
+                if profiling:
+                    elapsed = time.perf_counter() - t0
+                    op_hist("nn.op." + node["op"]).observe(elapsed)
+                    trace.append(
+                        (
+                            node["name"],
+                            tensor.shape,
+                            tensor.dtype.name,
+                            elapsed,
+                        )
+                    )
+            if attrs is not None:
+                attrs["layers"] = [
+                    {
+                        "name": name,
+                        "shape": list(shape),
+                        "dtype": dtype,
+                        "seconds": elapsed,
+                    }
+                    for name, shape, dtype, elapsed in trace
+                ]
         return {"position": tensor}
 
     def predict(self, key: float) -> float:

@@ -1,0 +1,27 @@
+"""Global on/off switch for the telemetry layer.
+
+Hot paths guard instrumentation with a single module-attribute read
+(``if state.enabled: ...``) so the disabled cost is one dict lookup and
+a branch — no allocation, no lock, no context manager.  The flag is
+process-local; ``ShardedLSMStore`` forwards it explicitly to spawned
+workers (a spawn re-imports this module, so runtime ``set_enabled``
+calls would otherwise be lost).
+
+``REPRO_OBS=1`` in the environment enables instrumentation at import
+time; spawned children inherit the environment, so the env knob
+propagates on its own.
+"""
+
+from __future__ import annotations
+
+import os
+
+enabled: bool = os.environ.get("REPRO_OBS", "").strip() not in ("", "0")
+
+
+def set_enabled(on: bool) -> bool:
+    """Flip instrumentation on/off; returns the previous value."""
+    global enabled
+    prev = enabled
+    enabled = bool(on)
+    return prev

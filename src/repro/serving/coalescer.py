@@ -27,50 +27,113 @@ touches the store not at all.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
+import time
 
 import numpy as np
 
 from ..core.engine import pack_requests, unpack_results
+from ..obs import MetricsRegistry, tracing
+from ..obs import state as obs_state
 from ..range_scan import RangeScanResult
 
 __all__ = ["CoalescingIndexServer", "CoalescerStats"]
 
 
-@dataclass
-class CoalescerStats:
-    """Flush-side accounting (read it to see the coalescing happen)."""
+def _stat_field(slot: str, doc: str):
+    """Property mapping ``stats.<slot>`` (including ``+=``) onto the
+    backing ``serving.coalescer.*`` registry counter."""
 
-    #: Flush callbacks that ran (scheduled ticks / expired windows).
-    ticks: int = 0
-    #: Flushes where every pending request was already cancelled.
-    empty_ticks: int = 0
-    #: Store batch calls issued (point and range together).
-    store_calls: int = 0
-    #: Requests that resolved through a coalesced batch.
-    requests_served: int = 0
-    #: Requests skipped because their future was cancelled.
-    requests_cancelled: int = 0
-    #: Requests that had to re-run solo after a batch failure.
-    fallback_requests: int = 0
-    #: Keys (or ranges) per point/range store call, most recent last.
-    point_batch_sizes: list = field(default_factory=list)
-    range_batch_sizes: list = field(default_factory=list)
+    def _get(self):
+        return self._counters[slot].value
+
+    def _set(self, value):
+        self._counters[slot].set(value)
+
+    return property(_get, _set, doc=doc)
+
+
+class CoalescerStats:
+    """Flush-side accounting (read it to see the coalescing happen).
+
+    A thin view over a :class:`repro.obs.MetricsRegistry` — every
+    counter doubles as ``serving.coalescer.<name>`` for the exporters;
+    the per-call batch-size lists stay plain lists (they are samples,
+    not counters).
+    """
+
+    _FIELDS = (
+        "ticks",
+        "empty_ticks",
+        "store_calls",
+        "requests_served",
+        "requests_cancelled",
+        "fallback_requests",
+    )
+
+    ticks = _stat_field(
+        "ticks", "Flush callbacks that ran (scheduled ticks / windows)."
+    )
+    empty_ticks = _stat_field(
+        "empty_ticks", "Flushes where every pending request was cancelled."
+    )
+    store_calls = _stat_field(
+        "store_calls", "Store batch calls issued (point and range together)."
+    )
+    requests_served = _stat_field(
+        "requests_served", "Requests resolved through a coalesced batch."
+    )
+    requests_cancelled = _stat_field(
+        "requests_cancelled", "Requests skipped: future already cancelled."
+    )
+    fallback_requests = _stat_field(
+        "fallback_requests", "Requests re-run solo after a batch failure."
+    )
+
+    def __init__(self, registry=None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter("serving.coalescer." + name)
+            for name in self._FIELDS
+        }
+        #: Keys (or ranges) per point/range store call, most recent last.
+        self.point_batch_sizes: list = []
+        self.range_batch_sizes: list = []
 
     def mean_point_batch(self) -> float:
         sizes = self.point_batch_sizes
         return float(np.mean(sizes)) if sizes else 0.0
 
+    def __repr__(self) -> str:
+        body = ", ".join(f"{n}={getattr(self, n)}" for n in self._FIELDS)
+        return f"CoalescerStats({body})"
+
 
 class _Pending:
-    """One queued request: its arrays and the future awaiting them."""
+    """One queued request: its arrays and the future awaiting them.
 
-    __slots__ = ("args", "future", "size")
+    ``trace_id`` stamps the request the moment it is submitted (the
+    caller's active trace if any, else a fresh ID) so the whole
+    pipeline below — tick, store call, shard fanout, worker-side spans
+    — can be joined back to it.
+    """
 
-    def __init__(self, args: tuple, future: asyncio.Future, size: int):
+    __slots__ = ("args", "future", "size", "trace_id", "start", "t0")
+
+    def __init__(
+        self,
+        args: tuple,
+        future: asyncio.Future,
+        size: int,
+        trace_id=None,
+        start: float = 0.0,
+        t0: float = 0.0,
+    ):
         self.args = args
         self.future = future
         self.size = size
+        self.trace_id = trace_id
+        self.start = start
+        self.t0 = t0
 
 
 class CoalescingIndexServer:
@@ -111,7 +174,8 @@ class CoalescingIndexServer:
         self.store = store
         self.max_wait = float(max_wait)
         self.max_batch = max_batch
-        self.stats = CoalescerStats()
+        self.registry = MetricsRegistry()
+        self.stats = CoalescerStats(self.registry)
         self._points: list[_Pending] = []
         self._ranges: list[_Pending] = []
         self._queued_sizes = 0
@@ -155,7 +219,17 @@ class CoalescingIndexServer:
     async def _submit(self, queue: list, args: tuple, size: int):
         loop = asyncio.get_running_loop()
         future = loop.create_future()
-        queue.append(_Pending(args, future, size))
+        if obs_state.enabled:
+            # Stamp the request: adopt the caller's trace if one is
+            # active, otherwise this request starts its own.
+            trace_id = tracing.current_trace_id() or tracing.new_trace_id()
+            pending = _Pending(
+                args, future, size, trace_id, time.time(),
+                time.perf_counter(),
+            )
+        else:
+            pending = _Pending(args, future, size)
+        queue.append(pending)
         self._queued_sizes += size
         if (
             self.max_batch is not None
@@ -194,6 +268,21 @@ class CoalescingIndexServer:
         if not points and not ranges:
             self.stats.empty_ticks += 1
             return
+        if obs_state.enabled:
+            # The tick serves many requests at once: it runs as its own
+            # trace carrying every member request's ID, so exporting
+            # any one request's trace picks up the shared tick, store
+            # calls, and worker-side spans it rode in.
+            members = [r.trace_id for r in points + ranges]
+            with tracing.trace_scope(member_ids=members):
+                with tracing.span(
+                    "coalesce.tick", points=len(points), ranges=len(ranges)
+                ):
+                    self._run_flush(points, ranges)
+        else:
+            self._run_flush(points, ranges)
+
+    def _run_flush(self, points: list, ranges: list) -> None:
         for chunk in self._chunks(points):
             self._run_chunk(chunk, self._point_call, kind="point")
         for chunk in self._chunks(ranges):
@@ -232,7 +321,10 @@ class CoalescingIndexServer:
         flat, offsets = pack_requests([r.args[0] for r in requests])
         self.stats.store_calls += 1
         self.stats.point_batch_sizes.append(int(flat.size))
-        values, found = self.store.lookup_batch(flat)
+        with tracing.span(
+            "coalesce.store_call", kind="point", keys=int(flat.size)
+        ):
+            values, found = self.store.lookup_batch(flat)
         return [
             (v, f)
             for v, f in zip(
@@ -246,7 +338,10 @@ class CoalescingIndexServer:
         highs, _ = pack_requests([r.args[1] for r in requests])
         self.stats.store_calls += 1
         self.stats.range_batch_sizes.append(int(lows.size))
-        scan = self.store.range_query_batch(lows, highs)
+        with tracing.span(
+            "coalesce.store_call", kind="range", ranges=int(lows.size)
+        ):
+            scan = self.store.range_query_batch(lows, highs)
         values = np.asarray(scan.values)
         csr = np.asarray(scan.offsets)
         out = []
@@ -271,6 +366,19 @@ class CoalescingIndexServer:
                 continue
             req.future.set_result(result)
             self.stats.requests_served += 1
+            self._finish_request(req, kind)
+
+    def _finish_request(self, req: _Pending, kind: str) -> None:
+        """Close the request-level span stamped at submit time."""
+        if req.trace_id is None:
+            return
+        tracing.record_manual_span(
+            "serving.request",
+            req.trace_id,
+            start=req.start,
+            duration=time.perf_counter() - req.t0,
+            attrs={"kind": kind, "size": req.size},
+        )
 
     def _fallback(self, requests: list, kind: str) -> None:
         """Batch failed — re-run each request alone so only the
@@ -291,3 +399,4 @@ class CoalescingIndexServer:
             else:
                 req.future.set_result(result)
                 self.stats.requests_served += 1
+                self._finish_request(req, kind)

@@ -39,6 +39,7 @@ loop thread, where the contract holds by construction.
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass, field
 from multiprocessing import get_context
 
 import numpy as np
@@ -49,6 +50,14 @@ from ..lsm.store import (
     resolve_point_batch,
     resolve_range_batch,
 )
+from ..obs import (
+    MetricsRegistry,
+    RegistrySnapshot,
+    default_registry,
+    set_enabled,
+    tracing,
+)
+from ..obs import state as obs_state
 from ..range_scan import RangeScanResult
 from .shm import (
     RunPublisher,
@@ -59,7 +68,7 @@ from .shm import (
 )
 from .splitter import CDFSplitter
 
-__all__ = ["ShardedLSMStore", "ShardedSnapshot"]
+__all__ = ["ShardedLSMStore", "ShardedSnapshot", "ShardedMetrics"]
 
 #: ``via="auto"`` fans a read out to the workers once the *per-shard*
 #: sub-batch reaches this size; below it, the pipe round-trip costs
@@ -81,11 +90,42 @@ def _try_close(shm) -> bool:
         return False
 
 
-def _shard_worker(conn, shard_id: int, store_kwargs: dict) -> None:
+def _shard_worker(
+    conn, shard_id: int, store_kwargs: dict, obs_enabled: bool = False
+) -> None:
     """Worker-process main loop: own one shard, answer commands, and
-    publish every post-write epoch through shared memory."""
+    publish every post-write epoch through shared memory.
+
+    Telemetry protocol (PR 9): the client forwards its obs flag at
+    spawn time (a spawned interpreter re-imports ``repro.obs.state``,
+    so a runtime ``set_enabled`` would otherwise not propagate).  When
+    on, each command executes under the client's adopted trace context
+    inside a ``worker.<op>`` span, and the ack piggybacks ``{"obs":
+    {"spans": [...], "metrics": delta}}`` — the finished span records
+    plus the registry delta since the previous ack.  Workers are
+    purely command-driven (``background=False``), so ack-time deltas
+    are complete: merging every delta reconstructs the worker's
+    registry exactly.
+    """
+    if obs_enabled:
+        set_enabled(True)
+    tracing.set_process_name(f"shard-{shard_id}")
     store = LearnedLSMStore(**store_kwargs)
     publisher = RunPublisher(default_prefix(shard_id))
+    obs_prev = RegistrySnapshot()
+
+    def obs_payload() -> dict:
+        nonlocal obs_prev
+        current = default_registry().snapshot()
+        current.merge(store.registry.snapshot())
+        delta = current.diff(obs_prev)
+        obs_prev = current
+        return {"spans": tracing.drain_spans(), "metrics": delta}
+
+    def publish():
+        with tracing.span("shm.publish", shard=shard_id):
+            return publisher.publish(store)
+
     try:
         conn.send({"ok": True, "epoch": publisher.publish(store)})
         while True:
@@ -101,58 +141,94 @@ def _shard_worker(conn, shard_id: int, store_kwargs: dict) -> None:
             try:
                 result = None
                 epoch = None
-                if op == "insert_batch":
-                    store.insert_batch(cmd["keys"], cmd["values"])
-                    epoch = publisher.publish(store)
-                elif op == "delete_batch":
-                    store.delete_batch(cmd["keys"])
-                    epoch = publisher.publish(store)
-                elif op == "flush":
-                    store.flush()
-                    epoch = publisher.publish(store)
-                elif op == "compact":
-                    store.compact()
-                    epoch = publisher.publish(store)
-                elif op == "lookup_batch":
-                    result = store.lookup_batch(cmd["keys"])
-                elif op == "range_query_batch":
-                    scan = store.range_query_batch(
-                        cmd["lows"], cmd["highs"]
-                    )
-                    result = (
-                        np.asarray(scan.values), np.asarray(scan.offsets),
-                    )
-                elif op == "range_items_batch":
-                    scan, payloads = store.range_items_batch(
-                        cmd["lows"], cmd["highs"]
-                    )
-                    result = (
-                        np.asarray(scan.values),
-                        np.asarray(scan.offsets),
-                        payloads,
-                    )
-                elif op == "backup":
-                    store.backup(cmd["dest"])
-                elif op == "stats":
-                    result = {
-                        "num_runs": store.num_runs,
-                        "live_keys": int(len(store)),
-                        "seals": store.write_stats.seals,
-                        "compactions": store.write_stats.compactions,
-                        "memtable": len(store.memtable),
-                    }
-                else:
-                    raise ValueError(f"unknown op {op!r}")
-                conn.send({"ok": True, "result": result, "epoch": epoch})
+                with tracing.adopt(cmd.get("trace")), tracing.span(
+                    "worker." + op, shard=shard_id
+                ):
+                    if op == "insert_batch":
+                        store.insert_batch(cmd["keys"], cmd["values"])
+                        epoch = publish()
+                    elif op == "delete_batch":
+                        store.delete_batch(cmd["keys"])
+                        epoch = publish()
+                    elif op == "flush":
+                        store.flush()
+                        epoch = publish()
+                    elif op == "compact":
+                        store.compact()
+                        epoch = publish()
+                    elif op == "lookup_batch":
+                        result = store.lookup_batch(cmd["keys"])
+                    elif op == "range_query_batch":
+                        scan = store.range_query_batch(
+                            cmd["lows"], cmd["highs"]
+                        )
+                        result = (
+                            np.asarray(scan.values),
+                            np.asarray(scan.offsets),
+                        )
+                    elif op == "range_items_batch":
+                        scan, payloads = store.range_items_batch(
+                            cmd["lows"], cmd["highs"]
+                        )
+                        result = (
+                            np.asarray(scan.values),
+                            np.asarray(scan.offsets),
+                            payloads,
+                        )
+                    elif op == "backup":
+                        store.backup(cmd["dest"])
+                    elif op == "stats":
+                        result = {
+                            "num_runs": store.num_runs,
+                            "live_keys": int(len(store)),
+                            "seals": store.write_stats.seals,
+                            "compactions": store.write_stats.compactions,
+                            "memtable": len(store.memtable),
+                        }
+                    else:
+                        raise ValueError(f"unknown op {op!r}")
+                ack = {"ok": True, "result": result, "epoch": epoch}
+                if obs_state.enabled:
+                    ack["obs"] = obs_payload()
+                conn.send(ack)
             except Exception as exc:  # noqa: BLE001 — relayed to client
-                conn.send({
+                err_ack = {
                     "ok": False,
                     "error": f"{type(exc).__name__}: {exc}",
-                })
+                }
+                if obs_state.enabled:
+                    # Ship (and clear) telemetry on failures too, so a
+                    # failed command's spans don't leak into the next
+                    # ack's trace.
+                    err_ack["obs"] = obs_payload()
+                conn.send(err_ack)
     finally:
         publisher.close()
         store.close()
         conn.close()
+
+
+@dataclass
+class ShardedMetrics:
+    """Cross-process metrics view returned by
+    :meth:`ShardedLSMStore.metrics`.
+
+    ``per_shard[i]`` is the exact accumulation of every delta shard
+    ``i`` piggybacked on its acks; ``merged`` folds all shards plus
+    the client-side registry into one registry snapshot (exact, since
+    histogram merge is a vector add).
+    """
+
+    client: RegistrySnapshot
+    per_shard: list = field(default_factory=list)
+    merged: RegistrySnapshot = field(default_factory=RegistrySnapshot)
+
+    def to_dict(self) -> dict:
+        return {
+            "client": self.client.to_dict(),
+            "per_shard": [s.to_dict() for s in self.per_shard],
+            "merged": self.merged.to_dict(),
+        }
 
 
 class _ClientEpoch:
@@ -267,6 +343,11 @@ class ShardedLSMStore:
     store_kwargs:
         Extra :class:`LearnedLSMStore` keyword arguments applied to
         every shard (``memtable_capacity``, ``compaction``, ...).
+    read_via:
+        Default routing for reads issued without an explicit ``via``
+        (``"auto"``/``"local"``/``"worker"``) — lets a front end that
+        never sees the ``via`` kwarg (e.g. the coalescer) pin its
+        reads to the worker path.
     """
 
     def __init__(
@@ -279,10 +360,22 @@ class ShardedLSMStore:
         splitter: CDFSplitter | None = None,
         path: str | None = None,
         store_kwargs: dict | None = None,
+        read_via: str = "auto",
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
+        if read_via not in ("auto", "local", "worker"):
+            raise ValueError(
+                f"read_via must be auto/local/worker, not {read_via!r}"
+            )
         self.num_shards = int(num_shards)
+        self.read_via = read_via
+        #: Client-side registry (fanout accounting); worker-side
+        #: metrics accumulate per shard from the ack piggyback.
+        self.registry = MetricsRegistry()
+        self._shard_metrics = [
+            RegistrySnapshot() for _ in range(self.num_shards)
+        ]
         if splitter is not None:
             if splitter.num_shards != self.num_shards:
                 raise ValueError("splitter shard count mismatch")
@@ -339,7 +432,7 @@ class ShardedLSMStore:
                 parent, child = ctx.Pipe()
                 proc = ctx.Process(
                     target=_shard_worker,
-                    args=(child, shard, kwargs),
+                    args=(child, shard, kwargs, obs_state.enabled),
                     daemon=True,
                 )
                 proc.start()
@@ -360,6 +453,12 @@ class ShardedLSMStore:
             ack = self._conns[shard].recv()
         except EOFError:
             raise RuntimeError(f"shard {shard} worker died") from None
+        payload = ack.pop("obs", None)
+        if payload is not None:
+            # Absorb telemetry before the ok-check so a failing
+            # command still lands its spans and metric deltas.
+            self._shard_metrics[shard].merge(payload["metrics"])
+            tracing.record_spans(payload["spans"])
         if not ack.get("ok"):
             raise RuntimeError(
                 f"shard {shard}: {ack.get('error', 'unknown error')}"
@@ -367,6 +466,10 @@ class ShardedLSMStore:
         return ack
 
     def _roundtrip(self, shard: int, cmd: dict) -> dict:
+        if obs_state.enabled:
+            wire = tracing.wire_context()
+            if wire is not None:
+                cmd["trace"] = wire
         self._conns[shard].send(cmd)
         ack = self._recv(shard)
         if ack.get("epoch") is not None:
@@ -375,7 +478,24 @@ class ShardedLSMStore:
 
     def _fanout(self, commands: dict[int, dict]) -> dict[int, dict]:
         """Send one command per shard, then collect acks — the workers
-        execute concurrently between the two loops."""
+        execute concurrently between the two loops.
+
+        With obs enabled the whole exchange runs inside a
+        ``sharded.fanout`` span, and each command carries the trace
+        context captured *inside* that span, so worker-side spans
+        parent onto the fanout in the exported timeline.
+        """
+        if obs_state.enabled and commands:
+            op = next(iter(commands.values()))["op"]
+            with tracing.span("sharded.fanout", op=op, shards=len(commands)):
+                wire = tracing.wire_context()
+                if wire is not None:
+                    for cmd in commands.values():
+                        cmd["trace"] = wire
+                return self._fanout_inner(commands)
+        return self._fanout_inner(commands)
+
+    def _fanout_inner(self, commands: dict[int, dict]) -> dict[int, dict]:
         for shard, cmd in commands.items():
             self._conns[shard].send(cmd)
         acks: dict[int, dict] = {}
@@ -512,18 +632,19 @@ class ShardedLSMStore:
         return self.lookup(key) is not None
 
     def lookup_batch(
-        self, keys, *, via: str = "auto"
+        self, keys, *, via: str | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """(values, found) across all shards — same contract as
-        :meth:`LearnedLSMStore.lookup_batch`."""
+        :meth:`LearnedLSMStore.lookup_batch`.  ``via=None`` falls back
+        to the store's ``read_via`` default."""
         self._ensure_open()
         queries = np.asarray(keys, dtype=np.int64).ravel()
-        if self._use_workers(queries.size, via):
+        if self._use_workers(queries.size, via or self.read_via):
             return self._worker_points(queries)
         return self._local_points(queries, self._epochs)
 
     def range_query_batch(
-        self, lows, highs, *, via: str = "auto"
+        self, lows, highs, *, via: str | None = None
     ) -> RangeScanResult:
         """Live keys per closed range, stitched across shards (shard
         intervals are ordered, so per-shard sorted results concatenate
@@ -531,17 +652,17 @@ class ShardedLSMStore:
         self._ensure_open()
         lows = np.asarray(lows, dtype=np.int64).ravel()
         highs = np.asarray(highs, dtype=np.int64).ravel()
-        if self._use_workers(lows.size, via):
+        if self._use_workers(lows.size, via or self.read_via):
             return self._worker_ranges(lows, highs)
         return self._local_ranges(lows, highs, self._epochs)
 
     def range_items_batch(
-        self, lows, highs, *, via: str = "auto"
+        self, lows, highs, *, via: str | None = None
     ) -> tuple[RangeScanResult, np.ndarray]:
         self._ensure_open()
         lows = np.asarray(lows, dtype=np.int64).ravel()
         highs = np.asarray(highs, dtype=np.int64).ravel()
-        if self._use_workers(lows.size, via):
+        if self._use_workers(lows.size, via or self.read_via):
             return self._worker_ranges(lows, highs, with_values=True)
         return self._local_ranges(
             lows, highs, self._epochs, with_values=True
@@ -603,6 +724,15 @@ class ShardedLSMStore:
                 commands[shard] = {
                     "op": "lookup_batch", "keys": queries[idx],
                 }
+        # Client-observed worker read load: every lookup command issued
+        # is answered by exactly one worker.lookup_batch span, so the
+        # merged per-shard span histogram count equals this counter.
+        self.registry.counter("serving.sharded.lookup.worker_batches").inc(
+            len(commands)
+        )
+        self.registry.counter("serving.sharded.lookup.worker_keys").inc(
+            int(queries.size)
+        )
         acks = self._fanout(commands)
         for shard, ack in acks.items():
             idx = route.indices(shard)
@@ -708,6 +838,25 @@ class ShardedLSMStore:
             {s: {"op": "stats"} for s in range(self.num_shards)}
         )
         return [acks[s]["result"] for s in range(self.num_shards)]
+
+    def metrics(self) -> ShardedMetrics:
+        """One merged cross-process registry + per-shard breakdown.
+
+        Worker metrics arrive as deltas piggybacked on every command
+        ack (see :func:`_shard_worker`); because workers only do work
+        in response to commands, the accumulated per-shard snapshots
+        are exact as of each shard's last ack — no sampling, no race
+        with in-flight work.  ``merged`` additionally folds in the
+        client-side registry (fanout accounting).
+        """
+        per_shard = [snap.copy() for snap in self._shard_metrics]
+        merged = RegistrySnapshot.merged(per_shard)
+        merged.merge(self.registry.snapshot())
+        return ShardedMetrics(
+            client=self.registry.snapshot(),
+            per_shard=per_shard,
+            merged=merged,
+        )
 
     def _ensure_open(self) -> None:
         if self._closed:
