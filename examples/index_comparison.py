@@ -1,0 +1,105 @@
+"""Scenario: racing the index families on one dataset (PR 10).
+
+Four learned indexes answer the same queries over the same sorted key
+column through the same engine — the RMI from the paper, a PGM-index
+(recursive ε-bounded segments), a RadixSpline (spline knots behind a
+radix table), and an ALEX-style gapped array (the writable contender).
+Because every family compiles to the engine's flat plan tables and
+every result is verified by bounded search, they can only differ in
+*speed and size*, never in answers — which this example checks against
+``np.searchsorted`` before printing the comparison.
+
+The full dataset × family × workload matrix (with enforced gates)
+lives in ``benchmarks/bench_matrix.py``; this is the single-dataset
+tour of the same accounting surface.
+
+Run:  PYTHONPATH=src python examples/index_comparison.py [--n 500000]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro import (
+    GappedArrayIndex,
+    PGMIndex,
+    RadixSplineIndex,
+    RecursiveModelIndex,
+)
+from repro.bench import Table, factor, format_bytes
+
+
+def build_families(keys: np.ndarray):
+    leaves = max(min(10_000, keys.size // 100), 4)
+    yield "RMI (2-stage)", lambda: RecursiveModelIndex(
+        keys, stage_sizes=(1, leaves)
+    )
+    yield "PGM-index", lambda: PGMIndex(keys)
+    yield "RadixSpline", lambda: RadixSplineIndex(keys)
+    yield "GappedArray", lambda: GappedArrayIndex(keys)
+
+
+def error_window(index) -> tuple[float, int]:
+    model = getattr(index, "_model", index)  # gapped array wraps an RMI
+    return float(model.mean_error_window), int(model.max_error_window)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=500_000)
+    parser.add_argument("--queries", type=int, default=100_000)
+    parser.add_argument("--reps", type=int, default=3)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(7)
+    keys = np.sort(rng.integers(0, 1 << 40, args.n, dtype=np.int64))
+    queries = np.concatenate([
+        rng.choice(keys, args.queries // 2),
+        rng.integers(0, 1 << 40, args.queries // 2, dtype=np.int64),
+    ])
+    rng.shuffle(queries)
+    # The gapped array dedups (set semantics); everyone is compared on
+    # the multiset positions, the gapped array on the distinct ones.
+    distinct = np.unique(keys)
+
+    table = Table(
+        f"Index families on {args.n:,} uniform int64 keys "
+        f"({args.queries:,} point queries)",
+        ["family", "build", "", "size", "window μ/max", "lookups/s", ""],
+    )
+    baseline_build = baseline_rate = None
+    for name, make in build_families(keys):
+        start = time.perf_counter()
+        index = make()
+        build_s = time.perf_counter() - start
+
+        oracle_keys = distinct if isinstance(index, GappedArrayIndex) else keys
+        expected = np.searchsorted(oracle_keys, queries, side="left")
+        best = float("inf")
+        for _ in range(args.reps):
+            start = time.perf_counter()
+            got = index.lookup_batch(queries)
+            best = min(best, time.perf_counter() - start)
+        np.testing.assert_array_equal(got, expected)
+        rate = queries.size / best
+
+        if baseline_build is None:
+            baseline_build, baseline_rate = build_s, rate
+        mean_w, max_w = error_window(index)
+        table.add_row(
+            name,
+            f"{build_s * 1e3:.1f} ms",
+            factor(build_s, baseline_build),
+            format_bytes(index.size_bytes()),
+            f"{mean_w:.1f}/{max_w}",
+            f"{rate / 1e6:.2f}M",
+            factor(rate, baseline_rate),
+        )
+    table.show()
+    print("every family bit-identical to np.searchsorted on"
+          f" {queries.size:,} queries (half present, half misses)")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,14 @@ every substrate its evaluation depends on:
   system scale): tiered immutable runs, each indexed by a vectorized
   RMI and guarded by a bloom filter, behind an O(1) memtable with
   size-tiered or leveled compaction.
+* **Competing index families** (PR 10) — :class:`PGMIndex` (recursive
+  ε-bounded segments), :class:`RadixSplineIndex` (spline knots behind
+  a radix table), and :class:`GappedArrayIndex` (the ALEX-style
+  writable gapped array), all compiled onto the RMI's shared batch
+  engine; raced in ``benchmarks/bench_matrix.py``.
+* **Serving & observability** — :class:`CoalescingIndexServer`,
+  :class:`ShardedLSMStore`, :class:`CDFSplitter` (PR 8) and the
+  :mod:`repro.obs` metrics/tracing registry (PR 9).
 
 Quickstart::
 
@@ -55,12 +63,19 @@ from .core import (
     conflict_stats,
     synthesize,
 )
+from .families import (
+    GappedArrayIndex,
+    PGMIndex,
+    RadixSplineIndex,
+)
 from .lsm import (
     LearnedLSMStore,
     LeveledCompaction,
     SizeTieredCompaction,
 )
+from .obs import default_registry, summarize_latencies
 from .range_scan import RangeScanResult
+from .serving import CDFSplitter, CoalescingIndexServer, ShardedLSMStore
 from .hashmap import (
     BucketizedCuckooHashMap,
     ChainingHashMap,
@@ -76,10 +91,13 @@ __all__ = [
     "BTreeIndex",
     "BloomFilter",
     "BucketizedCuckooHashMap",
+    "CDFSplitter",
     "ChainingHashMap",
+    "CoalescingIndexServer",
     "FASTTree",
     "FixedSizeBTree",
     "GRUClassifier",
+    "GappedArrayIndex",
     "GenericBTreeIndex",
     "GenericCuckooHashMap",
     "HierarchicalLookupTable",
@@ -93,12 +111,17 @@ __all__ = [
     "MLP",
     "ModelHashBloomFilter",
     "MultivariateLinearModel",
+    "PGMIndex",
     "RMIConfig",
+    "RadixSplineIndex",
     "RandomHashFunction",
     "RangeScanResult",
     "RecursiveModelIndex",
+    "ShardedLSMStore",
     "SizeTieredCompaction",
     "StringRMI",
     "conflict_stats",
+    "default_registry",
+    "summarize_latencies",
     "synthesize",
 ]

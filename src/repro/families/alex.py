@@ -1,0 +1,361 @@
+"""ALEX-style gapped-array writable learned index.
+
+ALEX (Ding et al., SIGMOD 2020) answers the paper's open question of
+inserts for learned indexes by storing keys in a *gapped array*: the
+key space is spread over a larger slot array so most inserts land in a
+nearby gap (amortized O(1) memmove) instead of shifting half the data,
+and the learned model predicts slot positions directly.
+
+This variant keeps the repo's kernel in charge of exactness.  The slot
+array holds every live key at its slot, with each gap slot carrying a
+*forward-filled copy* of its predecessor's value, so the whole array is
+always sorted — which means a stock
+:class:`~repro.core.rmi.RecursiveModelIndex` over the slot array stays
+a *correct* router even as inserts and deletes mutate the slots in
+place underneath it (the scalar view and the engine's verification
+probe live memory; a stale model only costs fix-ups, never wrong
+positions).  Ranks over live keys come from one exclusive prefix sum of
+the occupancy bitmap.  When write drift makes the model's windows pay
+too many fix-ups — or the array runs out of gaps — the index re-spreads
+and retrains, exactly ALEX's "smart" node expansion collapsed to one
+flat node.
+
+Semantics: a sorted **set** of keys (duplicates dedup on build and
+insert), with ``lookup``/``upper_bound``/``contains``/``range_query``
+and their batch variants ranked over the live keys — the same contract
+the differential churn suite cross-checks against a bisect set oracle.
+
+Invariants (each preserved by every mutation, see the method bodies):
+
+1. ``slots`` is non-decreasing; gap and deleted slots hold values, not
+   holes.
+2. The first slot whose value is >= v holds v's live copy if v is
+   live — inserts always write at the lower bound, and a shift can
+   only insert *ahead* of an equal-value run, never split it.
+3. ``#live keys < v == cum[lower_bound(slots, v)]`` where ``cum`` is
+   the exclusive prefix sum of ``occupied`` (slots before the lower
+   bound are < v, slots after are >= v, and only occupied slots are
+   live).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rmi import RecursiveModelIndex, RMIStats
+from ..range_scan import RangeScanResult, batch_range_scan
+from ..core.engine import SortedKeyColumn
+from ..util import scalar_view
+
+__all__ = ["GappedArrayIndex", "DEFAULT_DENSITY"]
+
+#: Fraction of slots occupied after a (re)build; the ALEX paper's
+#: lower density bound is 0.6 and upper 0.8 — 0.7 sits between.
+DEFAULT_DENSITY = 0.7
+
+#: Re-spread + retrain once live keys exceed this slot fraction.
+MAX_DENSITY = 0.85
+
+#: Initial half-width of the expanding nearest-gap search.
+GAP_SEARCH_WINDOW = 32
+
+
+class GappedArrayIndex:
+    """Writable learned index over a gapped slot array.
+
+    Parameters
+    ----------
+    keys:
+        Initial keys (any order, duplicates collapse — set semantics).
+    density:
+        Occupied fraction after a (re)build.
+    dtype:
+        Slot dtype when ``keys`` is empty (otherwise inherited).
+    """
+
+    def __init__(
+        self,
+        keys=None,
+        *,
+        density: float = DEFAULT_DENSITY,
+        dtype=np.int64,
+    ):
+        if not 0.0 < density <= 1.0:
+            raise ValueError("density must be in (0, 1]")
+        self.density = float(density)
+        arr = (
+            np.zeros(0, dtype=dtype)
+            if keys is None
+            else np.unique(np.asarray(keys))
+        )
+        self.stats = RMIStats()
+        self.rebuilds = -1  # the initial build is not a rebuild
+        self._rebuild(arr)
+
+    # -- (re)building ------------------------------------------------------
+
+    def _rebuild(self, live: np.ndarray) -> None:
+        """Spread ``live`` (sorted unique) over a fresh gapped array and
+        retrain the slot model."""
+        n = live.size
+        self.rebuilds += 1
+        self._count = int(n)
+        if n == 0:
+            self._slots = live[:0]
+            self._occupied = np.zeros(0, dtype=bool)
+            self._model = None
+        else:
+            capacity = max(int(np.ceil(n / self.density)), 16)
+            # Strictly increasing slot targets (capacity >= n), first
+            # key at slot 0 so forward-fill has a seed everywhere.
+            slot_of = (np.arange(n, dtype=np.int64) * capacity) // n
+            occupied = np.zeros(capacity, dtype=bool)
+            occupied[slot_of] = True
+            slots = np.empty(capacity, dtype=live.dtype)
+            slots[slot_of] = live
+            # Gap slots copy their predecessor's value: the array stays
+            # sorted, so any sorted-array index can route over it.
+            fill = np.maximum.accumulate(
+                np.where(occupied, np.arange(capacity, dtype=np.int64), 0)
+            )
+            slots = slots[fill]
+            self._slots = slots
+            self._occupied = occupied
+            leaves = int(max(16, min(capacity // 64, 1 << 17)))
+            self._model = RecursiveModelIndex(slots, stage_sizes=(1, leaves))
+            self._model.stats = self.stats
+        self._slots_view = scalar_view(self._slots)
+        self._cum = None
+        self._live = None
+        self._live_column = None
+        self._writes_since_rebuild = 0
+        self._rebuild_threshold = max(256, self.capacity // 8)
+
+    def _note_write(self) -> None:
+        self._cum = None
+        self._live = None
+        self._live_column = None
+        self._writes_since_rebuild += 1
+
+    def _maybe_rebuild(self) -> None:
+        if (
+            self._writes_since_rebuild > self._rebuild_threshold
+            or self._count >= int(self.capacity * MAX_DENSITY)
+        ):
+            self._rebuild(self.live_keys().copy())
+
+    # -- derived state -----------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return int(self._slots.size)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def live_keys(self) -> np.ndarray:
+        """The live keys, sorted unique (cached between writes)."""
+        if self._live is None:
+            self._live = self._slots[self._occupied]
+        return self._live
+
+    def _cumulative(self) -> np.ndarray:
+        """``cum[s]`` = number of occupied slots before slot ``s``."""
+        if self._cum is None:
+            cum = np.zeros(self.capacity + 1, dtype=np.int64)
+            np.cumsum(self._occupied, out=cum[1:])
+            self._cum = cum
+        return self._cum
+
+    def _column(self) -> SortedKeyColumn:
+        if self._live_column is None:
+            self._live_column = SortedKeyColumn(self.live_keys())
+        return self._live_column
+
+    # -- reads (ranks over live keys) --------------------------------------
+
+    def lookup(self, key) -> int:
+        """Rank of the first live key >= ``key`` (lower bound)."""
+        if self._model is None:
+            return 0
+        s = self._model.lookup(key)
+        return int(self._cumulative()[s])
+
+    def contains(self, key) -> bool:
+        if self._model is None:
+            return False
+        s = self._model.lookup(key)
+        return (
+            s < self.capacity
+            and self._slots_view[s] == key
+            and bool(self._occupied[s])
+        )
+
+    def upper_bound(self, key) -> int:
+        """Rank one past the last live key <= ``key``."""
+        return self.lookup(key) + (1 if self.contains(key) else 0)
+
+    def range_query(self, low, high) -> np.ndarray:
+        """All live keys in ``[low, high]``."""
+        live = self.live_keys()
+        if high < low:
+            return live[0:0]
+        return live[self.lookup(low):self.upper_bound(high)]
+
+    def lookup_batch(
+        self, queries, *, sort: bool | None = None
+    ) -> np.ndarray:
+        """Batched :meth:`lookup`: live-key lower bounds, dtype-exact
+        (the slot model's engine verifies against live slot memory)."""
+        if self._model is None:
+            return np.zeros(np.asarray(queries).size, dtype=np.int64)
+        positions = self._model.lookup_batch(queries, sort=sort)
+        return self._cumulative()[positions]
+
+    def contains_batch(self, queries) -> np.ndarray:
+        if self._model is None:
+            return np.zeros(np.asarray(queries).size, dtype=bool)
+        # The model's contains is dtype-exact over slot values; a hit is
+        # live iff the lower-bound slot (= the run head, invariant 2)
+        # is occupied.
+        in_slots = self._model.contains_batch(queries)
+        positions = self._model.lookup_batch(queries)
+        np.clip(positions, 0, self.capacity - 1, out=positions)
+        return in_slots & self._occupied[positions]
+
+    def upper_bound_batch(
+        self, queries, *, sort: bool | None = None
+    ) -> np.ndarray:
+        return (
+            self.lookup_batch(queries, sort=sort)
+            + self.contains_batch(queries)
+        )
+
+    def range_query_batch(
+        self, lows, highs, *, sort: bool | None = None
+    ) -> RangeScanResult:
+        """Batched :meth:`range_query` over the live keys."""
+        return batch_range_scan(
+            self.live_keys(), lows, highs,
+            lambda q: self.lookup_batch(q, sort=sort),
+            column=self._column(),
+        )
+
+    # -- writes ------------------------------------------------------------
+
+    def insert(self, key) -> bool:
+        """Insert ``key``; returns False if already live (set
+        semantics).  Amortized O(1): write into a nearby gap, shifting
+        the few slots between."""
+        if self._model is None:
+            self._rebuild(np.array([key], dtype=self._slots.dtype))
+            return True
+        cap = self.capacity
+        s = self._model.lookup(key)
+        if s < cap and self._slots_view[s] == key:
+            if self._occupied[s]:
+                return False
+            # Resurrect a deleted slot: the value is already in place.
+            self._occupied[s] = True
+            self._count += 1
+            self._note_write()
+            self._maybe_rebuild()
+            return True
+        g = self._nearest_gap(s)
+        if g < 0:
+            # No gaps left anywhere: expand via a full re-spread.
+            live = self.live_keys()
+            self._rebuild(np.union1d(
+                live, np.array([key], dtype=live.dtype)
+            ))
+            return True
+        slots, occupied = self._slots, self._occupied
+        if g >= s:
+            # Shift (s..g-1) right into the gap, write at the lower
+            # bound: slots[s-1] < key < slots[s] keeps sortedness.
+            slots[s + 1:g + 1] = slots[s:g]
+            occupied[s + 1:g + 1] = occupied[s:g]
+            slots[s] = key
+            occupied[s] = True
+        else:
+            # Gap on the left: shift (g+1..s-1) left, write at s-1
+            # (slots[s-1] < key by the lower bound, so the moved block
+            # stays below the new key).
+            slots[g:s - 1] = slots[g + 1:s]
+            occupied[g:s - 1] = occupied[g + 1:s]
+            slots[s - 1] = key
+            occupied[s - 1] = True
+        self._count += 1
+        self._note_write()
+        self._maybe_rebuild()
+        return True
+
+    def delete(self, key) -> bool:
+        """Delete ``key`` if live: clear its occupancy bit, leaving the
+        slot value as routing ballast (invariant 1 holds untouched)."""
+        if self._model is None:
+            return False
+        s = self._model.lookup(key)
+        if (
+            s < self.capacity
+            and self._slots_view[s] == key
+            and self._occupied[s]
+        ):
+            self._occupied[s] = False
+            self._count -= 1
+            self._note_write()
+            return True
+        return False
+
+    def insert_batch(self, keys) -> int:
+        """Insert many keys; returns how many were new.  Large batches
+        (vs the live size) take one union + re-spread instead of
+        per-key gap shuffling."""
+        arr = np.unique(np.asarray(keys, dtype=self._slots.dtype))
+        if arr.size == 0:
+            return 0
+        if self._model is None or arr.size > max(64, self._count // 4):
+            live = self.live_keys()
+            before = self._count
+            self._rebuild(np.union1d(live, arr))
+            return self._count - before
+        return sum(self.insert(key) for key in arr.tolist())
+
+    def merge(self, keys) -> int:
+        """Bulk-load alias for :meth:`insert_batch` (the writable-index
+        contract used by the churn suite)."""
+        return self.insert_batch(keys)
+
+    def _nearest_gap(self, s: int) -> int:
+        """Index of the unoccupied slot nearest ``s`` (either side),
+        -1 if the array is gap-free.  Expanding windowed scan keeps the
+        common case O(window) rather than O(capacity)."""
+        occ = self._occupied
+        cap = occ.size
+        w = GAP_SEARCH_WINDOW
+        while True:
+            lo, hi = max(0, s - w), min(cap, s + w)
+            free = np.nonzero(~occ[lo:hi])[0]
+            if free.size:
+                cands = free + lo
+                return int(cands[np.argmin(np.abs(cands - s))])
+            if lo == 0 and hi == cap:
+                return -1
+            w *= 8
+
+    # -- accounting --------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Slot array + occupancy bitmap + slot model."""
+        total = self._slots.nbytes + self._occupied.nbytes
+        if self._model is not None:
+            total += self._model.size_bytes()
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"GappedArrayIndex(live={self._count}, "
+            f"capacity={self.capacity}, "
+            f"rebuilds={self.rebuilds}, "
+            f"writes_since_rebuild={self._writes_since_rebuild})"
+        )

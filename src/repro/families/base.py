@@ -1,0 +1,256 @@
+"""Shared chassis for learned-index families compiled to a plan.
+
+The ISSUE 10 families (PGM-index, RadixSpline) differ from the RMI only
+in how a query is *routed* to a linear leaf segment; everything after
+routing — the Section 3.4 error window, the bounded search, the
+dtype-exact verification and fix-up, the sorted-batch fast path, range
+assembly — is the shared engine (:mod:`repro.core.engine`).  This base
+class captures that split: a subclass builds its segments and routing
+structure in ``_build`` and installs them with :meth:`_install_plan`;
+the base provides the full scalar + batch public surface of
+:class:`repro.core.rmi.RecursiveModelIndex` over the installed
+:class:`~repro.core.engine.CompiledPlan`, so every family drops into
+the differential-oracle and adversarial-dtype suites, the serving
+layer, and the benchmark matrix unchanged.
+
+The scalar latency path mirrors ``RecursiveModelIndex._lookup_fast``
+(plain-float list mirrors, bounded binary search, exponential-search
+fix-up) with the single hook :meth:`_route_scalar` supplying the leaf
+index.  Exactness never depends on routing: any leaf's stored window is
+searched and the result verified, so a misrouted query costs a fix-up,
+never a wrong position — which is also why float64 routing stays exact
+on int64/uint64 keys beyond 2^53.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..btree.search_baselines import exponential_search
+from ..range_scan import RangeScanResult, batch_range_scan
+from ..util import scalar_view
+from ..core.engine import (
+    CompiledPlan,
+    SortedKeyColumn,
+    clamp_window,
+)
+from ..core.rmi import RMIStats
+
+__all__ = ["CompiledPlanIndex"]
+
+
+class CompiledPlanIndex:
+    """A learned range index whose batch surface is one compiled plan.
+
+    Subclasses implement ``_build`` (segment fitting + routing
+    structure; must call :meth:`_install_plan` when ``keys`` is
+    non-empty) and ``_route_scalar`` (one key → leaf index, the scalar
+    analogue of the plan's vectorized routing).  Lower-bound semantics
+    are identical to every index in :mod:`repro.btree`.
+    """
+
+    def __init__(self, keys: np.ndarray):
+        keys = np.asarray(keys)
+        if keys.ndim != 1:
+            raise ValueError("keys must be one-dimensional")
+        # Comparison instead of np.diff: no int64 difference overflow
+        # on huge key spans and no full-width temporary.
+        if keys.size and np.any(keys[:-1] > keys[1:]):
+            raise ValueError("keys must be sorted ascending")
+        self.keys = keys
+        self._keys_view = scalar_view(keys)
+        self._column = SortedKeyColumn(keys)
+        self.stats = RMIStats()
+        self._plan: CompiledPlan | None = None
+        if keys.size:
+            self._build()
+
+    # -- subclass contract -------------------------------------------------
+
+    def _build(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _route_scalar(self, key) -> int:  # pragma: no cover - abstract
+        """Leaf segment index for one (float-encoded) key."""
+        raise NotImplementedError
+
+    def _routing_size_bytes(self) -> int:
+        """Bytes held by the family's routing structure (beyond the
+        four flat leaf tables) — radix table, internal levels, ..."""
+        return 0
+
+    def _install_plan(
+        self,
+        root_predict_batch,
+        leaf_count: int,
+        slopes: np.ndarray,
+        intercepts: np.ndarray,
+        lo_offsets: np.ndarray,
+        hi_offsets: np.ndarray,
+    ) -> None:
+        """Adopt solved leaf tables as this index's compiled plan.
+
+        ``root_predict_batch`` must accept a bare float64 query array
+        (the sorted-batch fast path re-routes deduplicated queries
+        outside any prepared batch) and return float64 *position*
+        predictions whose ``floor(pred * leaf_count / n)`` recovers the
+        intended leaf — the plan's routing contract.
+        """
+        self._plan = CompiledPlan(
+            self._column,
+            root_predict_batch,
+            leaf_count,
+            slopes,
+            intercepts,
+            lo_offsets,
+            hi_offsets,
+        )
+        # Python-list mirrors: native floats per probe on the scalar
+        # latency path (indexing numpy boxes a np.float64 each time).
+        self._slopes_list = slopes.tolist()
+        self._intercepts_list = intercepts.tolist()
+        self._lo_offsets_list = lo_offsets.tolist()
+        self._hi_offsets_list = hi_offsets.tolist()
+
+    # -- scalar latency path ----------------------------------------------
+
+    def lookup(self, key) -> int:
+        """Position of the first stored key >= ``key`` (lower bound)."""
+        n = self.keys.size
+        if n == 0:
+            return 0
+        stats = self.stats
+        stats.lookups += 1
+        j = self._route_scalar(key)
+        raw = self._slopes_list[j] * key + self._intercepts_list[j]
+        lo = int(raw - self._lo_offsets_list[j]) - 1
+        hi = int(raw - self._hi_offsets_list[j]) + 2
+        lo, hi = clamp_window(lo, hi, n)
+        stats.window_total += hi - lo
+        keys = self._keys_view
+        comparisons = 0
+        left, right = lo, hi
+        while left < right:
+            mid = (left + right) >> 1
+            comparisons += 1
+            if keys[mid] < key:
+                left = mid + 1
+            else:
+                right = mid
+        stats.comparisons += comparisons
+        # Misprediction check (Section 3.4): widen if the window missed.
+        if left < n and keys[left] < key:
+            stats.fixups += 1
+            return exponential_search(keys, key, left)
+        if left > 0 and keys[left - 1] >= key:
+            stats.fixups += 1
+            return exponential_search(keys, key, left - 1)
+        return left
+
+    def upper_bound(self, key) -> int:
+        """Position one past the last stored key <= ``key``."""
+        pos = self.lookup(key)
+        return pos + int(np.searchsorted(self.keys[pos:], key, side="right"))
+
+    def contains(self, key) -> bool:
+        pos = self.lookup(key)
+        return pos < self.keys.size and self.keys[pos] == key
+
+    def range_query(self, low, high) -> np.ndarray:
+        """All stored keys in ``[low, high]``."""
+        if high < low:
+            return self.keys[0:0]
+        start = self.lookup(low)
+        end = self.lookup(high)
+        end += int(np.searchsorted(self.keys[end:], high, side="right"))
+        return self.keys[start:end]
+
+    # -- batch surface (thin adapters over the shared engine) --------------
+
+    def _prepare_queries(self, queries) -> np.ndarray:
+        queries = np.asarray(queries)
+        if queries.dtype == object:
+            queries = queries.astype(np.float64)
+        return queries.ravel()
+
+    def lookup_batch(
+        self, queries: np.ndarray, *, sort: bool | None = None
+    ) -> np.ndarray:
+        """Lower-bound positions for a whole query batch — identical to
+        a per-query :meth:`lookup` loop and exact in the key dtype."""
+        queries = self._prepare_queries(queries)
+        if self.keys.size == 0:
+            return np.zeros(queries.size, dtype=np.int64)
+        qb = self._column.prepare(queries)
+        return self._plan.lookup_batch(qb, sort=sort, stats=self.stats)
+
+    def lookup_batch_scalar(self, queries: np.ndarray) -> np.ndarray:
+        """Per-query :meth:`lookup` loop — the interpreter-bound
+        baseline batch benchmarks compare against."""
+        items = self._prepare_queries(queries).tolist()
+        return np.array([self.lookup(q) for q in items], dtype=np.int64)
+
+    def _lower_bounds_with_batch(self, queries, sort=None):
+        queries = self._prepare_queries(queries)
+        if self.keys.size == 0:
+            return None, np.zeros(queries.size, dtype=np.int64)
+        qb = self._column.prepare(queries)
+        return qb, self._plan.lookup_batch(qb, sort=sort, stats=self.stats)
+
+    def contains_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorized membership: one bool per query, dtype-exact."""
+        qb, positions = self._lower_bounds_with_batch(queries)
+        if qb is None:
+            return np.zeros(positions.size, dtype=bool)
+        return self._column.contains_at(qb, positions)
+
+    def upper_bound_batch(
+        self, queries: np.ndarray, *, sort: bool | None = None
+    ) -> np.ndarray:
+        """Vectorized :meth:`upper_bound`: one position per query."""
+        qb, positions = self._lower_bounds_with_batch(queries, sort=sort)
+        if qb is None:
+            return positions
+        return self._column.upper_bounds(qb, positions)
+
+    def range_query_batch(
+        self, lows: np.ndarray, highs: np.ndarray, *, sort: bool | None = None
+    ) -> RangeScanResult:
+        """Batched :meth:`range_query` via one concatenated endpoint
+        resolution (see :mod:`repro.range_scan`)."""
+        return batch_range_scan(
+            self.keys, lows, highs,
+            lambda q: self.lookup_batch(q, sort=sort),
+            column=self._column,
+        )
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def segment_count(self) -> int:
+        return self._plan.leaf_count if self._plan is not None else 0
+
+    def size_bytes(self) -> int:
+        """Leaf tables (4 x float64 per segment) + routing structure."""
+        m = self.segment_count
+        return m * 4 * 8 + self._routing_size_bytes()
+
+    @property
+    def max_error_window(self) -> int:
+        if self._plan is None:
+            return 0
+        return int(np.max(self._plan.lo_offsets - self._plan.hi_offsets))
+
+    @property
+    def mean_error_window(self) -> float:
+        if self._plan is None:
+            return 0.0
+        return float(np.mean(self._plan.lo_offsets - self._plan.hi_offsets))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.keys.size}, "
+            f"segments={self.segment_count}, "
+            f"size={self.size_bytes()}B, "
+            f"mean_window={self.mean_error_window:.1f})"
+        )

@@ -31,6 +31,7 @@ from repro.core import (
     StringRMI,
     WritableLearnedIndex,
 )
+from repro.families import GappedArrayIndex, PGMIndex, RadixSplineIndex
 from repro.models import LinearModel, SplineSegmentModel
 
 RNG = np.random.default_rng(77)
@@ -200,6 +201,10 @@ RANGE_FACTORIES = {
     "fixed_btree": lambda keys: FixedSizeBTree(keys, size_budget_bytes=2_048),
     "lookup_table": lambda keys: HierarchicalLookupTable(keys, group=16),
     "fast_tree": lambda keys: FASTTree(keys, page_size=16),
+    "pgm": lambda keys: PGMIndex(keys, epsilon=4, epsilon_internal=2),
+    "radix_spline": lambda keys: RadixSplineIndex(
+        keys, epsilon=4, radix_bits=6
+    ),
 }
 
 
@@ -454,6 +459,10 @@ HUGE_FACTORIES = {
     "fixed_btree": lambda keys: FixedSizeBTree(keys, size_budget_bytes=2_048),
     "lookup_table": lambda keys: HierarchicalLookupTable(keys, group=16),
     "fast_tree": lambda keys: FASTTree(keys, page_size=16),
+    "pgm": lambda keys: PGMIndex(keys, epsilon=4, epsilon_internal=2),
+    "radix_spline": lambda keys: RadixSplineIndex(
+        keys, epsilon=4, radix_bits=6
+    ),
 }
 
 
@@ -569,3 +578,66 @@ class TestExact64BitWritable:
                 bisect.bisect_right(slist, int(highs[i]))
             ]
             assert list(result[i]) == expected, i
+
+
+# -- PR 10 families ------------------------------------------------------------
+
+FAMILY_FACTORIES = {
+    "pgm": lambda keys: PGMIndex(keys, epsilon=4, epsilon_internal=2),
+    "pgm_deep": lambda keys: PGMIndex(keys, epsilon=2, epsilon_internal=1),
+    "radix_spline": lambda keys: RadixSplineIndex(
+        keys, epsilon=4, radix_bits=6
+    ),
+}
+
+
+class TestFamilyBatchEquivalence:
+    """PGM / RadixSpline batch surfaces == scalar loops, all regimes."""
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("name", sorted(FAMILY_FACTORIES))
+    def test_batch_matches_scalar(self, name, kind):
+        keys = dataset(kind)
+        index = FAMILY_FACTORIES[name](keys)
+        queries = query_batch(keys)
+        assert_batch_matches_scalar(index, queries)
+        np.testing.assert_array_equal(
+            index.lookup_batch_scalar(queries), index.lookup_batch(queries)
+        )
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("name", sorted(FAMILY_FACTORIES))
+    def test_sorted_path_matches_unsorted(self, kind, name):
+        keys = dataset(kind)
+        index = FAMILY_FACTORIES[name](keys)
+        queries = query_batch(keys)
+        np.testing.assert_array_equal(
+            index.lookup_batch(queries, sort=True),
+            index.lookup_batch(queries, sort=False),
+        )
+        np.testing.assert_array_equal(
+            index.upper_bound_batch(queries, sort=True),
+            index.upper_bound_batch(queries, sort=False),
+        )
+
+    @pytest.mark.parametrize("kind", ["duplicates", "uniform", "lognormal"])
+    def test_gapped_array_batch_after_churn(self, kind):
+        """Batch == scalar for the writable family while its slot model
+        goes stale through interleaved inserts and deletes."""
+        keys = np.unique(dataset(kind))
+        index = GappedArrayIndex(keys)
+        rng = np.random.default_rng(0xA1EC)
+        churn = rng.integers(0, 10**9, 1_200)
+        for step, v in enumerate(churn.tolist()):
+            if step % 3 == 2:
+                index.delete(v)
+            else:
+                index.insert(v)
+            if step % 400 == 399:
+                queries = query_batch(index.live_keys())
+                assert_batch_matches_scalar(index, queries)
+                batch_ub = index.upper_bound_batch(queries)
+                scalar_ub = np.array(
+                    [index.upper_bound(float(q)) for q in queries]
+                )
+                np.testing.assert_array_equal(batch_ub, scalar_ub)

@@ -31,6 +31,7 @@ from repro.core import (
     StringRMI,
     WritableLearnedIndex,
 )
+from repro.families import GappedArrayIndex, PGMIndex, RadixSplineIndex
 from repro.lsm import LearnedLSMStore
 
 SEED = 0xD1FF
@@ -112,6 +113,12 @@ NUMERIC_FACTORIES = {
     "fixed_btree": lambda keys: FixedSizeBTree(keys, size_budget_bytes=2_048),
     "lookup_table": lambda keys: HierarchicalLookupTable(keys, group=16),
     "fast_tree": lambda keys: FASTTree(keys, page_size=16),
+    # PR 10 families: tiny ε so even the small oracle key sets split
+    # into many segments and exercise the routing structures.
+    "pgm": lambda keys: PGMIndex(keys, epsilon=4, epsilon_internal=2),
+    "radix_spline": lambda keys: RadixSplineIndex(
+        keys, epsilon=4, radix_bits=6
+    ),
 }
 
 NUMERIC_REGIMES = [
@@ -701,3 +708,50 @@ def test_lsm_store_matches_oracle_beyond_2p53():
         assert [oracle.lookup(int(k)) for k in items.values[o0:o1]] == list(
             item_values[o0:o1]
         ), i
+
+
+# -- gapped-array (ALEX-style) writable family ---------------------------------
+
+@pytest.mark.parametrize("regime", ["uniform", "duplicate_heavy"])
+def test_gapped_array_matches_oracle_after_churn(regime):
+    """The writable family vs a set-semantics bisect oracle, checked
+    after every phase of an interleaved insert/delete churn."""
+    rng = np.random.default_rng(SEED + hash(("gapped", regime)) % 2**16)
+    keys = np.unique(numeric_keys(regime, rng))
+    index = GappedArrayIndex(keys)
+    live = set(int(k) for k in keys)
+    universe = rng.integers(0, 10**6, 3_000)
+    for phase in range(6):
+        for v in universe[phase * 400:(phase + 1) * 400].tolist():
+            if rng.random() < 0.6:
+                index.insert(v)
+                live.add(v)
+            else:
+                index.delete(v)
+                live.discard(v)
+        oracle = Oracle(sorted(live))
+        probes = numeric_probes(np.array(sorted(live) or [0]), rng, 80)
+        for q in probes:
+            q = float(q)
+            assert index.lookup(q) == oracle.lookup(q), (regime, phase, q)
+            assert index.contains(q) == oracle.contains(q), (regime, phase, q)
+            assert index.upper_bound(q) == oracle.upper_bound(q), (
+                regime, phase, q,
+            )
+        batch = probes.astype(np.int64)
+        np.testing.assert_array_equal(
+            index.lookup_batch(batch),
+            np.array([oracle.lookup(int(q)) for q in batch]),
+            err_msg=f"{regime}/phase{phase} lookup_batch",
+        )
+        np.testing.assert_array_equal(
+            index.contains_batch(batch),
+            np.array([oracle.contains(int(q)) for q in batch]),
+            err_msg=f"{regime}/phase{phase} contains_batch",
+        )
+        lows = batch[:30]
+        highs = lows + rng.integers(0, 5_000, lows.size)
+        result = index.range_query_batch(lows, highs)
+        for i in range(lows.size):
+            expected = oracle.range_query(int(lows[i]), int(highs[i]))
+            assert list(result[i]) == expected, (regime, phase, i)

@@ -1,0 +1,303 @@
+"""Invariants of the PR 10 index families and their shared fitter.
+
+Three kinds of guarantee, each a hard assertion rather than a
+statistical check:
+
+* ``epsilon_segment`` — every segment spanning more than one distinct
+  float64 key obeys the ε error bound exactly, every segment's stored
+  window covers its measured residual range (that is the engine's
+  routing contract), and the split-refine loop converges in the
+  logarithmic round budget that makes the build vectorized rather than
+  per-segment;
+* PGM / RadixSpline — routing structures are well-formed (strictly
+  increasing knots, exact bucket brackets, recursion that terminates)
+  and every lookup is bit-identical to ``np.searchsorted``;
+* the gapped array — slot-layout invariants survive interleaved
+  insert/delete churn with a stale in-place-mutated slot model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.families import (
+    GappedArrayIndex,
+    PGMIndex,
+    RadixSplineIndex,
+    epsilon_segment,
+)
+from repro.families.alex import MAX_DENSITY
+from repro.models.cdf import positions_for_keys
+
+RNG = np.random.default_rng(0xFA1)
+
+
+def key_regimes():
+    yield "uniform", np.sort(RNG.integers(0, 1 << 40, 20_000, dtype=np.int64))
+    yield "lognormal", np.sort(
+        (np.exp(RNG.normal(18, 4, 20_000))).astype(np.int64)
+    )
+    dup = np.sort(RNG.integers(0, 300, 20_000, dtype=np.int64))
+    yield "duplicate_heavy", dup
+    yield "clustered", np.sort(np.concatenate([
+        c + RNG.integers(0, 1_000, 2_500)
+        for c in RNG.integers(0, 1 << 50, 8)
+    ]).astype(np.int64))
+    yield "float", np.sort(RNG.normal(0, 1e9, 20_000))
+
+
+REGIMES = dict(key_regimes())
+
+
+# -- the shared ε-segmentation fitter ------------------------------------------
+
+class TestEpsilonSegmentInvariants:
+    @pytest.mark.parametrize("regime", sorted(REGIMES))
+    @pytest.mark.parametrize("fit", ["least_squares", "endpoint"])
+    @pytest.mark.parametrize("eps", [4, 32])
+    def test_epsilon_bound_is_hard(self, regime, fit, eps):
+        """max |prediction - position| <= ε on every multi-distinct-key
+        segment — the defining PGM guarantee, asserted exactly up to
+        evaluation rounding.
+
+        The fitter measures residuals in the numerically centered form
+        ``slope·(x - x̄) + ȳ``; re-evaluating ``slope·x + intercept``
+        loses up to a few ulp of ``|slope·x|`` to cancellation at large
+        key magnitudes (which is why the engine pads every window by
+        -1/+2 and verifies results).  The tolerance below is exactly
+        that ulp budget — zero-slack in well-conditioned regimes.
+        """
+        keys_f = REGIMES[regime].astype(np.float64)
+        n = keys_f.size
+        seg = epsilon_segment(keys_f, positions_for_keys(n), eps, fit=fit)
+        bounds = seg.boundaries
+        assert bounds[0] == 0 and bounds[-1] == n
+        assert np.all(bounds[1:] > bounds[:-1])
+        for j in range(seg.segment_count):
+            lo, hi = int(bounds[j]), int(bounds[j + 1])
+            chunk = keys_f[lo:hi]
+            terms = seg.slopes[j] * chunk
+            resid = terms + seg.intercepts[j]
+            resid -= np.arange(lo, hi, dtype=np.float64)
+            tol = 4.0 * np.spacing(max(
+                float(np.abs(terms).max()), abs(seg.intercepts[j]), 1.0
+            ))
+            # The stored window must cover the measured residual range
+            # for EVERY segment (single-value runs included) — this is
+            # what makes the engine's bounded search exact.
+            assert seg.lo_offsets[j] >= resid.max() - tol, (regime, j)
+            assert seg.hi_offsets[j] <= resid.min() + tol, (regime, j)
+            if np.unique(chunk).size >= 2:
+                assert np.abs(resid).max() <= eps + tol, (
+                    regime, fit, j, np.abs(resid).max(),
+                )
+
+    @pytest.mark.parametrize("regime", sorted(REGIMES))
+    def test_build_converges_in_logarithmic_rounds(self, regime):
+        """Split-refine must stay vectorized: the round count is
+        bounded by log2 of the distinct-key count, not by the segment
+        count — no per-segment Python fit loops."""
+        keys_f = REGIMES[regime].astype(np.float64)
+        seg = epsilon_segment(
+            keys_f, positions_for_keys(keys_f.size), 8
+        )
+        distinct = np.unique(keys_f).size
+        assert seg.rounds <= int(np.ceil(np.log2(max(distinct, 2)))) + 2, (
+            regime, seg.rounds,
+        )
+
+    def test_rejects_epsilon_below_one(self):
+        with pytest.raises(ValueError):
+            epsilon_segment(
+                np.arange(10, dtype=np.float64), positions_for_keys(10), 0.5
+            )
+
+    def test_segment_first_keys_strictly_increase(self):
+        keys_f = REGIMES["duplicate_heavy"].astype(np.float64)
+        seg = epsilon_segment(keys_f, positions_for_keys(keys_f.size), 2)
+        firsts = keys_f[seg.boundaries[:-1]]
+        assert np.all(np.diff(firsts) > 0)
+
+
+# -- PGM / RadixSpline routing structures --------------------------------------
+
+class TestPGMStructure:
+    def test_recursion_produces_internal_levels(self):
+        keys = REGIMES["uniform"]
+        index = PGMIndex(keys, epsilon=2, epsilon_internal=2)
+        assert index.level_count >= 1
+        # descending through every level must land on the leaf that the
+        # scalar bisect route finds, for in-set keys
+        sample = keys[:: max(keys.size // 200, 1)].astype(np.float64)
+        leaves = index._descend(sample)
+        expected = np.array([index._route_scalar(q) for q in sample])
+        np.testing.assert_array_equal(leaves, expected)
+
+    @pytest.mark.parametrize("regime", sorted(REGIMES))
+    def test_lookup_matches_searchsorted(self, regime):
+        keys = REGIMES[regime]
+        index = PGMIndex(keys, epsilon=8, epsilon_internal=2)
+        queries = np.concatenate([
+            RNG.choice(keys, 2_000),
+            RNG.uniform(float(keys.min()) - 10, float(keys.max()) + 10, 2_000)
+            .astype(keys.dtype),
+        ])
+        np.testing.assert_array_equal(
+            index.lookup_batch(queries),
+            np.searchsorted(keys, queries, side="left"),
+        )
+
+    def test_exact_beyond_2p63(self):
+        keys = np.sort(RNG.integers(
+            (1 << 63) - 4_000, (1 << 63) + 4_000, 4_000, dtype=np.uint64
+        ))
+        assert np.unique(keys.astype(np.float64)).size < keys.size
+        index = PGMIndex(keys, epsilon=4)
+        probes = np.sort(RNG.integers(
+            (1 << 63) - 4_100, (1 << 63) + 4_100, 2_000, dtype=np.uint64
+        ))
+        np.testing.assert_array_equal(
+            index.lookup_batch(probes),
+            np.searchsorted(keys, probes, side="left"),
+        )
+
+    def test_top_route_fallback_is_exact(self):
+        # Force the searchsorted fallback and check nothing changes.
+        keys = REGIMES["clustered"]
+        index = PGMIndex(keys, epsilon=8)
+        if index._top_route[0] != "search":
+            index._top_route = ("search",)
+        queries = RNG.choice(keys, 1_000)
+        np.testing.assert_array_equal(
+            index.lookup_batch(queries),
+            np.searchsorted(keys, queries, side="left"),
+        )
+
+
+class TestRadixSplineStructure:
+    def test_bucket_brackets_are_exact(self):
+        """table[c] <= lower_bound(knots, q) <= table[c+1] for every
+        knot and for random probes — the radix routing contract."""
+        keys = REGIMES["lognormal"]
+        index = RadixSplineIndex(keys, epsilon=8)
+        knots = index._knots
+        table = index._table
+        probes = np.concatenate([
+            knots,
+            RNG.uniform(float(knots[0]), float(keys.max()), 5_000),
+        ])
+        cell = ((probes - index._min_f) * index._scale).astype(np.int64)
+        np.clip(cell, 0, index._num_cells - 1, out=cell)
+        lb = np.searchsorted(knots, probes, side="left")
+        assert np.all(table[cell] <= lb)
+        assert np.all(lb <= table[cell + 1])
+
+    @pytest.mark.parametrize("regime", sorted(REGIMES))
+    def test_lookup_matches_searchsorted(self, regime):
+        keys = REGIMES[regime]
+        index = RadixSplineIndex(keys, epsilon=8)
+        queries = np.concatenate([
+            RNG.choice(keys, 2_000),
+            RNG.uniform(float(keys.min()) - 10, float(keys.max()) + 10, 2_000)
+            .astype(keys.dtype),
+        ])
+        np.testing.assert_array_equal(
+            index.lookup_batch(queries),
+            np.searchsorted(keys, queries, side="left"),
+        )
+
+    @pytest.mark.parametrize("bits", [4, 10, 20])
+    def test_explicit_radix_bits(self, bits):
+        keys = REGIMES["uniform"]
+        index = RadixSplineIndex(keys, epsilon=16, radix_bits=bits)
+        assert index.radix_bits == bits
+        queries = RNG.choice(keys, 1_000)
+        np.testing.assert_array_equal(
+            index.lookup_batch(queries),
+            np.searchsorted(keys, queries, side="left"),
+        )
+
+
+# -- the gapped array under churn ----------------------------------------------
+
+def check_slot_invariants(index):
+    """The documented layout invariants: occupied slots non-decreasing,
+    live keys recoverable in order, rank table consistent."""
+    if index._slots is None:
+        assert len(index) == 0
+        return
+    occ = index._occupied
+    live = index._slots[occ]
+    assert np.all(live[:-1] <= live[1:])
+    assert len(index) == int(occ.sum())
+    # density stays below the rebuild ceiling after maintenance
+    if index._slots.size:
+        assert len(index) / index._slots.size <= MAX_DENSITY + 1e-9
+
+
+class TestGappedArrayChurn:
+    def test_interleaved_churn_against_set_oracle(self):
+        rng = np.random.default_rng(0xC0FFEE)
+        index = GappedArrayIndex(np.unique(
+            rng.integers(0, 200_000, 5_000)
+        ))
+        oracle = set(int(k) for k in index.live_keys())
+        for step in range(4_000):
+            v = int(rng.integers(0, 200_000))
+            if rng.random() < 0.55:
+                assert index.insert(v) == (v not in oracle), (step, v)
+                oracle.add(v)
+            else:
+                assert index.delete(v) == (v in oracle), (step, v)
+                oracle.discard(v)
+            if step % 500 == 499:
+                check_slot_invariants(index)
+                expected = np.array(sorted(oracle), dtype=np.int64)
+                np.testing.assert_array_equal(index.live_keys(), expected)
+                probes = rng.integers(0, 200_000, 400)
+                np.testing.assert_array_equal(
+                    index.lookup_batch(probes),
+                    np.searchsorted(expected, probes, side="left"),
+                )
+                np.testing.assert_array_equal(
+                    index.contains_batch(probes),
+                    np.isin(probes, expected),
+                )
+        assert index.rebuilds >= 1  # churn must have forced maintenance
+
+    def test_insert_batch_merge_equivalence(self):
+        rng = np.random.default_rng(5)
+        base = np.unique(rng.integers(0, 10**7, 3_000))
+        extra = rng.integers(0, 10**7, 2_000)
+        one = GappedArrayIndex(base)
+        one.insert_batch(extra)
+        two = GappedArrayIndex(np.unique(np.concatenate([base, extra])))
+        np.testing.assert_array_equal(one.live_keys(), two.live_keys())
+
+    def test_empty_start_and_drain(self):
+        index = GappedArrayIndex()
+        assert len(index) == 0 and not index.contains(1)
+        for v in [5, 3, 9, 3]:
+            index.insert(v)
+        assert len(index) == 3
+        for v in [5, 3, 9]:
+            assert index.delete(v)
+        assert len(index) == 0
+        np.testing.assert_array_equal(
+            index.lookup_batch(np.array([1, 2])), [0, 0]
+        )
+
+
+# -- family accounting surface (benchmark matrix dependencies) -----------------
+
+class TestAccountingSurface:
+    @pytest.mark.parametrize("family", [PGMIndex, RadixSplineIndex])
+    def test_size_and_window_accounting(self, family):
+        keys = REGIMES["uniform"]
+        index = family(keys)
+        assert index.segment_count >= 1
+        assert index.size_bytes() >= index.segment_count * 32
+        assert index.max_error_window >= 1
+        assert 0 < index.mean_error_window <= index.max_error_window
+        assert str(index.segment_count) in repr(index)
